@@ -1,0 +1,12 @@
+//! Applications and workloads on vSCC.
+//!
+//! * [`pingpong`] — the point-to-point benchmark of §4.1 (Fig. 6);
+//! * [`npb`] — the NAS Parallel Benchmarks BT port of §4.2 (Fig. 7);
+//! * [`traffic`] — communication-matrix recording and rendering (Fig. 8);
+//! * [`stencil`] — a 2-D Jacobi halo-exchange demo exercising the full
+//!   stack with real floating-point data.
+
+pub mod npb;
+pub mod pingpong;
+pub mod stencil;
+pub mod traffic;

@@ -1,0 +1,357 @@
+//! The CG (conjugate gradient) benchmark: power-method iterations over a
+//! sparse matrix, the NPB's communication-stress counterpart to BT.
+//!
+//! NPB CG partitions the matrix over a 2^k processor grid (rows × cols);
+//! every CG sub-iteration performs a sparse matvec whose row sums are
+//! reduced across the processor row in log₂(cols) pairwise exchange
+//! steps, followed by an exchange with the *transpose* partner and two
+//! dot-product all-reductions. Unlike BT's neighbourhood rings, CG's
+//! partners are strided across the rank space — long-distance pairs that
+//! stress the vSCC tunnel very differently (and show up as off-diagonal
+//! bands in the traffic matrix).
+//!
+//! As with BT (see [`super::bt`]), the per-element numerics are replaced
+//! by calibrated FLOP charges and messages carry verification payloads;
+//! pattern, sizes, and compute/communication ratio follow the original.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use des::{Cycles, SimError};
+use rcce::collectives::Op;
+use rcce::{Rcce, Session};
+
+/// NPB CG problem classes: (n, nonzeros/row seed, outer iterations,
+/// published total workload in Mop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CgClass {
+    /// n = 1400.
+    S,
+    /// n = 7000.
+    W,
+    /// n = 14000.
+    A,
+    /// n = 75000.
+    B,
+    /// n = 150000.
+    C,
+}
+
+impl CgClass {
+    /// Matrix dimension.
+    pub fn n(self) -> usize {
+        match self {
+            CgClass::S => 1400,
+            CgClass::W => 7000,
+            CgClass::A => 14_000,
+            CgClass::B => 75_000,
+            CgClass::C => 150_000,
+        }
+    }
+
+    /// Outer (power-method) iterations of the full benchmark.
+    pub fn full_iterations(self) -> usize {
+        match self {
+            CgClass::S | CgClass::W | CgClass::A => 15,
+            CgClass::B | CgClass::C => 75,
+        }
+    }
+
+    /// Total floating-point work of the full benchmark, in Mop (NPB
+    /// reference operation counts, rounded).
+    pub fn total_mops(self) -> u64 {
+        match self {
+            CgClass::S => 66,
+            CgClass::W => 399,
+            CgClass::A => 1_508,
+            CgClass::B => 54_890,
+            CgClass::C => 143_300,
+        }
+    }
+
+    /// Class name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CgClass::S => "S",
+            CgClass::W => "W",
+            CgClass::A => "A",
+            CgClass::B => "B",
+            CgClass::C => "C",
+        }
+    }
+}
+
+/// CG sub-iterations per outer iteration (the NPB constant).
+pub const CG_SUB_ITERS: usize = 25;
+
+/// CG run configuration.
+#[derive(Debug, Clone)]
+pub struct CgConfig {
+    /// Problem class.
+    pub class: CgClass,
+    /// Ranks; must be a power of two.
+    pub ranks: usize,
+    /// Untimed warm-up outer iterations.
+    pub warmup: usize,
+    /// Timed outer iterations.
+    pub measured: usize,
+}
+
+impl CgConfig {
+    /// Standard configuration: 1 warm-up + 2 timed outer iterations.
+    pub fn new(class: CgClass, ranks: usize) -> Self {
+        assert!(ranks.is_power_of_two(), "CG needs a power-of-two process count");
+        CgConfig { class, ranks, warmup: 1, measured: 2 }
+    }
+
+    /// Processor grid (rows, cols): cols = rows or 2·rows.
+    pub fn grid(&self) -> (usize, usize) {
+        let k = self.ranks.trailing_zeros();
+        let rows = 1usize << (k / 2);
+        (rows, self.ranks / rows)
+    }
+
+    /// Bytes of one row-reduce / transpose exchange segment.
+    pub fn segment_bytes(&self) -> usize {
+        let (_rows, cols) = self.grid();
+        (self.class.n().div_ceil(cols)) * 8
+    }
+
+    /// FLOPs of one outer iteration across all ranks.
+    pub fn iter_flops(&self) -> u64 {
+        self.class.total_mops() * 1_000_000 / self.class.full_iterations() as u64
+    }
+
+    /// FLOPs of the timed window.
+    pub fn measured_flops(&self) -> u64 {
+        self.iter_flops() * self.measured as u64
+    }
+}
+
+/// Result of a CG run.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// Simulated cycles of the timed window.
+    pub cycles: Cycles,
+    /// GFLOP/s over the timed window.
+    pub gflops: f64,
+    /// All verification payloads matched.
+    pub verified: bool,
+    /// Point-to-point messages exchanged.
+    pub messages: u64,
+}
+
+struct CgRank {
+    r: Rcce,
+    cfg: CgConfig,
+    rows: usize,
+    cols: usize,
+    row: usize,
+    col: usize,
+    ok: bool,
+    messages: u64,
+}
+
+impl CgRank {
+    fn rank_of(&self, row: usize, col: usize) -> usize {
+        row * self.cols + col
+    }
+
+    fn payload(&self, len: usize, tag: u64, src: usize) -> Vec<u8> {
+        let mut v = vec![(tag as u8).wrapping_mul(89) ^ (src as u8); len];
+        let h = (tag << 16 | src as u64).to_le_bytes();
+        let k = len.min(8);
+        v[..k].copy_from_slice(&h[..k]);
+        v
+    }
+
+    async fn exchange(&mut self, partner: usize, len: usize, tag: u64) {
+        let me = self.r.id();
+        if partner == me {
+            return;
+        }
+        let out = self.payload(len, tag, me);
+        let expect = self.payload(len, tag, partner);
+        let req = self.r.isend(out, partner);
+        let got = self.r.recv_vec(len, partner).await;
+        req.wait().await;
+        self.ok &= got == expect;
+        self.messages += 2;
+    }
+
+    /// One CG sub-iteration: matvec + row reduce + transpose exchange +
+    /// two dot products.
+    async fn sub_iteration(&mut self, tag_base: u64) {
+        let per_rank = self.cfg.iter_flops() / self.cfg.ranks as u64 / CG_SUB_ITERS as u64;
+        let mut charged = 0u64;
+        // Local sparse matvec: the bulk of the arithmetic (~80%).
+        let matvec = per_rank * 8 / 10;
+        self.r.compute(matvec).await;
+        charged += matvec;
+        // Row-sum reduction: log2(cols) pairwise exchanges within the row.
+        let seg = self.cfg.segment_bytes();
+        let mut stride = 1usize;
+        let mut stage = 0u64;
+        while stride < self.cols {
+            let partner_col = self.col ^ stride;
+            let partner = self.rank_of(self.row, partner_col);
+            self.exchange(partner, seg, tag_base + stage).await;
+            // Combine the received partial sums.
+            let combine = per_rank / 10 / self.cols.trailing_zeros().max(1) as u64;
+            self.r.compute(combine).await;
+            charged += combine;
+            stride <<= 1;
+            stage += 1;
+        }
+        // Transpose exchange (send the reduced segment to the transposed
+        // position in the grid; with cols == 2*rows the partner halves).
+        let t_row = self.col % self.rows;
+        let t_col = self.row + if self.cols > self.rows { self.rows * (self.col / self.rows) } else { 0 };
+        let transpose = self.rank_of(t_row, t_col % self.cols);
+        self.exchange(transpose, seg, tag_base + 40).await;
+        // Two dot products over the distributed vectors.
+        let d1 = self.r.allreduce_f64(self.r.id() as f64, Op::Sum).await;
+        let d2 = self.r.allreduce_f64(1.0, Op::Sum).await;
+        let n = self.r.num_ues() as f64;
+        self.ok &= d1 == n * (n - 1.0) / 2.0 && d2 == n;
+        // Vector updates: whatever remains of this sub-iteration's budget,
+        // so the charged work always sums to `per_rank`.
+        self.r.compute(per_rank.saturating_sub(charged)).await;
+    }
+
+    async fn outer_iteration(&mut self, iter: usize) {
+        for s in 0..CG_SUB_ITERS {
+            self.sub_iteration((iter * CG_SUB_ITERS + s) as u64 * 64).await;
+        }
+    }
+}
+
+/// Run CG on an existing session of exactly `cfg.ranks` ranks.
+pub fn run_cg(session: &Session, cfg: &CgConfig) -> Result<CgResult, SimError> {
+    assert_eq!(session.num_ranks(), cfg.ranks);
+    let t0 = Rc::new(Cell::new(0u64));
+    let t1 = Rc::new(Cell::new(0u64));
+    let cfg2 = cfg.clone();
+    let results = session.run_app(move |r| {
+        let cfg = cfg2.clone();
+        let (t0, t1) = (t0.clone(), t1.clone());
+        async move {
+            let (rows, cols) = cfg.grid();
+            let me = r.id();
+            let mut cg = CgRank {
+                r: r.clone(),
+                rows,
+                cols,
+                row: me / cols,
+                col: me % cols,
+                cfg,
+                ok: true,
+                messages: 0,
+            };
+            for i in 0..cg.cfg.warmup {
+                cg.outer_iteration(i).await;
+            }
+            r.barrier().await;
+            if me == 0 {
+                t0.set(r.now());
+            }
+            for i in 0..cg.cfg.measured {
+                cg.outer_iteration(cg.cfg.warmup + i).await;
+            }
+            r.barrier().await;
+            if me == 0 {
+                t1.set(r.now());
+            }
+            (cg.ok, cg.messages, t0.get(), t1.get())
+        }
+    })?;
+    let verified = results.iter().all(|(ok, _, _, _)| *ok);
+    let messages = results.iter().map(|(_, m, _, _)| m).sum();
+    let (_, _, start, end) = results[0];
+    let cycles = end - start;
+    let secs = cycles as f64 / (des::time::CORE_FREQ.as_mhz() as f64 * 1e6);
+    let gflops = cfg.measured_flops() as f64 / secs / 1e9;
+    Ok(CgResult { cycles, gflops, verified, messages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use des::Sim;
+    use rcce::SessionBuilder;
+    use scc::device::SccDevice;
+    use scc::geometry::DeviceId;
+
+    fn onchip_session(sim: &Sim, ranks: usize) -> Session {
+        let dev = SccDevice::new(sim, DeviceId(0));
+        SessionBuilder::new(sim, vec![dev]).max_ranks(ranks).build()
+    }
+
+    #[test]
+    fn grid_shapes() {
+        assert_eq!(CgConfig::new(CgClass::S, 1).grid(), (1, 1));
+        assert_eq!(CgConfig::new(CgClass::S, 2).grid(), (1, 2));
+        assert_eq!(CgConfig::new(CgClass::S, 4).grid(), (2, 2));
+        assert_eq!(CgConfig::new(CgClass::S, 8).grid(), (2, 4));
+        assert_eq!(CgConfig::new(CgClass::S, 32).grid(), (4, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        CgConfig::new(CgClass::S, 6);
+    }
+
+    #[test]
+    fn cg_single_rank_near_peak() {
+        let sim = Sim::new();
+        let s = onchip_session(&sim, 1);
+        let res = run_cg(&s, &CgConfig::new(CgClass::S, 1)).unwrap();
+        assert!(res.verified);
+        assert!((0.35..0.54).contains(&res.gflops), "1-rank CG at {} GF/s", res.gflops);
+    }
+
+    #[test]
+    fn cg_verifies_on_chip() {
+        let sim = Sim::new();
+        let s = onchip_session(&sim, 8);
+        let res = run_cg(&s, &CgConfig::new(CgClass::S, 8)).unwrap();
+        assert!(res.verified);
+        assert!(res.messages > 0);
+    }
+
+    #[test]
+    fn cg_verifies_cross_device() {
+        let sim = Sim::new();
+        let v = vscc::VsccBuilder::new(&sim, 2)
+            .scheme(vscc::CommScheme::LocalPutLocalGet)
+            .build();
+        let s = v.session_builder().cores_per_device(8).build();
+        let res = run_cg(&s, &CgConfig::new(CgClass::S, 16)).unwrap();
+        assert!(res.verified, "CG corrupted across the tunnel");
+    }
+
+    #[test]
+    fn cg_traffic_has_long_distance_pairs() {
+        // CG's strided partners produce off-diagonal traffic, unlike BT.
+        let sim = Sim::new();
+        let s = onchip_session(&sim, 16);
+        run_cg(&s, &CgConfig::new(CgClass::S, 16)).unwrap();
+        let m = crate::traffic::TrafficMatrix::capture(&s);
+        assert!(
+            m.neighbour_fraction(2) < 0.9,
+            "CG must not be purely neighbourhood traffic: {}",
+            m.neighbour_fraction(2)
+        );
+    }
+
+    #[test]
+    fn cg_deterministic() {
+        let run = || {
+            let sim = Sim::new();
+            let s = onchip_session(&sim, 4);
+            run_cg(&s, &CgConfig::new(CgClass::S, 4)).unwrap().cycles
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,189 @@
+//! Ping-Pong: the point-to-point throughput benchmark of §4.1.
+//!
+//! Two ranks bounce a message back and forth; throughput is the payload
+//! volume over the simulated round-trip time. The helpers here build a
+//! fresh system per measurement point so runs are independent and
+//! deterministic.
+
+use des::time::CORE_FREQ;
+use des::Sim;
+use rcce::{PipelinedProtocol, SessionBuilder};
+use scc::device::SccDevice;
+use scc::geometry::{CoreId, DeviceId};
+use vscc::{CommScheme, VsccBuilder};
+
+/// One measured point of a ping-pong sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PingPongPoint {
+    /// Message size in bytes.
+    pub size: usize,
+    /// Simulated cycles for all repetitions.
+    pub cycles: u64,
+    /// One-way throughput in MB/s (paper's metric).
+    pub mbps: f64,
+}
+
+/// The message sizes swept in Fig. 6 (32 B … 512 KiB, with extra points
+/// around the 8 KiB MPB boundary where the dip appears).
+pub fn fig6_sizes() -> Vec<usize> {
+    let mut v: Vec<usize> = (5..=19).map(|p| 1usize << p).collect(); // 32 B..512 KiB
+    v.extend([6144, 7424, 7680, 12288]);
+    v.sort_unstable();
+    v
+}
+
+async fn bounce(r: rcce::Rcce, size: usize, reps: usize) {
+    let peer = 1 - r.id();
+    let msg = vec![0xA5u8; size];
+    let mut buf = vec![0u8; size];
+    for _ in 0..reps {
+        if r.id() == 0 {
+            r.send(&msg, peer).await;
+            r.recv(&mut buf, peer).await;
+        } else {
+            r.recv(&mut buf, peer).await;
+            r.send(&buf, peer).await;
+        }
+    }
+}
+
+fn point(sim: &Sim, size: usize, reps: usize) -> PingPongPoint {
+    let cycles = sim.now();
+    // 2*reps one-way messages in `cycles`.
+    let mbps = CORE_FREQ.mbytes_per_sec((2 * reps * size) as u64, cycles);
+    PingPongPoint { size, cycles, mbps }
+}
+
+/// On-chip ping-pong between core 0 and core 1 of one device.
+pub fn onchip(pipelined: bool, size: usize, reps: usize) -> PingPongPoint {
+    let sim = Sim::new();
+    let dev = SccDevice::new(&sim, DeviceId(0));
+    let mut b = SessionBuilder::new(&sim, vec![dev]).max_ranks(2);
+    if pipelined {
+        b = b.onchip_protocol(std::rc::Rc::new(PipelinedProtocol::default()));
+    }
+    let s = b.build();
+    s.run_app(move |r| bounce(r, size, reps)).expect("on-chip ping-pong");
+    point(&sim, size, reps)
+}
+
+/// Inter-device ping-pong between core 0 of device 0 and core 0 of
+/// device 1 under the given scheme.
+pub fn interdevice(scheme: CommScheme, size: usize, reps: usize) -> PingPongPoint {
+    interdevice_on(scheme, size, reps, 2)
+}
+
+/// Inter-device ping-pong on a system of `n_devices` (the extra devices
+/// only add fabric structure; the traffic stays on one pair).
+pub fn interdevice_on(
+    scheme: CommScheme,
+    size: usize,
+    reps: usize,
+    n_devices: u8,
+) -> PingPongPoint {
+    let sim = Sim::new();
+    let v = VsccBuilder::new(&sim, n_devices).scheme(scheme).build();
+    let a = v.devices[0].global(CoreId(0));
+    let b = v.devices[1].global(CoreId(0));
+    let s = v.session_builder().participants(vec![a, b]).build();
+    s.run_app(move |r| bounce(r, size, reps)).expect("inter-device ping-pong");
+    point(&sim, size, reps)
+}
+
+/// Round-trip latency (cycles) of a single message of `size` bytes.
+pub fn latency_cycles(scheme: CommScheme, size: usize) -> u64 {
+    interdevice(scheme, size, 1).cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_sizes_cover_the_dip() {
+        let s = fig6_sizes();
+        assert!(s.contains(&32) && s.contains(&(512 * 1024)));
+        assert!(s.contains(&7680) && s.contains(&8192));
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sizes must be sorted and unique");
+    }
+
+    #[test]
+    fn onchip_blocking_band() {
+        // Paper §4.1: max on-chip throughput ~150 MB/s; blocking RCCE
+        // reaches roughly half of it.
+        let p = onchip(false, 64 * 1024, 3);
+        assert!((55.0..120.0).contains(&p.mbps), "RCCE on-chip at {} MB/s", p.mbps);
+    }
+
+    #[test]
+    fn onchip_pipelined_band() {
+        let p = onchip(true, 256 * 1024, 3);
+        assert!((120.0..190.0).contains(&p.mbps), "iRCCE on-chip at {} MB/s", p.mbps);
+    }
+
+    #[test]
+    fn pipelining_only_helps_above_packet_size() {
+        // Below one packet, the pipelined protocol degenerates to the
+        // blocking one.
+        let small_b = onchip(false, 1024, 3);
+        let small_p = onchip(true, 1024, 3);
+        assert!((small_p.mbps - small_b.mbps).abs() / small_b.mbps < 0.05);
+        let large_b = onchip(false, 128 * 1024, 3);
+        let large_p = onchip(true, 128 * 1024, 3);
+        assert!(large_p.mbps > large_b.mbps * 1.3);
+    }
+
+    #[test]
+    fn routing_throughput_tiny() {
+        let p = interdevice(CommScheme::SimpleRouting, 8192, 2);
+        assert!(p.mbps < 5.0, "simple routing at {} MB/s should be ~1.5", p.mbps);
+    }
+
+    #[test]
+    fn headline_24_percent_recovered() {
+        // §5: "recover 24% of effective on-chip communication throughput".
+        let onchip_max = onchip(true, 256 * 1024, 3).mbps;
+        let best = interdevice(CommScheme::LocalPutLocalGet, 256 * 1024, 3).mbps;
+        let ratio = best / onchip_max;
+        assert!(
+            (0.17..0.32).contains(&ratio),
+            "best inter-device / on-chip = {ratio:.3}, expected ~0.24"
+        );
+    }
+
+    #[test]
+    fn lprg_fraction_of_bound() {
+        // §4.1: local put / remote get reaches 71.72% of the
+        // hardware-accelerated limit.
+        let bound = interdevice(CommScheme::RemotePutHwAck, 128 * 1024, 2).mbps;
+        let lprg = interdevice(CommScheme::LocalPutRemoteGet, 128 * 1024, 2).mbps;
+        let frac = lprg / bound;
+        assert!((0.55..0.85).contains(&frac), "LPRG/bound = {frac:.3}, expected ~0.72");
+    }
+
+    #[test]
+    fn vdma_has_no_8k_dip_but_lprg_does() {
+        let dip = |scheme: CommScheme| {
+            let before = interdevice(scheme, 7424, 2).mbps;
+            let after = interdevice(scheme, 8192, 2).mbps;
+            after / before
+        };
+        assert!(dip(CommScheme::LocalPutRemoteGet) < 0.98, "LPRG should dip at 8 KiB");
+        assert!(dip(CommScheme::LocalPutLocalGet) > 0.98, "vDMA removes the dip");
+    }
+
+    #[test]
+    fn small_message_latency_below_programming_overhead_path() {
+        // The direct-transfer threshold keeps small messages cheap: a
+        // 64 B vDMA-scheme message must not cost more than ~4 routed RTs.
+        let l = latency_cycles(CommScheme::LocalPutLocalGet, 64);
+        assert!(l < 40_000, "64 B latency {l} cycles too high");
+    }
+
+    #[test]
+    fn deterministic_measurements() {
+        let a = interdevice(CommScheme::LocalPutLocalGet, 4096, 2);
+        let b = interdevice(CommScheme::LocalPutLocalGet, 4096, 2);
+        assert_eq!(a, b);
+    }
+}

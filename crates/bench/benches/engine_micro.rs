@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the simulation engine itself: how fast
+//! the reproduction executes on the host machine (not simulated time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use des::Sim;
+use rcce::SessionBuilder;
+use scc::device::SccDevice;
+use scc::geometry::DeviceId;
+use vscc::{CommScheme, VsccBuilder};
+
+fn bench_executor(c: &mut Criterion) {
+    c.bench_function("des/spawn_delay_10k_tasks", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..10_000u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.delay(i % 97).await;
+                });
+            }
+            sim.run().unwrap()
+        })
+    });
+
+    c.bench_function("des/link_contention_1k_transfers", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let link = des::link::Link::new(des::link::Bandwidth::bytes_per_cycle(1), 100, 10);
+            for _ in 0..1_000 {
+                let (s, l) = (sim.clone(), link.clone());
+                sim.spawn(async move {
+                    l.transfer(&s, 256).await;
+                });
+            }
+            sim.run().unwrap()
+        })
+    });
+}
+
+fn bench_onchip(c: &mut Criterion) {
+    c.bench_function("rcce/onchip_pingpong_64k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let dev = SccDevice::new(&sim, DeviceId(0));
+            let s = SessionBuilder::new(&sim, vec![dev]).max_ranks(2).build();
+            s.run_app(|r| async move {
+                if r.id() == 0 {
+                    r.send(&vec![1u8; 65_536], 1).await;
+                } else {
+                    let mut buf = vec![0u8; 65_536];
+                    r.recv(&mut buf, 0).await;
+                }
+            })
+            .unwrap();
+            sim.now()
+        })
+    });
+}
+
+fn bench_vscc(c: &mut Criterion) {
+    c.bench_function("vscc/vdma_pingpong_64k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet).build();
+            let a = v.devices[0].global(scc::geometry::CoreId(0));
+            let d = v.devices[1].global(scc::geometry::CoreId(0));
+            let s = v.session_builder().participants(vec![a, d]).build();
+            s.run_app(|r| async move {
+                if r.id() == 0 {
+                    r.send(&vec![1u8; 65_536], 1).await;
+                } else {
+                    let mut buf = vec![0u8; 65_536];
+                    r.recv(&mut buf, 0).await;
+                }
+            })
+            .unwrap();
+            sim.now()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_executor, bench_onchip, bench_vscc
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 8 — NPB BT (class C) communication traffic of 64 cores.
+//!
+//! The traffic matrix of a 64-rank class C run on two devices, scaled
+//! from the simulated iterations to the full 200 NPB iterations. Paper
+//! reference points: a neighbourhood-dominated pattern (dark squares near
+//! the diagonal), inter-device traffic highlighted at the device
+//! boundaries, and a maximum pairwise traffic of about 186 MB.
+
+use des::Sim;
+use vscc::{CommScheme, VsccBuilder};
+use vscc_apps::npb::{run_bt, BtClass, BtConfig};
+use vscc_apps::traffic::TrafficMatrix;
+
+fn main() {
+    vscc_bench::banner("Figure 8", "NPB BT (class C) communication traffic of 64 cores");
+    let ranks = 64usize;
+    let sim = Sim::new();
+    let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet).build();
+    let s = v.session_with_ranks(ranks);
+    let mut cfg = BtConfig::new(BtClass::C, ranks);
+    cfg.measured = 2;
+    let res = run_bt(&s, &cfg).expect("BT run");
+    assert!(res.verified);
+
+    // Scale the recorded (warmup + measured) iterations to the full run.
+    let simulated_iters = (cfg.warmup + cfg.measured) as u64;
+    let full = TrafficMatrix::capture(&s)
+        .scaled(BtClass::C.full_iterations() as u64, simulated_iters);
+
+    println!("{}", full.render());
+    let (src, dst, bytes) = full.max_pair();
+    println!(
+        "max pairwise traffic: rank{src} -> rank{dst}, {:.1} MB over {} iterations (paper: 'about 186 MB')",
+        bytes as f64 / 1e6,
+        BtClass::C.full_iterations()
+    );
+    println!(
+        "inter-device share: {:.1}% of {:.1} GB total; neighbour(radius 9) share {:.1}%",
+        full.inter_device_fraction() * 100.0,
+        full.total() as f64 / 1e9,
+        full.neighbour_fraction(9) * 100.0
+    );
+    assert!(
+        (50.0..400.0).contains(&(bytes as f64 / 1e6)),
+        "max pairwise traffic must be in the paper's order of magnitude"
+    );
+    assert!(full.neighbour_fraction(9) > 0.5, "the pattern must be neighbourhood-based");
+}

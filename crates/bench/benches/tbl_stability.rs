@@ -1,0 +1,73 @@
+//! §2.3 — instability of the FPGA fast write-acknowledge path.
+//!
+//! "This option has known stability issues, which prevents a tight
+//! coupling of more than two SCC devices and works only for applications
+//! with a moderate inter-device communication."
+//!
+//! The table streams a rising posted-write volume across a device pair
+//! under the fast-ack scheme for 2..5 coupled devices and reports lost
+//! acknowledges: stable at 2 devices, failing beyond — the reason the
+//! 2012 prototype could not scale and the motivation for the
+//! host-assisted schemes.
+
+use des::Sim;
+use vscc::{host::HostConfig, CommScheme, VsccBuilder};
+
+/// Stream `volume` bytes across one pair on an `n_devices` system with
+/// fast write-acks; returns (posted writes, lost acks).
+fn stream(n_devices: u8, volume: usize, seed: u64) -> (u64, u64) {
+    let sim = Sim::new();
+    let v = VsccBuilder::new(&sim, n_devices)
+        .scheme(CommScheme::RemotePutHwAck)
+        .host_config(HostConfig { seed, ..HostConfig::default() })
+        .build();
+    let a = v.devices[0].global(scc::geometry::CoreId(0));
+    let b = v.devices[1].global(scc::geometry::CoreId(0));
+    let s = v.session_builder().participants(vec![a, b]).build();
+    let msg = 7680usize.min(volume);
+    let msgs = volume / msg;
+    s.run_app(move |r| async move {
+        for _ in 0..msgs {
+            if r.id() == 0 {
+                r.send(&vec![3u8; msg], 1).await;
+            } else {
+                let mut buf = vec![0u8; msg];
+                r.recv(&mut buf, 0).await;
+            }
+        }
+    })
+    .expect("stability stream");
+    v.host.fastack.stats()
+}
+
+fn main() {
+    vscc_bench::banner(
+        "Table (stability)",
+        "fast write-ack: lost acknowledges vs device count and traffic volume",
+    );
+    let volumes = [1usize << 20, 4 << 20, 16 << 20];
+    println!(
+        "{}",
+        vscc_bench::header(
+            "devices",
+            &volumes.iter().map(|v| format!("{}MB", v >> 20)).collect::<Vec<_>>()
+        )
+    );
+
+    let mut failures_at = vec![0u64; 6];
+    for n in 2u8..=5 {
+        let mut row = Vec::new();
+        for (i, &vol) in volumes.iter().enumerate() {
+            let (_writes, lost) = stream(n, vol, 40 + i as u64);
+            failures_at[n as usize] += lost;
+            row.push(lost as f64);
+        }
+        println!("{}", vscc_bench::row(&format!("{n}"), &row));
+    }
+    println!("\n(each lost ack destabilizes the session; the paper's prototype could not recover)");
+    assert_eq!(failures_at[2], 0, "2-device coupling must be stable");
+    assert!(
+        failures_at[3] + failures_at[4] + failures_at[5] > 0,
+        ">=3 coupled devices must show instability under heavy traffic"
+    );
+}

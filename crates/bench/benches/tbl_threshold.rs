@@ -1,0 +1,83 @@
+//! §3.3 — the direct-transfer threshold.
+//!
+//! "Because programming the vDMA controller represents a certain
+//! overhead, to recover low latency for small messages we have defined a
+//! threshold for a core to directly transfer data, which is about 32 B to
+//! 128 B dependent on the communication scheme."
+//!
+//! This table measures one-way small-message latency with the threshold
+//! enabled (default) and disabled (every message programs the
+//! controller / triggers the prefetch), showing where the crossover sits.
+
+use std::rc::Rc;
+
+use des::Sim;
+use vscc::schemes::{CachedGetProtocol, VdmaProtocol};
+use vscc::{CommScheme, VsccBuilder};
+
+fn latency(scheme: CommScheme, threshold: usize, size: usize) -> f64 {
+    let sim = Sim::new();
+    let v = VsccBuilder::new(&sim, 2).scheme(scheme).build();
+    let a = v.devices[0].global(scc::geometry::CoreId(0));
+    let b = v.devices[1].global(scc::geometry::CoreId(0));
+    let proto: Rc<dyn rcce::PointToPoint> = match scheme {
+        CommScheme::LocalPutLocalGet => Rc::new(VdmaProtocol::with_threshold(threshold)),
+        CommScheme::LocalPutRemoteGet => {
+            Rc::new(CachedGetProtocol { direct_threshold: threshold, ..Default::default() })
+        }
+        _ => unreachable!("threshold applies to the explicit schemes"),
+    };
+    let s = v
+        .session_builder()
+        .participants(vec![a, b])
+        .interdevice_protocol(proto)
+        .build();
+    s.run_app(move |r| async move {
+        if r.id() == 0 {
+            r.send(&vec![1u8; size], 1).await;
+        } else {
+            let mut buf = vec![0u8; size];
+            r.recv(&mut buf, 0).await;
+        }
+    })
+    .expect("latency run");
+    // One-way latency in microseconds at 533 MHz.
+    sim.now() as f64 / 533.0
+}
+
+fn main() {
+    vscc_bench::banner(
+        "Table (threshold)",
+        "small-message one-way latency in us: direct transfer vs controller path",
+    );
+    let sizes = [16usize, 32, 64, 96, 128, 192, 256, 512];
+    for (scheme, default_thr) in [
+        (CommScheme::LocalPutLocalGet, 128usize),
+        (CommScheme::LocalPutRemoteGet, 96usize),
+    ] {
+        println!("\n{} (default threshold {default_thr} B)", scheme.name());
+        println!(
+            "{}",
+            vscc_bench::header(
+                "size",
+                &["direct on".into(), "direct off".into(), "speedup".into()]
+            )
+        );
+        for &size in &sizes {
+            let on = latency(scheme, default_thr, size);
+            let off = latency(scheme, 0, size);
+            println!(
+                "{}",
+                vscc_bench::row(&format!("{size:>5} B"), &[on, off, off / on])
+            );
+        }
+        // Below the threshold, the direct path must win clearly.
+        let on = latency(scheme, default_thr, 64);
+        let off = latency(scheme, 0, 64);
+        assert!(
+            on < off,
+            "{}: direct path must cut small-message latency",
+            scheme.name()
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared infrastructure for the figure/table regeneration harnesses.
+//!
+//! Every `cargo bench` target in this crate rebuilds one table or figure
+//! of the paper's evaluation (§4) and prints its rows/series; the
+//! `engine_micro` target additionally benchmarks the simulator itself with
+//! Criterion. Absolute numbers come from the calibrated simulation (see
+//! DESIGN.md §5); the *shapes* — orderings, ratios, crossovers — are the
+//! reproduction targets and are recorded in EXPERIMENTS.md.
+
+use std::sync::Mutex;
+
+/// Print a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("\n================================================================");
+    println!("{id}: {caption}");
+    println!("================================================================");
+}
+
+/// Format one numeric row with a label column.
+pub fn row(label: &str, values: &[f64]) -> String {
+    let mut s = format!("{label:<42}");
+    for v in values {
+        s.push_str(&format!(" {v:>9.2}"));
+    }
+    s
+}
+
+/// Format a header row.
+pub fn header(label: &str, columns: &[String]) -> String {
+    let mut s = format!("{label:<42}");
+    for c in columns {
+        s.push_str(&format!(" {c:>9}"));
+    }
+    s
+}
+
+/// Human-readable byte sizes for column headers.
+pub fn size_label(bytes: usize) -> String {
+    if bytes >= 1024 && bytes % 1024 == 0 {
+        format!("{}K", bytes / 1024)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+/// Run `f` over `items` on a small pool of OS threads (each simulation is
+/// an independent single-threaded world, so sweeps parallelize across
+/// cores); results come back in input order.
+pub fn parallel_sweep<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send + Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let out = Mutex::new(out);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                out.lock().expect("sweep mutex")[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep threads");
+    out.into_inner()
+        .expect("sweep mutex")
+        .into_iter()
+        .map(|r| r.expect("every sweep item computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_order() {
+        let items: Vec<u64> = (0..20).collect();
+        let out = parallel_sweep(items.clone(), |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_empty() {
+        let out: Vec<u64> = parallel_sweep(Vec::<u64>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(32), "32");
+        assert_eq!(size_label(8192), "8K");
+        assert_eq!(size_label(7680), "7680");
+    }
+
+    #[test]
+    fn row_formats_all_values() {
+        let r = row("x", &[1.0, 2.5]);
+        assert!(r.contains("1.00") && r.contains("2.50"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Asynchronous communication acceleration — the paper's stated future
+//! work (§5: "we plan to extend our communication concept to accelerate
+//! asynchronous communication").
+//!
+//! The blocking vDMA scheme makes the sender spin on its completion flag
+//! after programming the controller (§3.3), which "prevents a core of
+//! doing useful work as long as the copy operation is in progress". This
+//! extension removes that limitation for one-sided transfers: the core
+//! programs the controller and *returns immediately*; completion is
+//! observed later through the same on-chip flag, so compute and the
+//! tunnel transfer overlap.
+//!
+//! The primitive is a one-sided asynchronous put ([`AsyncVdma::start`])
+//! from a staged MPB slot into a remote rank's receive window, paired
+//! with a receiver-side arrival wait — the building block an asynchronous
+//! iRCCE layer would sit on.
+
+use rcce::layout;
+use rcce::protocol::flag_wait_reached;
+use rcce::Rcce;
+
+use crate::mmio;
+use crate::schemes::{DIRECT_MAX, DIRECT_OFF, VDMA_SLOT};
+
+/// Handle of one in-flight asynchronous vDMA transfer.
+pub struct AsyncTransfer {
+    /// Drain sequence: the sender's `vdma_done` flag reaches this value
+    /// once the source slot may be reused.
+    drain_seq: u8,
+    /// Arrival sequence at the destination's `sent[src]` flag.
+    arrival_seq: u8,
+    src_rank: usize,
+    /// Destination rank (for diagnostics).
+    pub dest_rank: usize,
+}
+
+impl AsyncTransfer {
+    /// The sequence the receiver's `sent[src]` counter reaches on arrival.
+    pub fn arrival_seq(&self) -> u8 {
+        self.arrival_seq
+    }
+}
+
+/// Asynchronous one-sided transfers over the virtual DMA controller.
+///
+/// The owner must be the *only* user of the vDMA slots on its rank while
+/// transfers are in flight (the synchronous [`crate::schemes::VdmaProtocol`]
+/// and this extension share the slot space — compose one of them per rank,
+/// as an asynchronous runtime would).
+pub struct AsyncVdma {
+    issued: std::cell::Cell<u8>,
+}
+
+impl Default for AsyncVdma {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AsyncVdma {
+    /// Fresh per-rank controller state.
+    pub fn new() -> Self {
+        AsyncVdma { issued: std::cell::Cell::new(0) }
+    }
+
+    /// Start an asynchronous transfer of `data` (at most one vDMA slot,
+    /// [`VDMA_SLOT`] bytes) to `dest`'s direct window. Returns right
+    /// after the fused register write — the controller works while the
+    /// core computes.
+    pub async fn start(&self, r: &Rcce, dest: usize, data: &[u8]) -> AsyncTransfer {
+        assert!(data.len() <= VDMA_SLOT.min(DIRECT_MAX), "one async transfer fills one slot");
+        assert!(
+            r.ctx().session.is_inter_device(r.id(), dest),
+            "the controller only serves inter-device transfers"
+        );
+        let ctx = r.ctx();
+        let my = ctx.who();
+        let peer = ctx.session.who(dest);
+        let gseq = self.issued.get().wrapping_add(1);
+        self.issued.set(gseq);
+        // Wait (usually instantly) until the slot we stage into drained.
+        flag_wait_reached(ctx, layout::vdma_done_flag(my), gseq.wrapping_sub(2)).await;
+        let slot = layout::payload(my, (gseq as usize % 2) * VDMA_SLOT);
+        ctx.core.put(slot, data).await;
+        let arrival_seq = {
+            let mut sc = ctx.sent_count.borrow_mut();
+            sc[dest] = sc[dest].wrapping_add(1);
+            sc[dest]
+        };
+        ctx.core
+            .mmio_write_fused(
+                mmio::REG_VDMA,
+                mmio::encode_vdma(
+                    slot.offset,
+                    peer,
+                    layout::payload(peer, DIRECT_OFF).offset,
+                    data.len(),
+                    arrival_seq,
+                    r.id() as u8,
+                    gseq,
+                ),
+            )
+            .await;
+        ctx.session.record_traffic(r.id(), dest, data.len() as u64);
+        AsyncTransfer { drain_seq: gseq, arrival_seq, src_rank: r.id(), dest_rank: dest }
+    }
+
+    /// Wait until the transfer's source slot drained (safe to start the
+    /// over-next transfer; with two slots, two may always be in flight).
+    pub async fn wait_local(&self, r: &Rcce, t: &AsyncTransfer) {
+        assert_eq!(t.src_rank, r.id());
+        flag_wait_reached(r.ctx(), layout::vdma_done_flag(r.who()), t.drain_seq).await;
+    }
+
+    /// Receiver side: wait for the transfer's arrival and copy it out of
+    /// the direct window.
+    pub async fn wait_arrival(r: &Rcce, src: usize, seq: u8, buf: &mut [u8]) {
+        assert!(buf.len() <= DIRECT_MAX);
+        let ctx = r.ctx();
+        ctx.inbound_lock.lock().await;
+        flag_wait_reached(ctx, layout::sent_flag(r.who(), src), seq).await;
+        ctx.core.cl1invmb().await;
+        ctx.core.get(layout::payload(r.who(), DIRECT_OFF), buf).await;
+        ctx.recv_count.borrow_mut()[src] = seq;
+        ctx.inbound_lock.unlock();
+    }
+
+    /// Transfers issued so far.
+    pub fn issued(&self) -> u8 {
+        self.issued.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommScheme, VsccBuilder};
+    use des::Sim;
+
+    fn pair() -> (Sim, rcce::Session) {
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet).build();
+        let a = v.devices[0].global(scc::geometry::CoreId(0));
+        let b = v.devices[1].global(scc::geometry::CoreId(0));
+        (sim.clone(), v.session_builder().participants(vec![a, b]).build())
+    }
+
+    #[test]
+    fn async_put_delivers() {
+        let (_sim, s) = pair();
+        s.run_app(|r| async move {
+            if r.id() == 0 {
+                let vdma = AsyncVdma::new();
+                let t = vdma.start(&r, 1, &[0xCD; 200]).await;
+                vdma.wait_local(&r, &t).await;
+                assert_eq!(t.arrival_seq(), 1);
+            } else {
+                let mut buf = [0u8; 200];
+                AsyncVdma::wait_arrival(&r, 0, 1, &mut buf).await;
+                assert_eq!(buf, [0xCD; 200]);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn compute_overlaps_transfer() {
+        // The async start must return long before the synchronous send
+        // would: compare total time of (start + compute) against
+        // (blocking send + compute) for the same payload.
+        let run = |asynchronous: bool| -> u64 {
+            let (sim, s) = pair();
+            s.run_app(move |r| async move {
+                let payload = vec![7u8; 200];
+                if r.id() == 0 {
+                    if asynchronous {
+                        let vdma = AsyncVdma::new();
+                        let t = vdma.start(&r, 1, &payload).await;
+                        r.compute(40_000).await; // overlaps the tunnel
+                        vdma.wait_local(&r, &t).await;
+                    } else {
+                        r.send(&payload, 1).await;
+                        r.compute(40_000).await;
+                    }
+                } else if asynchronous {
+                    let mut buf = vec![0u8; 200];
+                    AsyncVdma::wait_arrival(&r, 0, 1, &mut buf).await;
+                } else {
+                    let mut buf = vec![0u8; 200];
+                    r.recv(&mut buf, 0).await;
+                }
+            })
+            .unwrap();
+            sim.now()
+        };
+        let t_async = run(true);
+        let t_sync = run(false);
+        assert!(
+            t_async < t_sync,
+            "asynchronous overlap ({t_async}) must beat blocking ({t_sync})"
+        );
+    }
+
+    #[test]
+    fn pipelined_async_stream() {
+        // Two transfers in flight using the two slots; receiver drains in
+        // order.
+        let (_sim, s) = pair();
+        s.run_app(|r| async move {
+            const N: u8 = 6;
+            if r.id() == 0 {
+                let vdma = AsyncVdma::new();
+                let mut pending = std::collections::VecDeque::new();
+                for i in 0..N {
+                    let t = vdma.start(&r, 1, &[i + 1; 64]).await;
+                    pending.push_back(t);
+                    if pending.len() == 2 {
+                        let t = pending.pop_front().expect("non-empty");
+                        vdma.wait_local(&r, &t).await;
+                    }
+                }
+                for t in pending {
+                    vdma.wait_local(&r, &t).await;
+                }
+            } else {
+                for i in 0..N {
+                    let mut buf = [0u8; 64];
+                    AsyncVdma::wait_arrival(&r, 0, i + 1, &mut buf).await;
+                    assert_eq!(buf, [i + 1; 64]);
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "inter-device")]
+    fn onchip_rejected() {
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet).build();
+        let s = v.session_builder().cores_per_device(2).build();
+        let _ = s.run_app(|r| async move {
+            if r.id() == 0 {
+                let vdma = AsyncVdma::new();
+                let _ = vdma.start(&r, 1, &[0; 8]).await; // same device: panic
+            }
+        });
+    }
+}

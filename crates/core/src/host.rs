@@ -1,0 +1,518 @@
+//! The host communication task (§3.2) and the off-chip fabric it provides.
+//!
+//! [`HostSide`] is what gets plugged into every device as its
+//! [`RemoteFabric`]. It implements, in one place, everything the paper's
+//! multithreaded driver daemon does:
+//!
+//! * **classification** of incoming requests into synchronization-flag
+//!   and communication-buffer accesses (§3.1) — flags bypass all buffers
+//!   and are forwarded with an immediate host acknowledge; buffer traffic
+//!   is handled per the active [`CommScheme`];
+//! * the **transparent routing** path of the 2012 prototype (per-32 B-line
+//!   store-and-forward round trips) as the baseline;
+//! * the FPGA **fast write-acknowledge** path with its instability;
+//! * the host **write-combining buffer** (remote-put scheme);
+//! * the **software cache** with prefetch and explicit consistency
+//!   control (local-put / remote-get scheme);
+//! * the **virtual DMA controller** (local-put / local-get scheme),
+//!   with one daemon worker per device processing MMIO commands in order.
+
+use std::cell::RefCell;
+use std::rc::{Rc, Weak};
+
+use des::channel::{unbounded, Receiver, Sender};
+use des::stats::Counter;
+use des::Sim;
+use pcie::{FastAck, HostFabric, PcieModel};
+use rcce::layout::{self, OFF_PAYLOAD};
+use scc::device::SccDevice;
+use scc::geometry::{DeviceId, GlobalCore, MpbAddr};
+use scc::remote::{LocalBoxFuture, RegisterLine, RemoteFabric};
+use scc::LINE_BYTES;
+
+use crate::hostwcb::HostWcb;
+use crate::mmio::{self, HostCmd};
+use crate::schemes::CommScheme;
+use crate::swcache::SwCache;
+
+/// Tunables of the communication task.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// PCIe/SIF timing model.
+    pub model: PcieModel,
+    /// vDMA / prefetch transfer granularity in bytes.
+    pub dma_chunk: usize,
+    /// Host write-combining buffer granularity in bytes.
+    pub wcb_granularity: usize,
+    /// Enable the FPGA fast write-acknowledge path.
+    pub fast_ack: bool,
+    /// Seed for fault injection.
+    pub seed: u64,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            model: PcieModel::default(),
+            dma_chunk: 1024,
+            wcb_granularity: 1024,
+            fast_ack: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Counters the experiments inspect.
+#[derive(Clone, Default)]
+pub struct HostStats {
+    /// Routed per-line round trips served.
+    pub routed_lines: Counter,
+    /// Flag writes forwarded.
+    pub flag_forwards: Counter,
+    /// vDMA copy commands executed.
+    pub vdma_ops: Counter,
+    /// Cache prefetch (update) operations executed.
+    pub cache_updates: Counter,
+    /// Direct small-message writes forwarded.
+    pub direct_writes: Counter,
+}
+
+/// The communication task and fabric.
+pub struct HostSide {
+    sim: Sim,
+    /// PCIe ports and host memory.
+    pub fabric: HostFabric,
+    /// Active inter-device communication scheme.
+    pub scheme: CommScheme,
+    /// The software cache (local-put / remote-get).
+    pub cache: SwCache,
+    /// The host write-combining buffer (remote-put).
+    pub wcb: HostWcb,
+    /// Fast write-ack emulation state.
+    pub fastack: FastAck,
+    /// Operation counters.
+    pub stats: HostStats,
+    cfg: HostConfig,
+    me: Weak<HostSide>,
+    devices: RefCell<Vec<Weak<SccDevice>>>,
+    registered: RefCell<std::collections::HashMap<GlobalCore, (u16, usize)>>,
+    workers: RefCell<Vec<Sender<HostCmd>>>,
+}
+
+impl HostSide {
+    /// Create the host side for `n_devices` devices with `scheme` active,
+    /// then [`HostSide::attach`] the devices.
+    pub fn new(sim: &Sim, n_devices: u8, scheme: CommScheme, cfg: HostConfig) -> Rc<Self> {
+        let fabric = HostFabric::new(cfg.model.clone(), n_devices);
+        let fast = cfg.fast_ack || scheme == CommScheme::RemotePutHwAck;
+        Rc::new_cyclic(|me| HostSide {
+            sim: sim.clone(),
+            fabric,
+            scheme,
+            cache: SwCache::new(),
+            wcb: HostWcb::new(cfg.wcb_granularity),
+            fastack: FastAck::new(fast, n_devices as usize, cfg.seed),
+            stats: HostStats::default(),
+            cfg,
+            me: me.clone(),
+            devices: RefCell::new(Vec::new()),
+            registered: RefCell::new(std::collections::HashMap::new()),
+            workers: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Wire the devices to this host: installs `self` as each device's
+    /// fabric and spawns one daemon worker per device.
+    pub fn attach(self: &Rc<Self>, devices: &[Rc<SccDevice>]) {
+        *self.devices.borrow_mut() = devices.iter().map(Rc::downgrade).collect();
+        let mut workers = self.workers.borrow_mut();
+        for dev in devices {
+            dev.set_fabric(self.clone() as Rc<dyn RemoteFabric>);
+            let (tx, rx) = unbounded();
+            workers.push(tx);
+            let host = self.clone();
+            let id = dev.id;
+            self.sim.spawn_daemon(format!("commtask-d{}", id.0), async move {
+                host.worker_loop(id, rx).await;
+            });
+        }
+    }
+
+    fn device(&self, id: DeviceId) -> Rc<SccDevice> {
+        self.devices.borrow()[id.0 as usize]
+            .upgrade()
+            .expect("device dropped while host running")
+    }
+
+    /// The configured DMA chunk size.
+    pub fn dma_chunk(&self) -> usize {
+        self.cfg.dma_chunk
+    }
+
+    fn is_payload(addr: MpbAddr) -> bool {
+        addr.offset >= OFF_PAYLOAD
+    }
+
+    /// A registered buffer covers `addr` (classification table, §3.1).
+    pub fn is_registered(&self, addr: MpbAddr, len: usize) -> bool {
+        self.registered
+            .borrow()
+            .get(&addr.owner)
+            .map(|&(off, rlen)| addr.offset >= off && addr.offset as usize + len <= off as usize + rlen)
+            .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Daemon workers
+    // ------------------------------------------------------------------
+
+    async fn worker_loop(self: Rc<Self>, _device: DeviceId, rx: Receiver<HostCmd>) {
+        while let Some(cmd) = rx.recv().await {
+            match cmd {
+                HostCmd::CacheUpdate { owner, offset, len } => {
+                    self.do_cache_update(owner, offset, len).await;
+                }
+                HostCmd::VdmaStart { src, src_off, dst, dst_off, len, seq, src_rank, drain_seq } => {
+                    self.do_vdma(src, src_off, dst, dst_off, len, seq, src_rank, drain_seq).await;
+                }
+                // Handled synchronously at MMIO arrival; never queued.
+                HostCmd::CacheInvalidate { .. } | HostCmd::RegisterBuffer { .. } => {}
+            }
+        }
+    }
+
+    /// Prefetch `owner`'s MPB range into the software cache (DMA
+    /// device → host), streaming chunk by chunk so overlapping reads can
+    /// be answered "in parallel after a warmup phase" (§3.2).
+    async fn do_cache_update(&self, owner: GlobalCore, offset: u16, len: usize) {
+        let sim = &self.sim;
+        let port = self.fabric.port(owner.device);
+        for (lo, hi) in rcce::protocol::chunk_ranges(len, self.cfg.dma_chunk) {
+            port.egress.transfer(sim, self.cfg.model.host_dma_bytes((hi - lo) as u64)).await;
+            self.fabric.host_mem.reserve(sim, (hi - lo) as u64);
+            let mut buf = vec![0u8; hi - lo];
+            self.device(owner.device)
+                .mpb(owner.core)
+                .read(offset as usize + lo, &mut buf);
+            self.cache.install(owner, offset + lo as u16, &buf);
+        }
+        self.cache.finish_update(owner);
+        self.stats.cache_updates.inc();
+    }
+
+    /// Execute one vDMA copy: `src` MPB → host → `dst` MPB, pipelined at
+    /// the DMA chunk granularity; on completion write `seq` into
+    /// `sent[src_rank]` at the destination (data-available signal).
+    #[allow(clippy::too_many_arguments)]
+    async fn do_vdma(
+        &self,
+        src: GlobalCore,
+        src_off: u16,
+        dst: GlobalCore,
+        dst_off: u16,
+        len: usize,
+        seq: u8,
+        src_rank: u8,
+        drain_seq: u8,
+    ) {
+        assert_ne!(src.device, dst.device, "vDMA serves inter-device copies only");
+        let sim = &self.sim;
+        // Descriptor setup in the daemon before any wire activity.
+        sim.delay(self.cfg.model.dma_descriptor_cycles).await;
+        let sport = self.fabric.port(src.device);
+        let dport = self.fabric.port(dst.device);
+        // The sender's slot is stable until the receiver re-grants it, so
+        // the bytes can be captured up front; timing comes from the link
+        // reservations. Drain (device→host) and delivery (host→device)
+        // chunks interleave through the FIFO reservations — the
+        // communication task's pipelining effect (§4.1).
+        let mut data = vec![0u8; len];
+        self.device(src.device).mpb(src.core).read(src_off as usize, &mut data);
+        let mut drain_arrival = sim.now();
+        let mut last_arrival = sim.now();
+        for (lo, hi) in rcce::protocol::chunk_ranges(len, self.cfg.dma_chunk) {
+            let wire = self.cfg.model.host_dma_bytes((hi - lo) as u64);
+            drain_arrival = sport.egress.reserve(sim, wire);
+            self.fabric.host_mem.reserve(sim, (hi - lo) as u64);
+            last_arrival = dport.ingress.reserve(sim, wire);
+        }
+        // Raise the sender's drain flag the moment the source slot has
+        // been pulled to the host: the core busy-waits on it before
+        // reusing the slot (§3.3).
+        {
+            let host = self.rc_self();
+            let sim2 = sim.clone();
+            sim.spawn_named("vdma-drain-flag", async move {
+                sim2.delay_until(drain_arrival).await;
+                let arr = host.fabric.port(src.device).ingress.reserve(&sim2, LINE_BYTES as u64);
+                sim2.delay_until(arr).await;
+                host.device(src.device)
+                    .mpb(src.core)
+                    .write_byte(layout::OFF_VDMA_DONE as usize, drain_seq);
+            });
+        }
+        sim.delay_until(last_arrival.max(drain_arrival)).await;
+        self.device(dst.device).mpb(dst.core).write(dst_off as usize, &data);
+        // Completion flag travels as one more line on the same port.
+        let flag_arrival = dport.ingress.reserve(sim, LINE_BYTES as u64);
+        sim.delay_until(flag_arrival).await;
+        self.device(dst.device)
+            .mpb(dst.core)
+            .write_byte(layout::sent_flag(dst, src_rank as usize).offset as usize, seq);
+        self.stats.vdma_ops.inc();
+    }
+
+    /// Forward a classified flag write to its device, preserving order
+    /// behind any buffered WCB data for the same destination.
+    fn forward_flag(self: &Rc<Self>, addr: MpbAddr, data: Vec<u8>) {
+        let sim = self.sim.clone();
+        let host = self.clone();
+        self.stats.flag_forwards.inc();
+        // Ordering: drain WCB runs for this destination *before* reserving
+        // the flag's slot on the ingress link.
+        let runs = if self.scheme == CommScheme::RemotePutWcb {
+            self.wcb.drain(addr.owner)
+        } else {
+            Vec::new()
+        };
+        let port = self.fabric.port(addr.owner.device);
+        let mut run_arrivals = Vec::with_capacity(runs.len());
+        for run in &runs {
+            self.fabric.host_mem.reserve(&sim, run.data.len() as u64);
+            run_arrivals.push(port.ingress.reserve(&sim, run.data.len() as u64));
+        }
+        let flag_arrival = port.ingress.reserve(&sim, data.len().max(1) as u64);
+        self.sim.spawn_named("flag-forward", async move {
+            let dev = host.device(addr.owner.device);
+            for (run, arr) in runs.into_iter().zip(run_arrivals) {
+                sim.delay_until(arr).await;
+                dev.mpb(addr.owner.core).write(run.offset as usize, &run.data);
+            }
+            sim.delay_until(flag_arrival).await;
+            dev.mpb(addr.owner.core).write(addr.offset as usize, &data);
+        });
+    }
+
+    /// Deliver a payload write (posted fast path): reserve the target
+    /// ingress now, install the bytes at arrival.
+    fn deliver_payload(self: &Rc<Self>, addr: MpbAddr, data: Vec<u8>) {
+        let sim = self.sim.clone();
+        let host = self.clone();
+        self.fabric.host_mem.reserve(&sim, data.len() as u64);
+        let arrival = self.fabric.port(addr.owner.device).ingress.reserve(&sim, data.len() as u64);
+        self.sim.spawn_named("payload-forward", async move {
+            sim.delay_until(arrival).await;
+            host.device(addr.owner.device)
+                .mpb(addr.owner.core)
+                .write(addr.offset as usize, &data);
+        });
+    }
+
+    /// One fully transparent routed line round trip (the 2012 baseline).
+    async fn routed_round_trip(&self, requester: DeviceId, target: DeviceId) {
+        let sim = &self.sim;
+        let m = &self.cfg.model;
+        let rport = self.fabric.port(requester);
+        let tport = self.fabric.port(target);
+        // Request: requester SIF out -> daemon -> target SIF in.
+        rport.egress.transfer(sim, LINE_BYTES as u64).await;
+        sim.delay(m.sw_forward_cycles).await;
+        tport.ingress.transfer(sim, LINE_BYTES as u64).await;
+        // Response: target SIF out -> daemon -> requester SIF in.
+        tport.egress.transfer(sim, LINE_BYTES as u64).await;
+        sim.delay(m.sw_forward_cycles).await;
+        rport.ingress.transfer(sim, LINE_BYTES as u64).await;
+        self.stats.routed_lines.inc();
+    }
+}
+
+impl RemoteFabric for HostSide {
+    fn read(&self, src: GlobalCore, addr: MpbAddr, len: usize) -> LocalBoxFuture<'_, Vec<u8>> {
+        Box::pin(async move {
+            let sim = self.sim.clone();
+            let cached_mode =
+                self.scheme == CommScheme::LocalPutRemoteGet && Self::is_payload(addr);
+            if cached_mode {
+                // Chunked read answered from the software cache: one
+                // request line out, then the payload streamed back in,
+                // sub-chunk by sub-chunk, overlapping an in-flight
+                // prefetch of the same range.
+                let rport = self.fabric.port(src.device);
+                rport.egress.transfer(&sim, LINE_BYTES as u64).await;
+                sim.delay(self.cfg.model.sw_answer_cycles).await;
+                let mut out = vec![0u8; len];
+                let mut last_arrival = sim.now();
+                for (lo, hi) in rcce::protocol::chunk_ranges(len, self.cfg.dma_chunk) {
+                    let off = addr.offset + lo as u16;
+                    self.cache.wait_range_or_settled(addr.owner, off, hi - lo).await;
+                    let data = match self.cache.read(addr.owner, off, hi - lo) {
+                        Some(d) => d,
+                        None => {
+                            // Cold miss: fetch from the owning device.
+                            self.cache.begin_update(addr.owner);
+                            self.do_cache_update(addr.owner, off, hi - lo).await;
+                            self.cache
+                                .read(addr.owner, off, hi - lo)
+                                .expect("range valid right after update")
+                        }
+                    };
+                    out[lo..hi].copy_from_slice(&data);
+                    // Core-initiated read completions take the native
+                    // packet path (no host-DMA penalty).
+                    last_arrival = rport.ingress.reserve(&sim, (hi - lo) as u64);
+                }
+                sim.delay_until(last_arrival).await;
+                out
+            } else {
+                // Transparent routing: one blocking round trip per line.
+                let n_lines = len.div_ceil(LINE_BYTES).max(1);
+                for _ in 0..n_lines {
+                    self.routed_round_trip(src.device, addr.owner.device).await;
+                }
+                let mut buf = vec![0u8; len];
+                self.device(addr.owner.device)
+                    .mpb(addr.owner.core)
+                    .read(addr.offset as usize, &mut buf);
+                buf
+            }
+        })
+    }
+
+    fn write(&self, src: GlobalCore, addr: MpbAddr, data: Vec<u8>) -> LocalBoxFuture<'_, ()> {
+        // The borrow-checker friendly clone: `self` methods that spawn need
+        // an Rc; fabricate one from the registry.
+        Box::pin(async move {
+            let this = self.rc_self();
+            let sim = self.sim.clone();
+            if !Self::is_payload(addr) {
+                // Synchronization class: host acks immediately (§3.1),
+                // then forwards.
+                let sport = self.fabric.port(src.device);
+                sport.egress.transfer(&sim, LINE_BYTES as u64).await;
+                sim.delay(self.cfg.model.sw_answer_cycles).await;
+                this.forward_flag(addr, data);
+                return;
+            }
+            match self.scheme {
+                CommScheme::SimpleRouting => {
+                    // Write-with-acknowledge per line: full round trips.
+                    let n_lines = data.len().div_ceil(LINE_BYTES).max(1);
+                    for _ in 0..n_lines {
+                        self.routed_round_trip(src.device, addr.owner.device).await;
+                    }
+                    self.device(addr.owner.device)
+                        .mpb(addr.owner.core)
+                        .write(addr.offset as usize, &data);
+                }
+                CommScheme::RemotePutHwAck => {
+                    // Posted line writes with FPGA auto-acks: the sender
+                    // only pays wire occupancy, and the bridge cuts the
+                    // stream through to the target device line by line.
+                    let sport = self.fabric.port(src.device);
+                    let mut lost = 0u32;
+                    for _ in 0..data.len().div_ceil(LINE_BYTES).max(1) {
+                        if self.fastack.on_posted_write() {
+                            lost += 1;
+                        }
+                    }
+                    let r = sport.egress.reserve_timed(&sim, data.len() as u64);
+                    this.deliver_payload(addr, data);
+                    // A lost ack stalls the SIF for a recovery round trip.
+                    let penalty = lost as u64 * self.cfg.model.routed_line_round_trip();
+                    sim.delay_until(r.wire_free + penalty).await;
+                }
+                CommScheme::RemotePutWcb => {
+                    // Posted into the host write-combining buffer; the
+                    // task flushes each complete granule as it fills, so
+                    // granule delivery pipelines with the sender's stream.
+                    let sport = self.fabric.port(src.device);
+                    let mut wire_free = sim.now();
+                    for (lo, hi) in
+                        rcce::protocol::chunk_ranges(data.len(), self.wcb.granularity())
+                    {
+                        let r = sport.egress.reserve_timed(&sim, (hi - lo) as u64);
+                        wire_free = r.wire_free;
+                        let ready =
+                            self.wcb.append(addr.owner, addr.offset + lo as u16, &data[lo..hi]);
+                        for run in ready {
+                            let a = MpbAddr::new(addr.owner, run.offset);
+                            this.deliver_payload(a, run.data);
+                        }
+                    }
+                    sim.delay_until(wire_free).await;
+                }
+                CommScheme::LocalPutRemoteGet | CommScheme::LocalPutLocalGet => {
+                    // Only the small-message direct path writes payload
+                    // remotely under these schemes: host-acked forward.
+                    let sport = self.fabric.port(src.device);
+                    sport.egress.transfer(&sim, data.len() as u64).await;
+                    sim.delay(self.cfg.model.sw_answer_cycles).await;
+                    self.stats.direct_writes.inc();
+                    this.deliver_payload(addr, data);
+                }
+            }
+        })
+    }
+
+    fn mmio_write(&self, line: RegisterLine) -> LocalBoxFuture<'_, ()> {
+        Box::pin(async move {
+            let sim = self.sim.clone();
+            // One fused 32 B transaction to the host register window.
+            let port = self.fabric.port(line.src.device);
+            port.egress.transfer(&sim, LINE_BYTES as u64).await;
+            let Some(cmd) = mmio::decode(&line) else {
+                // Writes to undefined register lines are absorbed like
+                // scratch MMIO space (and still cost the transaction).
+                return;
+            };
+            match cmd {
+                HostCmd::RegisterBuffer { owner, offset, len } => {
+                    self.registered.borrow_mut().insert(owner, (offset, len));
+                }
+                HostCmd::CacheInvalidate { owner, offset, len } => {
+                    self.cache.invalidate(owner, offset, len);
+                }
+                HostCmd::CacheUpdate { owner, .. } => {
+                    // Mark in flight *now* so reads ordered after this
+                    // MMIO write wait for the prefetch.
+                    self.cache.begin_update(owner);
+                    self.workers.borrow()[line.src.device.0 as usize]
+                        .try_send(cmd)
+                        .ok()
+                        .expect("worker queue is unbounded");
+                }
+                HostCmd::VdmaStart { .. } => {
+                    self.workers.borrow()[line.src.device.0 as usize]
+                        .try_send(cmd)
+                        .ok()
+                        .expect("worker queue is unbounded");
+                }
+            }
+        })
+    }
+
+    fn mmio_read(&self, src: GlobalCore, _line: u16) -> LocalBoxFuture<'_, [u8; LINE_BYTES]> {
+        Box::pin(async move {
+            let sim = self.sim.clone();
+            let port = self.fabric.port(src.device);
+            port.egress.transfer(&sim, LINE_BYTES as u64).await;
+            sim.delay(self.cfg.model.sw_answer_cycles).await;
+            port.ingress.transfer(&sim, LINE_BYTES as u64).await;
+            // Status register: operation counters for diagnostics.
+            scc::remote::pack_vdma_line(
+                self.stats.vdma_ops.get(),
+                self.stats.cache_updates.get(),
+                self.stats.flag_forwards.get(),
+                self.stats.routed_lines.get(),
+            )
+        })
+    }
+}
+
+impl HostSide {
+    /// Trait methods only see `&self`; the stored self-weak lets them
+    /// spawn owning forwarder tasks.
+    fn rc_self(&self) -> Rc<Self> {
+        self.me.upgrade().expect("HostSide alive while its methods run")
+    }
+}

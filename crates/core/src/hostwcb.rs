@@ -1,0 +1,184 @@
+//! The host write-combining buffer for the remote-put scheme (§3.3,
+//! Fig. 4c).
+//!
+//! In this scheme the sender writes its message "directly to the host
+//! located intermediate buffer"; the communication task then copies the
+//! data "in a certain granularity" to the MPB of the remote device. The
+//! buffer therefore accumulates per (destination core) streams and flushes
+//! either when the configured granularity fills or when ordering demands
+//! it (a synchronization-flag write to the same destination must not
+//! overtake buffered data).
+//!
+//! The buffer assumes each destination receives a *linear* stream (the
+//! sender emits chunk bytes in address order, as the remote-put protocol
+//! does); runs that overlap are not re-ordered against already-flushed
+//! granules — the same limitation a hardware write-combining buffer has.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use des::stats::Counter;
+use scc::{GlobalCore, MPB_BYTES};
+
+/// One buffered contiguous write run for a destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingRun {
+    /// Destination MPB offset of the first byte.
+    pub offset: u16,
+    /// Buffered bytes.
+    pub data: Vec<u8>,
+}
+
+#[derive(Default)]
+struct State {
+    pending: HashMap<GlobalCore, Vec<PendingRun>>,
+}
+
+/// The write-combining buffer.
+#[derive(Clone)]
+pub struct HostWcb {
+    state: Rc<RefCell<State>>,
+    granularity: usize,
+    flushes: Counter,
+    merges: Counter,
+}
+
+impl HostWcb {
+    /// Create a buffer flushing at `granularity` bytes per destination.
+    pub fn new(granularity: usize) -> Self {
+        assert!(granularity > 0 && granularity <= MPB_BYTES);
+        HostWcb {
+            state: Rc::new(RefCell::new(State::default())),
+            granularity,
+            flushes: Counter::new(),
+            merges: Counter::new(),
+        }
+    }
+
+    /// The flush granularity in bytes.
+    pub fn granularity(&self) -> usize {
+        self.granularity
+    }
+
+    /// Buffer `data` headed for `dst` at `offset`. Returns the runs that
+    /// became ready to flush (granularity reached), in arrival order.
+    pub fn append(&self, dst: GlobalCore, offset: u16, data: &[u8]) -> Vec<PendingRun> {
+        let mut st = self.state.borrow_mut();
+        let runs = st.pending.entry(dst).or_default();
+        // Merge with the last run when contiguous (the combining part).
+        match runs.last_mut() {
+            Some(last) if last.offset as usize + last.data.len() == offset as usize => {
+                last.data.extend_from_slice(data);
+                self.merges.inc();
+            }
+            _ => runs.push(PendingRun { offset, data: data.to_vec() }),
+        }
+        // Flush every complete granule.
+        let mut ready = Vec::new();
+        let mut kept = Vec::new();
+        for mut run in runs.drain(..) {
+            while run.data.len() >= self.granularity {
+                let rest = run.data.split_off(self.granularity);
+                ready.push(PendingRun { offset: run.offset, data: run.data });
+                run = PendingRun { offset: run.offset + self.granularity as u16, data: rest };
+            }
+            if !run.data.is_empty() {
+                kept.push(run);
+            }
+        }
+        *runs = kept;
+        self.flushes.add(ready.len() as u64);
+        ready
+    }
+
+    /// Drain everything buffered for `dst` (ordering flush before a flag
+    /// write, or end of message).
+    pub fn drain(&self, dst: GlobalCore) -> Vec<PendingRun> {
+        let out = self.state.borrow_mut().pending.remove(&dst).unwrap_or_default();
+        self.flushes.add(out.len() as u64);
+        out
+    }
+
+    /// Buffered bytes currently held for `dst`.
+    pub fn buffered(&self, dst: GlobalCore) -> usize {
+        self.state
+            .borrow()
+            .pending
+            .get(&dst)
+            .map(|runs| runs.iter().map(|r| r.data.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// (granule flushes emitted, contiguous merges).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.flushes.get(), self.merges.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dst() -> GlobalCore {
+        GlobalCore::new(2, 3)
+    }
+
+    #[test]
+    fn small_writes_accumulate() {
+        let w = HostWcb::new(1024);
+        assert!(w.append(dst(), 512, &[1; 100]).is_empty());
+        assert!(w.append(dst(), 612, &[2; 100]).is_empty());
+        assert_eq!(w.buffered(dst()), 200);
+        assert_eq!(w.stats().1, 1, "contiguous append must merge");
+    }
+
+    #[test]
+    fn granularity_reached_emits_flush() {
+        let w = HostWcb::new(256);
+        let ready = w.append(dst(), 512, &[7; 600]);
+        assert_eq!(ready.len(), 2);
+        assert_eq!(ready[0].offset, 512);
+        assert_eq!(ready[0].data.len(), 256);
+        assert_eq!(ready[1].offset, 768);
+        assert_eq!(w.buffered(dst()), 600 - 512);
+    }
+
+    #[test]
+    fn drain_returns_remainder_in_order() {
+        let w = HostWcb::new(1024);
+        w.append(dst(), 512, &[1; 10]);
+        w.append(dst(), 700, &[2; 10]); // non-contiguous: second run
+        let runs = w.drain(dst());
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].offset, 512);
+        assert_eq!(runs[1].offset, 700);
+        assert_eq!(w.buffered(dst()), 0);
+    }
+
+    #[test]
+    fn destinations_are_independent() {
+        let w = HostWcb::new(1024);
+        let other = GlobalCore::new(3, 0);
+        w.append(dst(), 512, &[1; 50]);
+        w.append(other, 512, &[2; 60]);
+        assert_eq!(w.buffered(dst()), 50);
+        assert_eq!(w.buffered(other), 60);
+        w.drain(dst());
+        assert_eq!(w.buffered(other), 60);
+    }
+
+    #[test]
+    fn flush_preserves_bytes_exactly() {
+        let w = HostWcb::new(128);
+        let payload: Vec<u8> = (0..200u8).collect();
+        let mut got = w.append(dst(), 512, &payload);
+        got.extend(w.drain(dst()));
+        let mut reassembled = vec![0u8; 200];
+        for run in got {
+            let off = run.offset as usize - 512;
+            reassembled[off..off + run.data.len()].copy_from_slice(&run.data);
+        }
+        assert_eq!(reassembled, payload);
+    }
+}

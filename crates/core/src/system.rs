@@ -1,0 +1,365 @@
+//! Building complete vSCC systems: devices + host + communication task +
+//! RCCE session wiring.
+
+use std::rc::Rc;
+
+use des::Sim;
+use rcce::{PipelinedProtocol, Session, SessionBuilder};
+use scc::device::{BootConfig, SccDevice};
+use scc::geometry::DeviceId;
+
+use crate::host::{HostConfig, HostSide};
+use crate::schemes::CommScheme;
+
+/// Which protocol same-device pairs use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnchipProtocol {
+    /// RCCE's default blocking protocol.
+    Blocking,
+    /// iRCCE's pipelined protocol.
+    Pipelined,
+}
+
+/// Builder for a [`Vscc`] system.
+pub struct VsccBuilder {
+    sim: Sim,
+    n_devices: u8,
+    scheme: CommScheme,
+    onchip: OnchipProtocol,
+    boot: BootConfig,
+    host_cfg: HostConfig,
+}
+
+impl VsccBuilder {
+    /// A system of `n_devices` SCC devices (the paper's flagship has 5).
+    pub fn new(sim: &Sim, n_devices: u8) -> Self {
+        assert!((1..=5).contains(&n_devices), "the host takes 1..=5 PCIe expansion slots");
+        VsccBuilder {
+            sim: sim.clone(),
+            n_devices,
+            scheme: CommScheme::LocalPutLocalGet,
+            onchip: OnchipProtocol::Blocking,
+            boot: BootConfig::default(),
+            host_cfg: HostConfig::default(),
+        }
+    }
+
+    /// Select the inter-device communication scheme.
+    pub fn scheme(mut self, scheme: CommScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Select the on-chip protocol.
+    pub fn onchip(mut self, p: OnchipProtocol) -> Self {
+        self.onchip = p;
+        self
+    }
+
+    /// Configure boot-time core-failure injection.
+    pub fn boot(mut self, cfg: BootConfig) -> Self {
+        self.boot = cfg;
+        self
+    }
+
+    /// Replace the host/communication-task configuration.
+    pub fn host_config(mut self, cfg: HostConfig) -> Self {
+        self.host_cfg = cfg;
+        self
+    }
+
+    /// Set the vDMA / prefetch chunk size (ablation knob).
+    pub fn dma_chunk(mut self, bytes: usize) -> Self {
+        self.host_cfg.dma_chunk = bytes;
+        self
+    }
+
+    /// Set the host WCB flush granularity (ablation knob).
+    pub fn wcb_granularity(mut self, bytes: usize) -> Self {
+        self.host_cfg.wcb_granularity = bytes;
+        self
+    }
+
+    /// Build devices, boot them, start the communication task.
+    pub fn build(self) -> Vscc {
+        let devices: Vec<Rc<SccDevice>> =
+            (0..self.n_devices).map(|d| SccDevice::new(&self.sim, DeviceId(d))).collect();
+        for dev in &devices {
+            dev.boot(&self.boot);
+        }
+        let host = HostSide::new(&self.sim, self.n_devices, self.scheme, self.host_cfg);
+        host.attach(&devices);
+        Vscc { sim: self.sim, devices, host, scheme: self.scheme, onchip: self.onchip }
+    }
+}
+
+/// A running vSCC system.
+pub struct Vscc {
+    /// The simulation clock.
+    pub sim: Sim,
+    /// The SCC devices, in id order.
+    pub devices: Vec<Rc<SccDevice>>,
+    /// The host communication task / fabric.
+    pub host: Rc<HostSide>,
+    /// The active inter-device scheme.
+    pub scheme: CommScheme,
+    onchip: OnchipProtocol,
+}
+
+impl Vscc {
+    /// Total cores that booted across all devices.
+    pub fn alive_cores(&self) -> usize {
+        self.devices.iter().map(|d| d.alive_cores().len()).sum()
+    }
+
+    /// A pre-wired session builder (on-chip protocol and inter-device
+    /// scheme installed); customize ranks and build.
+    ///
+    /// On multi-device systems the on-chip protocols are *confined* to the
+    /// send half of the payload area: the inter-device schemes deliver
+    /// inbound traffic (remote-put chunks, vDMA packets, direct messages)
+    /// into the receive half, and a rank may be sending on-chip while such
+    /// a delivery is in flight.
+    pub fn session_builder(&self) -> SessionBuilder {
+        let b = SessionBuilder::new(&self.sim, self.devices.clone());
+        let multi = self.devices.len() > 1;
+        let send_window = crate::schemes::SEND_AREA_BYTES;
+        let b = match (self.onchip, multi) {
+            (OnchipProtocol::Blocking, false) => b,
+            (OnchipProtocol::Blocking, true) => {
+                b.onchip_protocol(Rc::new(rcce::BlockingProtocol::confined(0, send_window)))
+            }
+            (OnchipProtocol::Pipelined, false) => {
+                b.onchip_protocol(Rc::new(PipelinedProtocol::default()))
+            }
+            (OnchipProtocol::Pipelined, true) => {
+                b.onchip_protocol(Rc::new(PipelinedProtocol::confined(0, send_window)))
+            }
+        };
+        b.interdevice_protocol(self.scheme.protocol())
+    }
+
+    /// A session over every alive core.
+    pub fn session(&self) -> Session {
+        self.session_builder().build()
+    }
+
+    /// A session over the first `n` alive cores (linear rank extension).
+    pub fn session_with_ranks(&self, n: usize) -> Session {
+        self.session_builder().max_ranks(n).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cross-device rank pair: rank 0 on device 0, plus the first rank on
+    /// device 1 (rank 48 when all cores boot).
+    fn cross_pair_session(scheme: CommScheme) -> (Sim, Session) {
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 2).scheme(scheme).build();
+        let d0 = v.devices[0].global(scc::geometry::CoreId(0));
+        let d1 = v.devices[1].global(scc::geometry::CoreId(0));
+        let s = v.session_builder().participants(vec![d0, d1]).build();
+        (sim, s)
+    }
+
+    fn roundtrip(scheme: CommScheme, len: usize) {
+        let (_sim, s) = cross_pair_session(scheme);
+        let msg: Vec<u8> = (0..len).map(|x| (x * 31 % 251) as u8).collect();
+        let expect = msg.clone();
+        s.run_app(move |r| {
+            let msg = msg.clone();
+            let expect = expect.clone();
+            async move {
+                if r.id() == 0 {
+                    r.send(&msg, 1).await;
+                    // And back, to exercise both directions.
+                    let back = r.recv_vec(expect.len(), 1).await;
+                    assert_eq!(back, expect, "{:?} corrupted the echo", scheme);
+                } else {
+                    let got = r.recv_vec(expect.len(), 0).await;
+                    assert_eq!(got, expect, "{:?} corrupted the message", scheme);
+                    r.send(&got, 0).await;
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn all_schemes_roundtrip_small() {
+        for scheme in CommScheme::ALL {
+            roundtrip(scheme, 64);
+        }
+    }
+
+    #[test]
+    fn all_schemes_roundtrip_one_chunk() {
+        for scheme in CommScheme::ALL {
+            roundtrip(scheme, 4000);
+        }
+    }
+
+    #[test]
+    fn all_schemes_roundtrip_multi_chunk() {
+        for scheme in CommScheme::ALL {
+            roundtrip(scheme, 30_000);
+        }
+    }
+
+    #[test]
+    fn all_schemes_roundtrip_exact_boundaries() {
+        for scheme in CommScheme::ALL {
+            for len in [
+                1usize,
+                scc::LINE_BYTES,
+                crate::schemes::VDMA_SLOT,
+                crate::schemes::VDMA_SLOT + 1,
+                crate::schemes::LPRG_CHUNK,
+                rcce::layout::CHUNK_BYTES,
+                8192,
+            ] {
+                roundtrip(scheme, len);
+            }
+        }
+    }
+
+    #[test]
+    fn scheme_throughput_ordering_matches_paper() {
+        // Fig. 6b: routing << cached LPRG < vDMA <= hw-accelerated bound.
+        let time_for = |scheme: CommScheme| -> u64 {
+            let (sim, s) = cross_pair_session(scheme);
+            let reps = 4usize;
+            s.run_app(move |r| async move {
+                let msg = vec![5u8; 4096];
+                for _ in 0..reps {
+                    if r.id() == 0 {
+                        r.send(&msg, 1).await;
+                        let mut buf = vec![0u8; 4096];
+                        r.recv(&mut buf, 1).await;
+                    } else {
+                        let mut buf = vec![0u8; 4096];
+                        r.recv(&mut buf, 0).await;
+                        r.send(&buf, 0).await;
+                    }
+                }
+            })
+            .unwrap();
+            sim.now()
+        };
+        let routing = time_for(CommScheme::SimpleRouting);
+        let lprg = time_for(CommScheme::LocalPutRemoteGet);
+        let vdma = time_for(CommScheme::LocalPutLocalGet);
+        let hwack = time_for(CommScheme::RemotePutHwAck);
+        assert!(routing > 5 * lprg, "routing {routing} should be >5x slower than LPRG {lprg}");
+        assert!(lprg > vdma, "LPRG {lprg} should be slower than vDMA {vdma}");
+        assert!(vdma as f64 >= hwack as f64 * 0.8, "vDMA can approach but not beat hw-ack");
+    }
+
+    #[test]
+    fn onchip_pairs_unaffected_by_scheme() {
+        // Two ranks on the same device must use the on-chip protocol even
+        // in a multi-device system.
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::SimpleRouting).build();
+        let s = v.session_builder().max_ranks(2).build();
+        s.run_app(|r| async move {
+            if r.id() == 0 {
+                r.send(&[1u8; 2000], 1).await;
+            } else {
+                let got = r.recv_vec(2000, 0).await;
+                assert_eq!(got, vec![1u8; 2000]);
+            }
+        })
+        .unwrap();
+        // No routed lines: the pair is on-chip.
+        assert_eq!(v.host.stats.routed_lines.get(), 0);
+    }
+
+    #[test]
+    fn vdma_ops_counted() {
+        let (_sim, s) = cross_pair_session(CommScheme::LocalPutLocalGet);
+        s.run_app(|r| async move {
+            if r.id() == 0 {
+                r.send(&[9u8; 6000], 1).await;
+            } else {
+                let mut buf = vec![0u8; 6000];
+                r.recv(&mut buf, 0).await;
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cross_device_barrier_and_collectives() {
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet).build();
+        let s = v.session_builder().cores_per_device(3).build();
+        assert_eq!(s.num_ranks(), 6);
+        let out = s
+            .run_app(|r| async move {
+                r.barrier().await;
+                let sum = r.allreduce_f64(1.0, rcce::collectives::Op::Sum).await;
+                sum
+            })
+            .unwrap();
+        assert!(out.iter().all(|&v| v == 6.0));
+    }
+
+    #[test]
+    fn five_devices_240_cores() {
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 5).build();
+        assert_eq!(v.alive_cores(), 240);
+        let s = v.session();
+        assert_eq!(s.num_ranks(), 240);
+    }
+
+    #[test]
+    fn boot_failures_reduce_ranks() {
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 5)
+            .boot(BootConfig { core_failure_prob: 0.05, seed: 42 })
+            .build();
+        let alive = v.alive_cores();
+        assert!(alive < 240, "5% failures over 240 cores should drop some");
+        assert_eq!(v.session().num_ranks(), alive);
+    }
+
+    #[test]
+    fn concurrent_pairs_share_tunnel() {
+        // Two disjoint cross-device pairs run concurrently; both must
+        // finish, and the tunnel contention must show up as slowdown
+        // versus a single pair.
+        let run = |pairs: usize| -> u64 {
+            let sim = Sim::new();
+            let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet).build();
+            let mut cores = Vec::new();
+            for p in 0..pairs {
+                cores.push(v.devices[0].global(scc::geometry::CoreId(p as u8)));
+            }
+            for p in 0..pairs {
+                cores.push(v.devices[1].global(scc::geometry::CoreId(p as u8)));
+            }
+            let s = v.session_builder().participants(cores).build();
+            s.run_app(move |r| async move {
+                let me = r.id();
+                let msg = vec![1u8; 16_000];
+                if me < pairs {
+                    r.send(&msg, me + pairs).await;
+                } else {
+                    let mut buf = vec![0u8; 16_000];
+                    r.recv(&mut buf, me - pairs).await;
+                }
+            })
+            .unwrap();
+            sim.now()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(four > one, "four pairs ({four}) must take longer than one ({one})");
+        assert!(four < one * 8, "but not pathologically longer");
+    }
+}

@@ -1,0 +1,259 @@
+//! Simulated message channels (unbounded and bounded MPSC).
+//!
+//! Used for request queues between simulated agents — e.g. the SIF-to-host
+//! request stream that the communication task drains.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::event::Notify;
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    capacity: Option<usize>,
+    senders: usize,
+    closed: bool,
+}
+
+/// Sending half of a simulated channel.
+pub struct Sender<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+    notify_recv: Notify,
+    notify_send: Notify,
+}
+
+/// Receiving half of a simulated channel.
+pub struct Receiver<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+    notify_recv: Notify,
+    notify_send: Notify,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.borrow_mut().senders += 1;
+        Sender {
+            state: self.state.clone(),
+            notify_recv: self.notify_recv.clone(),
+            notify_send: self.notify_send.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.state.borrow_mut();
+        st.senders -= 1;
+        if st.senders == 0 {
+            st.closed = true;
+            drop(st);
+            self.notify_recv.notify_all();
+        }
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Create a bounded channel; senders block when `cap` items are queued.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded channel capacity must be > 0");
+    with_capacity(Some(cap))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let state = Rc::new(RefCell::new(ChanState {
+        queue: VecDeque::new(),
+        capacity,
+        senders: 1,
+        closed: false,
+    }));
+    let notify_recv = Notify::new();
+    let notify_send = Notify::new();
+    (
+        Sender {
+            state: state.clone(),
+            notify_recv: notify_recv.clone(),
+            notify_send: notify_send.clone(),
+        },
+        Receiver { state, notify_recv, notify_send },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue an item, waiting for space on a bounded channel.
+    pub async fn send(&self, value: T) {
+        let state = self.state.clone();
+        self.notify_send
+            .wait_until(move || {
+                let st = state.borrow();
+                match st.capacity {
+                    Some(cap) => st.queue.len() < cap,
+                    None => true,
+                }
+            })
+            .await;
+        self.state.borrow_mut().queue.push_back(value);
+        self.notify_recv.notify_all();
+    }
+
+    /// Enqueue without waiting; returns `Err(value)` if the channel is full.
+    pub fn try_send(&self, value: T) -> Result<(), T> {
+        let mut st = self.state.borrow_mut();
+        if let Some(cap) = st.capacity {
+            if st.queue.len() >= cap {
+                return Err(value);
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.notify_recv.notify_all();
+        Ok(())
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the next item; resolves to `None` once all senders are gone
+    /// and the queue is drained.
+    pub async fn recv(&self) -> Option<T> {
+        loop {
+            {
+                let mut st = self.state.borrow_mut();
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.notify_send.notify_all();
+                    return Some(v);
+                }
+                if st.closed {
+                    return None;
+                }
+            }
+            let state = self.state.clone();
+            self.notify_recv
+                .wait_until(move || {
+                    let st = state.borrow();
+                    !st.queue.is_empty() || st.closed
+                })
+                .await;
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub fn try_recv(&self) -> Option<T> {
+        let v = self.state.borrow_mut().queue.pop_front();
+        if v.is_some() {
+            self.notify_send.notify_all();
+        }
+        v
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+
+    #[test]
+    fn unbounded_send_recv() {
+        let sim = Sim::new();
+        let (tx, rx) = unbounded::<u32>();
+        let s = sim.clone();
+        sim.spawn(async move {
+            for i in 0..5 {
+                s.delay(10).await;
+                tx.send(i).await;
+            }
+        });
+        let got = sim
+            .block_on(async move {
+                let mut v = Vec::new();
+                while let Some(x) = rx.recv().await {
+                    v.push(x);
+                }
+                v
+            })
+            .unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let sim = Sim::new();
+        let (tx, rx) = bounded::<u64>(1);
+        let s = sim.clone();
+        sim.spawn_named("producer", async move {
+            for i in 0..3 {
+                tx.send(i).await;
+            }
+            // Third send cannot complete before the consumer drains at t=10.
+            assert!(s.now() >= 10);
+        });
+        let s = sim.clone();
+        sim.spawn_named("consumer", async move {
+            s.delay(10).await;
+            while let Some(_v) = rx.recv().await {}
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_none_after_all_senders_drop() {
+        let sim = Sim::new();
+        let (tx, rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        sim.spawn(async move {
+            tx.send(1).await;
+            drop(tx);
+        });
+        sim.spawn(async move {
+            tx2.send(2).await;
+            drop(tx2);
+        });
+        let got = sim
+            .block_on(async move {
+                let mut v = Vec::new();
+                while let Some(x) = rx.recv().await {
+                    v.push(x);
+                }
+                v
+            })
+            .unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn try_send_full_returns_value() {
+        let (tx, _rx) = bounded::<u8>(1);
+        assert!(tx.try_send(1).is_ok());
+        assert_eq!(tx.try_send(2), Err(2));
+    }
+
+    #[test]
+    fn try_recv_empty_is_none() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), None);
+    }
+}

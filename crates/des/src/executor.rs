@@ -1,0 +1,650 @@
+//! The virtual-clock executor.
+//!
+//! Single-threaded and strictly deterministic: the ready queue is FIFO, the
+//! timer heap breaks deadline ties by insertion sequence, and wakers enqueue
+//! task ids in wake order. Simulated time advances only when no task is
+//! runnable.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::time::Cycles;
+
+type TaskId = usize;
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Error returned by [`Sim::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No task is runnable, no timer is pending, but live tasks remain: the
+    /// simulated system is deadlocked. Carries the names of the stuck tasks.
+    Deadlock(Vec<String>),
+    /// The simulation exceeded the configured cycle horizon.
+    HorizonExceeded(Cycles),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(names) => {
+                write!(f, "simulated deadlock; stuck tasks: {}", names.join(", "))
+            }
+            SimError::HorizonExceeded(h) => write!(f, "simulation exceeded horizon of {h} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Wake queue shared with wakers. Wakers may technically be sent across
+/// threads, so this is the one `Send`-safe piece of the executor.
+#[derive(Default)]
+struct WakeQueue {
+    ids: Mutex<Vec<TaskId>>,
+}
+
+struct TaskWaker {
+    id: TaskId,
+    queue: Arc<WakeQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue.ids.lock().push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue.ids.lock().push(self.id);
+    }
+}
+
+struct TimerEntry {
+    deadline: Cycles,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct Slot {
+    fut: Option<BoxFuture>,
+    name: Rc<str>,
+    /// Task is in the ready queue (dedupes spurious wakes).
+    queued: bool,
+    /// Slot is occupied by a live task.
+    live: bool,
+    /// Daemon tasks (e.g. host service loops) do not keep the simulation
+    /// alive: the run ends when every non-daemon task finished.
+    daemon: bool,
+}
+
+struct Inner {
+    now: Cell<Cycles>,
+    horizon: Cell<Cycles>,
+    timer_seq: Cell<u64>,
+    tasks: RefCell<Vec<Slot>>,
+    free: RefCell<Vec<TaskId>>,
+    ready: RefCell<VecDeque<TaskId>>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    wake_queue: Arc<WakeQueue>,
+    live: Cell<usize>,
+}
+
+/// Handle to the simulation. Cheap to clone; all clones share the clock,
+/// scheduler, and task set.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<Inner>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation at time 0 with an effectively unbounded
+    /// horizon.
+    pub fn new() -> Self {
+        Sim {
+            inner: Rc::new(Inner {
+                now: Cell::new(0),
+                horizon: Cell::new(Cycles::MAX),
+                timer_seq: Cell::new(0),
+                tasks: RefCell::new(Vec::new()),
+                free: RefCell::new(Vec::new()),
+                ready: RefCell::new(VecDeque::new()),
+                timers: RefCell::new(BinaryHeap::new()),
+                wake_queue: Arc::new(WakeQueue::default()),
+                live: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Abort the run with [`SimError::HorizonExceeded`] if the clock would
+    /// pass `cycles`. Guards against livelock in protocol bugs.
+    pub fn set_horizon(&self, cycles: Cycles) {
+        self.inner.horizon.set(cycles);
+    }
+
+    /// Current simulated time in core cycles.
+    pub fn now(&self) -> Cycles {
+        self.inner.now.get()
+    }
+
+    /// Number of unfinished tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.live.get()
+    }
+
+    /// Spawn an anonymous task.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        self.spawn_named("task", fut)
+    }
+
+    /// Spawn a task with a diagnostic name (shown in deadlock reports).
+    pub fn spawn_named<T: 'static>(
+        &self,
+        name: impl Into<String>,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        self.spawn_inner(name, fut, false)
+    }
+
+    /// Spawn a daemon task: it serves the simulation but does not keep it
+    /// alive — [`Sim::run`] returns once all non-daemon tasks finished.
+    pub fn spawn_daemon<T: 'static>(
+        &self,
+        name: impl Into<String>,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        self.spawn_inner(name, fut, true)
+    }
+
+    fn spawn_inner<T: 'static>(
+        &self,
+        name: impl Into<String>,
+        fut: impl Future<Output = T> + 'static,
+        daemon: bool,
+    ) -> JoinHandle<T> {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waiters: Vec::new(),
+            detached: false,
+        }));
+        let task_state = state.clone();
+        let wrapped: BoxFuture = Box::pin(async move {
+            let out = fut.await;
+            let mut st = task_state.borrow_mut();
+            st.result = Some(out);
+            for w in st.waiters.drain(..) {
+                w.wake();
+            }
+        });
+        let name: Rc<str> = Rc::from(name.into());
+        let id = {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            if let Some(id) = self.inner.free.borrow_mut().pop() {
+                tasks[id] = Slot { fut: Some(wrapped), name, queued: true, live: true, daemon };
+                id
+            } else {
+                tasks.push(Slot { fut: Some(wrapped), name, queued: true, live: true, daemon });
+                tasks.len() - 1
+            }
+        };
+        if !daemon {
+            self.inner.live.set(self.inner.live.get() + 1);
+        }
+        self.inner.ready.borrow_mut().push_back(id);
+        JoinHandle { state }
+    }
+
+    /// Sleep for `cycles` of simulated time.
+    pub fn delay(&self, cycles: Cycles) -> Delay {
+        Delay { sim: self.clone(), deadline: self.now().saturating_add(cycles), registered: false }
+    }
+
+    /// Sleep until the absolute simulated timestamp `deadline` (no-op if it
+    /// is already in the past).
+    pub fn delay_until(&self, deadline: Cycles) -> Delay {
+        Delay { sim: self.clone(), deadline, registered: false }
+    }
+
+    /// Yield to other runnable tasks without advancing time.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    fn register_timer(&self, deadline: Cycles, waker: Waker) {
+        let seq = self.inner.timer_seq.get();
+        self.inner.timer_seq.set(seq + 1);
+        self.inner
+            .timers
+            .borrow_mut()
+            .push(Reverse(TimerEntry { deadline, seq, waker }));
+    }
+
+    fn drain_wake_queue(&self) {
+        let ids: Vec<TaskId> = std::mem::take(&mut *self.inner.wake_queue.ids.lock());
+        let mut tasks = self.inner.tasks.borrow_mut();
+        let mut ready = self.inner.ready.borrow_mut();
+        for id in ids {
+            if let Some(slot) = tasks.get_mut(id) {
+                if slot.live && !slot.queued {
+                    slot.queued = true;
+                    ready.push_back(id);
+                }
+            }
+        }
+    }
+
+    /// Run until every task has finished.
+    ///
+    /// Returns the final timestamp, or an error on deadlock / horizon
+    /// overrun (the simulation state stays inspectable after an error).
+    pub fn run(&self) -> Result<Cycles, SimError> {
+        loop {
+            self.drain_wake_queue();
+            let next = self.inner.ready.borrow_mut().pop_front();
+            if let Some(id) = next {
+                self.poll_task(id);
+                continue;
+            }
+            // All non-daemon tasks done: the run is complete (daemon
+            // service loops never finish by design).
+            if self.inner.live.get() == 0 {
+                return Ok(self.inner.now.get());
+            }
+            // No runnable task: advance time to the next timer.
+            let fired = {
+                let mut timers = self.inner.timers.borrow_mut();
+                timers.pop()
+            };
+            match fired {
+                Some(Reverse(entry)) => {
+                    debug_assert!(entry.deadline >= self.inner.now.get());
+                    if entry.deadline > self.inner.horizon.get() {
+                        return Err(SimError::HorizonExceeded(self.inner.horizon.get()));
+                    }
+                    self.inner.now.set(entry.deadline.max(self.inner.now.get()));
+                    entry.waker.wake();
+                    // Fire every timer that shares this deadline before
+                    // polling, so same-timestamp wakeups are batched
+                    // deterministically.
+                    loop {
+                        let mut timers = self.inner.timers.borrow_mut();
+                        match timers.peek() {
+                            Some(Reverse(e)) if e.deadline == entry.deadline => {
+                                let Reverse(e) = timers.pop().expect("peeked");
+                                drop(timers);
+                                e.waker.wake();
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                None => {
+                    let names = {
+                        let tasks = self.inner.tasks.borrow();
+                        tasks
+                            .iter()
+                            .filter(|s| s.live && !s.daemon)
+                            .map(|s| s.name.to_string())
+                            .collect()
+                    };
+                    return Err(SimError::Deadlock(names));
+                }
+            }
+        }
+    }
+
+    /// Spawn `fut`, run the simulation to completion, and return its output.
+    pub fn block_on<T: 'static>(
+        &self,
+        fut: impl Future<Output = T> + 'static,
+    ) -> Result<T, SimError> {
+        let handle = self.spawn_named("block_on", fut);
+        self.run()?;
+        Ok(handle
+            .try_take()
+            .expect("block_on: run() completed, result must be present"))
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        let (mut fut, _name) = {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            let slot = &mut tasks[id];
+            slot.queued = false;
+            if !slot.live {
+                return;
+            }
+            (slot.fut.take().expect("live task has future"), slot.name.clone())
+        };
+        let waker = Waker::from(Arc::new(TaskWaker { id, queue: self.inner.wake_queue.clone() }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                let mut tasks = self.inner.tasks.borrow_mut();
+                let slot = &mut tasks[id];
+                slot.live = false;
+                slot.fut = None;
+                let was_daemon = slot.daemon;
+                self.inner.free.borrow_mut().push(id);
+                if !was_daemon {
+                    self.inner.live.set(self.inner.live.get() - 1);
+                }
+            }
+            Poll::Pending => {
+                let mut tasks = self.inner.tasks.borrow_mut();
+                tasks[id].fut = Some(fut);
+            }
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waiters: Vec<Waker>,
+    detached: bool,
+}
+
+/// Await the completion of a spawned task and obtain its output.
+///
+/// Dropping the handle detaches the task (it keeps running).
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Take the result if the task already finished.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+
+    /// Whether the task has finished (result may already have been taken).
+    pub fn is_finished(&self) -> bool {
+        let st = self.state.borrow();
+        st.result.is_some() || st.detached
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.result.take() {
+            Poll::Ready(v)
+        } else {
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`Sim::delay`] / [`Sim::delay_until`].
+pub struct Delay {
+    sim: Sim,
+    deadline: Cycles,
+    registered: bool,
+}
+
+impl Future for Delay {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            self.sim.register_timer(self.deadline, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sim_finishes_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.run().unwrap(), 0);
+    }
+
+    #[test]
+    fn delay_advances_clock() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.delay(42).await;
+            assert_eq!(s.now(), 42);
+            s.delay(8).await;
+            assert_eq!(s.now(), 50);
+        });
+        assert_eq!(sim.run().unwrap(), 50);
+    }
+
+    #[test]
+    fn zero_delay_is_ready_immediately() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.delay(0).await;
+            assert_eq!(s.now(), 0);
+        });
+        assert_eq!(sim.run().unwrap(), 0);
+    }
+
+    #[test]
+    fn parallel_tasks_share_clock() {
+        let sim = Sim::new();
+        for d in [10u64, 20, 30] {
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.delay(d).await;
+            });
+        }
+        assert_eq!(sim.run().unwrap(), 30);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim
+            .block_on(async move {
+                let h = s.spawn(async { 7u32 });
+                h.await + 1
+            })
+            .unwrap();
+        assert_eq!(out, 8);
+    }
+
+    #[test]
+    fn join_waits_for_delayed_task() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim
+            .block_on(async move {
+                let s2 = s.clone();
+                let h = s.spawn(async move {
+                    s2.delay(100).await;
+                    s2.now()
+                });
+                h.await
+            })
+            .unwrap();
+        assert_eq!(out, 100);
+    }
+
+    #[test]
+    fn deterministic_interleaving() {
+        // Two identical runs must produce identical event logs.
+        fn run_once() -> Vec<(u64, u32)> {
+            let sim = Sim::new();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..4u32 {
+                let s = sim.clone();
+                let l = log.clone();
+                sim.spawn(async move {
+                    for k in 0..3u64 {
+                        s.delay(7 * (i as u64 + 1) + k).await;
+                        l.borrow_mut().push((s.now(), i));
+                    }
+                });
+            }
+            sim.run().unwrap();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_names() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn_named("stuck-one", async move {
+            // Waits on a join handle of a task that never gets spawned's
+            // equivalent: a pending future that nobody wakes.
+            std::future::pending::<()>().await;
+            drop(s);
+        });
+        match sim.run() {
+            Err(SimError::Deadlock(names)) => assert_eq!(names, vec!["stuck-one".to_string()]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn horizon_guard_fires() {
+        let sim = Sim::new();
+        sim.set_horizon(1_000);
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.delay(10_000).await;
+        });
+        assert_eq!(sim.run(), Err(SimError::HorizonExceeded(1_000)));
+    }
+
+    #[test]
+    fn yield_now_round_robins() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..2u32 {
+            let s = sim.clone();
+            let l = log.clone();
+            sim.spawn(async move {
+                for _ in 0..2 {
+                    l.borrow_mut().push(i);
+                    s.yield_now().await;
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(&*log.borrow(), &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn same_deadline_fifo_order() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u32 {
+            let s = sim.clone();
+            let l = log.clone();
+            sim.spawn(async move {
+                s.delay(100).await;
+                l.borrow_mut().push(i);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(&*log.borrow(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn spawn_from_task() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let total = sim
+            .block_on(async move {
+                let mut handles = Vec::new();
+                for i in 0..10u64 {
+                    let s2 = s.clone();
+                    handles.push(s.spawn(async move {
+                        s2.delay(i).await;
+                        i
+                    }));
+                }
+                let mut sum = 0;
+                for h in handles {
+                    sum += h.await;
+                }
+                sum
+            })
+            .unwrap();
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn task_slots_are_reused() {
+        let sim = Sim::new();
+        for _ in 0..100 {
+            sim.spawn(async {});
+        }
+        sim.run().unwrap();
+        assert!(sim.inner.tasks.borrow().len() <= 100);
+        for _ in 0..100 {
+            sim.spawn(async {});
+        }
+        sim.run().unwrap();
+        // Slots freed by the first wave must have been recycled.
+        assert!(sim.inner.tasks.borrow().len() <= 100);
+    }
+}

@@ -1,0 +1,230 @@
+//! FIFO bandwidth/latency resources.
+//!
+//! A [`Link`] models a serial transmission resource (a PCIe lane bundle, a
+//! DMA engine, a memory port): transfers serialize on the link in request
+//! order, each occupying it for `bytes * cycles_per_byte` plus a fixed
+//! per-transfer overhead, and arriving `latency` cycles after leaving the
+//! wire. Queuing delay under contention emerges from the reservation.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::stats::ByteCounter;
+use crate::time::Cycles;
+use crate::Sim;
+
+/// Bandwidth expressed as a rational `cycles_per_byte = num / den`, keeping
+/// all reservation arithmetic in integers for determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bandwidth {
+    num: u64,
+    den: u64,
+}
+
+impl Bandwidth {
+    /// `num / den` cycles per byte. Panics if `den == 0`.
+    pub const fn cycles_per_byte(num: u64, den: u64) -> Self {
+        assert!(den > 0, "bandwidth denominator must be non-zero");
+        Bandwidth { num, den }
+    }
+
+    /// Convenience: bytes per cycle, i.e. `1/bpc` cycles per byte.
+    pub const fn bytes_per_cycle(bpc: u64) -> Self {
+        assert!(bpc > 0);
+        Bandwidth { num: 1, den: bpc }
+    }
+
+    /// Wire occupancy of a transfer of `bytes`, rounded up.
+    pub const fn occupancy(self, bytes: u64) -> Cycles {
+        ((bytes as u128 * self.num as u128).div_ceil(self.den as u128)) as Cycles
+    }
+
+    /// Peak MB/s at the given clock (decimal MB, for reporting).
+    pub fn peak_mbps(self, freq: crate::Freq) -> f64 {
+        (self.den as f64 / self.num as f64) * freq.as_mhz() as f64
+    }
+}
+
+struct LinkState {
+    busy_until: Cell<Cycles>,
+    bw: Bandwidth,
+    latency: Cycles,
+    per_transfer: Cycles,
+    bytes: ByteCounter,
+    transfers: Cell<u64>,
+    busy_cycles: Cell<Cycles>,
+}
+
+/// Timing of one reserved transfer (see [`Link::reserve_timed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// When the wire is free again (posted-write completion point).
+    pub wire_free: Cycles,
+    /// When the payload fully arrives at the far end.
+    pub arrival: Cycles,
+}
+
+/// A FIFO-arbitrated serial transmission resource.
+#[derive(Clone)]
+pub struct Link {
+    state: Rc<LinkState>,
+}
+
+impl Link {
+    /// Create a link with `bw` bandwidth, `latency` cycles of propagation
+    /// delay, and a fixed `per_transfer` overhead (header processing,
+    /// arbitration) charged to every transfer.
+    pub fn new(bw: Bandwidth, latency: Cycles, per_transfer: Cycles) -> Self {
+        Link {
+            state: Rc::new(LinkState {
+                busy_until: Cell::new(0),
+                bw,
+                latency,
+                per_transfer,
+                bytes: ByteCounter::new(),
+                transfers: Cell::new(0),
+                busy_cycles: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Propagation latency in cycles.
+    pub fn latency(&self) -> Cycles {
+        self.state.latency
+    }
+
+    /// Configured bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.state.bw
+    }
+
+    /// Transfer `bytes` over the link; resolves when the data has fully
+    /// arrived at the far end. Reservation happens synchronously at call
+    /// time, so concurrent callers are served in call order.
+    pub async fn transfer(&self, sim: &Sim, bytes: u64) {
+        let arrive = self.reserve(sim, bytes);
+        sim.delay_until(arrive).await;
+    }
+
+    /// Reserve wire time for `bytes` and return the absolute arrival
+    /// timestamp without waiting. Lets a pipelined sender issue the next
+    /// chunk while earlier chunks are in flight.
+    pub fn reserve(&self, sim: &Sim, bytes: u64) -> Cycles {
+        self.reserve_timed(sim, bytes).arrival
+    }
+
+    /// Like [`Link::reserve`], but also exposes when the wire frees up.
+    /// A *posted* writer (fire-and-forget semantics) continues at
+    /// `wire_free`; the payload lands at `arrival`.
+    pub fn reserve_timed(&self, sim: &Sim, bytes: u64) -> Reservation {
+        let st = &*self.state;
+        let occupy = st.bw.occupancy(bytes) + st.per_transfer;
+        let start = st.busy_until.get().max(sim.now());
+        let done = start + occupy;
+        st.busy_until.set(done);
+        st.bytes.add(bytes);
+        st.transfers.set(st.transfers.get() + 1);
+        st.busy_cycles.set(st.busy_cycles.get() + occupy);
+        Reservation { wire_free: done, arrival: done + st.latency }
+    }
+
+    /// Total bytes moved over the link.
+    pub fn total_bytes(&self) -> u64 {
+        self.state.bytes.get()
+    }
+
+    /// Number of transfers.
+    pub fn total_transfers(&self) -> u64 {
+        self.state.transfers.get()
+    }
+
+    /// Cycles the wire was occupied (utilization numerator).
+    pub fn busy_cycles(&self) -> Cycles {
+        self.state.busy_cycles.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_rounds_up() {
+        let bw = Bandwidth::cycles_per_byte(3, 2); // 1.5 cycles/byte
+        assert_eq!(bw.occupancy(0), 0);
+        assert_eq!(bw.occupancy(1), 2);
+        assert_eq!(bw.occupancy(2), 3);
+        assert_eq!(bw.occupancy(100), 150);
+    }
+
+    #[test]
+    fn single_transfer_timing() {
+        let sim = Sim::new();
+        // 1 cycle/byte, 100 latency, 10 per-transfer.
+        let link = Link::new(Bandwidth::cycles_per_byte(1, 1), 100, 10);
+        let s = sim.clone();
+        sim.spawn(async move {
+            link.transfer(&s, 32).await;
+            assert_eq!(s.now(), 32 + 10 + 100);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn contention_serializes_fifo() {
+        let sim = Sim::new();
+        let link = Link::new(Bandwidth::cycles_per_byte(1, 1), 0, 0);
+        for i in 0..3u64 {
+            let (s, l) = (sim.clone(), link.clone());
+            sim.spawn(async move {
+                l.transfer(&s, 100).await;
+                // Each transfer occupies 100 cycles back to back.
+                assert_eq!(s.now(), 100 * (i + 1));
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(link.total_bytes(), 300);
+        assert_eq!(link.total_transfers(), 3);
+    }
+
+    #[test]
+    fn latency_overlaps_between_transfers() {
+        // Second transfer starts when the wire frees, not when the first
+        // arrives: store-and-forward pipelining.
+        let sim = Sim::new();
+        let link = Link::new(Bandwidth::cycles_per_byte(1, 1), 1000, 0);
+        for i in 0..2u64 {
+            let (s, l) = (sim.clone(), link.clone());
+            sim.spawn(async move {
+                l.transfer(&s, 10).await;
+                assert_eq!(s.now(), 10 * (i + 1) + 1000);
+            });
+        }
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn reserve_allows_pipelining() {
+        let sim = Sim::new();
+        let link = Link::new(Bandwidth::cycles_per_byte(1, 1), 500, 0);
+        let s = sim.clone();
+        sim.spawn(async move {
+            // Issue 4 chunks of 100B without waiting in between.
+            let mut last = 0;
+            for _ in 0..4 {
+                last = link.reserve(&s, 100);
+            }
+            s.delay_until(last).await;
+            // Wire time 400, then 500 latency for the last chunk.
+            assert_eq!(s.now(), 900);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn peak_mbps_reporting() {
+        let bw = Bandwidth::bytes_per_cycle(1);
+        let f = crate::Freq::mhz(533);
+        assert!((bw.peak_mbps(f) - 533.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,190 @@
+//! Lightweight simulation statistics: counters and log2 histograms.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// A shared monotonically increasing byte counter.
+#[derive(Clone, Default)]
+pub struct ByteCounter {
+    bytes: Rc<Cell<u64>>,
+}
+
+impl ByteCounter {
+    /// Create a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` bytes.
+    pub fn add(&self, n: u64) {
+        self.bytes.set(self.bytes.get() + n);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.bytes.get()
+    }
+}
+
+/// A shared event counter.
+#[derive(Clone, Default)]
+pub struct Counter {
+    n: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// Create a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.n.set(self.n.get() + 1);
+    }
+
+    /// Add `k`.
+    pub fn add(&self, k: u64) {
+        self.n.set(self.n.get() + k);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.n.get()
+    }
+}
+
+/// Histogram with power-of-two buckets, for latency distributions.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))`; bucket 0 also counts 0.
+#[derive(Clone, Default)]
+pub struct Log2Histogram {
+    buckets: Rc<RefCell<Vec<u64>>>,
+    count: Rc<Cell<u64>>,
+    sum: Rc<Cell<u128>>,
+    max: Rc<Cell<u64>>,
+}
+
+impl Log2Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        let idx = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        let mut b = self.buckets.borrow_mut();
+        if b.len() <= idx {
+            b.resize(idx + 1, 0);
+        }
+        b[idx] += 1;
+        self.count.set(self.count.get() + 1);
+        self.sum.set(self.sum.get() + v as u128);
+        self.max.set(self.max.get().max(v));
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Arithmetic mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count.get() == 0 {
+            0.0
+        } else {
+            self.sum.get() as f64 / self.count.get() as f64
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max.get()
+    }
+
+    /// Snapshot of bucket counts (index = log2 of bucket lower bound).
+    pub fn buckets(&self) -> Vec<u64> {
+        self.buckets.borrow().clone()
+    }
+
+    /// Approximate quantile: lower bound of the bucket containing quantile
+    /// `q` in `[0, 1]`.
+    pub fn quantile_lower_bound(&self, q: f64) -> u64 {
+        let total = self.count.get();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, &c) in self.buckets.borrow().iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn byte_counter_shared_clone() {
+        let b = ByteCounter::new();
+        let b2 = b.clone();
+        b.add(5);
+        b2.add(7);
+        assert_eq!(b.get(), 12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = Log2Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), 1024);
+        let b = h.buckets();
+        assert_eq!(b[0], 2); // 0 and 1
+        assert_eq!(b[1], 2); // 2, 3
+        assert_eq!(b[2], 2); // 4, 7
+        assert_eq!(b[3], 1); // 8
+        assert_eq!(b[10], 1); // 1024
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let h = Log2Histogram::new();
+        h.record(10);
+        h.record(30);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_monotone() {
+        let h = Log2Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        assert!(h.quantile_lower_bound(0.5) <= h.quantile_lower_bound(0.99));
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile_lower_bound(0.9), 0);
+    }
+}

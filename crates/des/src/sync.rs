@@ -1,0 +1,435 @@
+//! Simulated synchronization: FIFO semaphore, mutex, and barrier.
+//!
+//! These are *modelled* primitives — they coordinate simulated actors inside
+//! the single-threaded engine; they are not OS locks.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::event::{oneshot, OneshotSender};
+use crate::Sim;
+
+struct SemState {
+    permits: Cell<u64>,
+    queue: RefCell<VecDeque<(u64, OneshotSender<()>)>>,
+}
+
+/// A counting semaphore with strict FIFO grant order.
+///
+/// FIFO ordering is what makes simulated bus/queue arbitration
+/// deterministic and starvation-free.
+#[derive(Clone)]
+pub struct Semaphore {
+    state: Rc<SemState>,
+}
+
+impl Semaphore {
+    /// Create a semaphore holding `permits` permits.
+    pub fn new(permits: u64) -> Self {
+        Semaphore {
+            state: Rc::new(SemState {
+                permits: Cell::new(permits),
+                queue: RefCell::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> u64 {
+        self.state.permits.get()
+    }
+
+    /// Acquire `n` permits, waiting FIFO behind earlier requests.
+    pub async fn acquire_many(&self, n: u64) {
+        // Even if permits are available, a queued waiter goes first.
+        if self.state.queue.borrow().is_empty() && self.state.permits.get() >= n {
+            self.state.permits.set(self.state.permits.get() - n);
+            return;
+        }
+        let (tx, rx) = oneshot();
+        self.state.queue.borrow_mut().push_back((n, tx));
+        rx.await;
+    }
+
+    /// Acquire one permit.
+    pub async fn acquire(&self) {
+        self.acquire_many(1).await;
+    }
+
+    /// Return `n` permits and hand them to queued waiters in FIFO order.
+    pub fn release_many(&self, n: u64) {
+        self.state.permits.set(self.state.permits.get() + n);
+        loop {
+            let mut queue = self.state.queue.borrow_mut();
+            match queue.front() {
+                Some(&(need, _)) if self.state.permits.get() >= need => {
+                    let (need, tx) = queue.pop_front().expect("peeked front");
+                    drop(queue);
+                    self.state.permits.set(self.state.permits.get() - need);
+                    tx.send(());
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Return one permit.
+    pub fn release(&self) {
+        self.release_many(1);
+    }
+
+    /// Run `f` while holding one permit.
+    pub async fn with<T>(&self, f: impl std::future::Future<Output = T>) -> T {
+        self.acquire().await;
+        let out = f.await;
+        self.release();
+        out
+    }
+}
+
+/// A FIFO mutex for simulated actors (a binary [`Semaphore`]).
+#[derive(Clone)]
+pub struct SimMutex {
+    sem: Semaphore,
+}
+
+impl Default for SimMutex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimMutex {
+    /// Create an unlocked mutex.
+    pub fn new() -> Self {
+        SimMutex { sem: Semaphore::new(1) }
+    }
+
+    /// Lock, run `f`, unlock.
+    pub async fn with<T>(&self, f: impl std::future::Future<Output = T>) -> T {
+        self.sem.with(f).await
+    }
+
+    /// Acquire the lock; must be paired with [`SimMutex::unlock`].
+    pub async fn lock(&self) {
+        self.sem.acquire().await;
+    }
+
+    /// Release the lock.
+    pub fn unlock(&self) {
+        self.sem.release();
+    }
+}
+
+struct BarrierState {
+    parties: usize,
+    arrived: Cell<usize>,
+    generation: Cell<u64>,
+    waiters: RefCell<Vec<OneshotSender<()>>>,
+}
+
+/// A reusable barrier for a fixed set of simulated participants.
+#[derive(Clone)]
+pub struct SimBarrier {
+    state: Rc<BarrierState>,
+}
+
+impl SimBarrier {
+    /// Create a barrier for `parties` participants (must be > 0).
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        SimBarrier {
+            state: Rc::new(BarrierState {
+                parties,
+                arrived: Cell::new(0),
+                generation: Cell::new(0),
+                waiters: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The barrier generation (number of completed sync rounds).
+    pub fn generation(&self) -> u64 {
+        self.state.generation.get()
+    }
+
+    /// Wait until all parties have arrived. Returns `true` for exactly one
+    /// participant per round (the last arrival), mirroring
+    /// `std::sync::Barrier`'s leader flag.
+    pub async fn wait(&self) -> bool {
+        let arrived = self.state.arrived.get() + 1;
+        if arrived == self.state.parties {
+            self.state.arrived.set(0);
+            self.state.generation.set(self.state.generation.get() + 1);
+            for tx in self.state.waiters.borrow_mut().drain(..) {
+                tx.send(());
+            }
+            true
+        } else {
+            self.state.arrived.set(arrived);
+            let (tx, rx) = oneshot();
+            self.state.waiters.borrow_mut().push(tx);
+            rx.await;
+            false
+        }
+    }
+}
+
+/// A latch: counts down from `n`; waiters resume when it hits zero.
+#[derive(Clone)]
+pub struct Latch {
+    remaining: Rc<Cell<u64>>,
+    notify: crate::event::Notify,
+}
+
+impl Latch {
+    /// Create a latch requiring `n` count-downs.
+    pub fn new(n: u64) -> Self {
+        Latch { remaining: Rc::new(Cell::new(n)), notify: crate::event::Notify::new() }
+    }
+
+    /// Count down by one (saturating).
+    pub fn count_down(&self) {
+        let r = self.remaining.get().saturating_sub(1);
+        self.remaining.set(r);
+        if r == 0 {
+            self.notify.notify_all();
+        }
+    }
+
+    /// Wait for the count to reach zero.
+    pub async fn wait(&self) {
+        let remaining = self.remaining.clone();
+        self.notify.wait_until(move || remaining.get() == 0).await;
+    }
+}
+
+/// Hold a resource for an exclusive async region even across awaits.
+///
+/// Convenience guard-style wrapper used by the fabric models; acquire with
+/// [`ScopedLock::enter`] which returns a guard whose `Drop` releases.
+pub struct ScopedLock {
+    mutex: SimMutex,
+}
+
+impl Default for ScopedLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScopedLock {
+    /// Create an unlocked scoped lock.
+    pub fn new() -> Self {
+        ScopedLock { mutex: SimMutex::new() }
+    }
+
+    /// Acquire; the returned guard releases on drop.
+    pub async fn enter(&self) -> ScopedGuard {
+        self.mutex.lock().await;
+        ScopedGuard { mutex: self.mutex.clone() }
+    }
+}
+
+/// Guard returned by [`ScopedLock::enter`].
+pub struct ScopedGuard {
+    mutex: SimMutex,
+}
+
+impl Drop for ScopedGuard {
+    fn drop(&mut self) {
+        self.mutex.unlock();
+    }
+}
+
+/// Join all handles of homogeneous spawned tasks.
+pub async fn join_all<T: 'static>(handles: Vec<crate::JoinHandle<T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(handles.len());
+    for h in handles {
+        out.push(h.await);
+    }
+    out
+}
+
+/// Spawn one named task per element and wait for all of them.
+pub async fn spawn_all<T: 'static, F>(
+    sim: &Sim,
+    name: &str,
+    futs: impl IntoIterator<Item = F>,
+) -> Vec<T>
+where
+    F: std::future::Future<Output = T> + 'static,
+{
+    let handles: Vec<_> = futs
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| sim.spawn_named(format!("{name}[{i}]"), f))
+        .collect();
+    join_all(handles).await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(2);
+        let peak = Rc::new(Cell::new(0u64));
+        let current = Rc::new(Cell::new(0u64));
+        for _ in 0..8 {
+            let (s, sem, peak, current) = (sim.clone(), sem.clone(), peak.clone(), current.clone());
+            sim.spawn(async move {
+                sem.acquire().await;
+                current.set(current.get() + 1);
+                peak.set(peak.get().max(current.get()));
+                s.delay(10).await;
+                current.set(current.get() - 1);
+                sem.release();
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(peak.get(), 2);
+    }
+
+    #[test]
+    fn semaphore_fifo_order() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u32 {
+            let (s, sem, order) = (sim.clone(), sem.clone(), order.clone());
+            sim.spawn(async move {
+                // Stagger arrival so queue order is well-defined.
+                s.delay(i as u64).await;
+                sem.acquire().await;
+                order.borrow_mut().push(i);
+                s.delay(100).await;
+                sem.release();
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(&*order.borrow(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn acquire_many_blocks_until_enough() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(3);
+        let (s, sem2) = (sim.clone(), sem.clone());
+        sim.spawn_named("big", async move {
+            sem2.acquire_many(3).await;
+            s.delay(50).await;
+            sem2.release_many(3);
+        });
+        let (s, sem2) = (sim.clone(), sem.clone());
+        sim.spawn_named("small", async move {
+            s.delay(1).await;
+            sem2.acquire().await;
+            // Granted when the big holder releases at t=50.
+            assert_eq!(s.now(), 50);
+            sem2.release();
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn barrier_synchronizes_and_elects_leader() {
+        let sim = Sim::new();
+        let barrier = SimBarrier::new(4);
+        let leaders = Rc::new(Cell::new(0u32));
+        for i in 0..4u64 {
+            let (s, b, l) = (sim.clone(), barrier.clone(), leaders.clone());
+            sim.spawn(async move {
+                s.delay(i * 10).await;
+                if b.wait().await {
+                    l.set(l.get() + 1);
+                }
+                // All exit at the last arrival's timestamp.
+                assert_eq!(s.now(), 30);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(leaders.get(), 1);
+        assert_eq!(barrier.generation(), 1);
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let sim = Sim::new();
+        let barrier = SimBarrier::new(2);
+        for _ in 0..2 {
+            let (s, b) = (sim.clone(), barrier.clone());
+            sim.spawn(async move {
+                for round in 1..=3u64 {
+                    s.delay(1).await;
+                    b.wait().await;
+                    assert_eq!(b.generation(), round);
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(barrier.generation(), 3);
+    }
+
+    #[test]
+    fn latch_releases_at_zero() {
+        let sim = Sim::new();
+        let latch = Latch::new(3);
+        let (s, l) = (sim.clone(), latch.clone());
+        sim.spawn_named("waiter", async move {
+            l.wait().await;
+            assert_eq!(s.now(), 30);
+        });
+        let (s, l) = (sim.clone(), latch.clone());
+        sim.spawn_named("counter", async move {
+            for _ in 0..3 {
+                s.delay(10).await;
+                l.count_down();
+            }
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn mutex_with_is_exclusive() {
+        let sim = Sim::new();
+        let m = SimMutex::new();
+        let inside = Rc::new(Cell::new(false));
+        for _ in 0..4 {
+            let (s, m, inside) = (sim.clone(), m.clone(), inside.clone());
+            sim.spawn(async move {
+                m.with(async {
+                    assert!(!inside.get());
+                    inside.set(true);
+                    s.delay(5).await;
+                    inside.set(false);
+                })
+                .await;
+            });
+        }
+        assert_eq!(sim.run().unwrap(), 20);
+    }
+
+    #[test]
+    fn scoped_lock_releases_on_drop() {
+        let sim = Sim::new();
+        let lock = Rc::new(ScopedLock::new());
+        let (s, l) = (sim.clone(), lock.clone());
+        sim.spawn(async move {
+            let _g = l.enter().await;
+            s.delay(10).await;
+            // guard dropped here
+        });
+        let (s, l) = (sim.clone(), lock.clone());
+        sim.spawn(async move {
+            s.delay(1).await;
+            let _g = l.enter().await;
+            assert_eq!(s.now(), 10);
+        });
+        sim.run().unwrap();
+    }
+}

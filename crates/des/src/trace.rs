@@ -1,0 +1,124 @@
+//! Protocol event tracing, used to regenerate the paper's Figure 2
+//! (timely behaviour of the blocking vs. pipelined protocols).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::Cycles;
+
+/// One traced protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated timestamp (core cycles).
+    pub time: Cycles,
+    /// The acting entity, e.g. `"rank0"`, `"commtask"`.
+    pub actor: String,
+    /// Event description, e.g. `"put 4096B"`, `"flag set"`.
+    pub what: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>12}  {:<12} {}", self.time, self.actor, self.what)
+    }
+}
+
+/// A shared, optionally-enabled protocol trace.
+///
+/// Disabled traces are free: `record` returns immediately without
+/// formatting, so tracing can stay wired into the hot protocol paths.
+#[derive(Clone, Default)]
+pub struct Trace {
+    inner: Option<Rc<RefCell<Vec<TraceEvent>>>>,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace { inner: None }
+    }
+
+    /// An enabled trace.
+    pub fn enabled() -> Self {
+        Trace { inner: Some(Rc::new(RefCell::new(Vec::new()))) }
+    }
+
+    /// Whether events are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record an event; `what` is only evaluated when enabled.
+    pub fn record(&self, time: Cycles, actor: &str, what: impl FnOnce() -> String) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().push(TraceEvent { time, actor: actor.to_string(), what: what() });
+        }
+    }
+
+    /// Snapshot of all events in record order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => inner.borrow().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Events whose actor matches `actor`.
+    pub fn events_of(&self, actor: &str) -> Vec<TraceEvent> {
+        self.events().into_iter().filter(|e| e.actor == actor).collect()
+    }
+
+    /// Render as an aligned text timeline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing_and_skips_closure() {
+        let t = Trace::disabled();
+        t.record(1, "a", || panic!("must not be evaluated"));
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_collects_in_order() {
+        let t = Trace::enabled();
+        t.record(5, "rank0", || "put".into());
+        t.record(9, "rank1", || "get".into());
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].time, 5);
+        assert_eq!(ev[1].actor, "rank1");
+    }
+
+    #[test]
+    fn filter_by_actor() {
+        let t = Trace::enabled();
+        t.record(1, "a", || "x".into());
+        t.record(2, "b", || "y".into());
+        t.record(3, "a", || "z".into());
+        assert_eq!(t.events_of("a").len(), 2);
+    }
+
+    #[test]
+    fn render_contains_all_lines() {
+        let t = Trace::enabled();
+        t.record(1, "a", || "one".into());
+        t.record(2, "b", || "two".into());
+        let s = t.render();
+        assert!(s.contains("one") && s.contains("two"));
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Fast write-acknowledge emulation and its instability.
+//!
+//! The 2012 prototype's *remote put* performance relied on the FPGA
+//! generating automatic write acknowledges for requests targeting off-chip
+//! memory. Per the paper (§2.3) this "has known stability issues, which
+//! prevents a tight coupling of more than two SCC devices and works only
+//! for applications with a moderate inter-device communication". We model
+//! the mechanism as a per-posted-write ack-loss probability that is zero
+//! for ≤2 coupled devices and grows with both device count and traffic —
+//! enough to reproduce the qualitative result (the `tbl_stability` bench):
+//! fine at 2 devices, unusable at 3+.
+
+use std::cell::RefCell;
+use std::fmt;
+
+use des::rng::DetRng;
+use des::stats::Counter;
+
+/// Error produced when the fast-ack path lost acknowledges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StabilityError {
+    /// Lost acknowledges observed.
+    pub failures: u64,
+    /// Posted writes issued.
+    pub writes: u64,
+}
+
+impl fmt::Display for StabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fast write-ack instability: {} lost acks in {} posted writes",
+            self.failures, self.writes
+        )
+    }
+}
+
+impl std::error::Error for StabilityError {}
+
+/// State of the FPGA fast write-acknowledge emulation.
+pub struct FastAck {
+    enabled: bool,
+    coupled_devices: usize,
+    rng: RefCell<DetRng>,
+    writes: Counter,
+    failures: Counter,
+}
+
+/// Base ack-loss probability per posted write at 3 coupled devices.
+const BASE_LOSS_P: f64 = 2e-5;
+
+impl FastAck {
+    /// Create the emulation for a system of `coupled_devices` devices.
+    pub fn new(enabled: bool, coupled_devices: usize, seed: u64) -> Self {
+        FastAck {
+            enabled,
+            coupled_devices,
+            rng: RefCell::new(DetRng::seed_from(seed ^ 0xFA57_ACC5)),
+            writes: Counter::new(),
+            failures: Counter::new(),
+        }
+    }
+
+    /// Whether fast acks are active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Ack-loss probability per posted write in the current configuration.
+    pub fn loss_probability(&self) -> f64 {
+        if !self.enabled || self.coupled_devices <= 2 {
+            0.0
+        } else {
+            // Doubles per device beyond three: contention on the shared
+            // host-side ack path compounds.
+            BASE_LOSS_P * (1u64 << (self.coupled_devices - 3)) as f64
+        }
+    }
+
+    /// Account one posted write; returns `true` if its automatic ack was
+    /// lost (the write must be retried / the session destabilizes).
+    pub fn on_posted_write(&self) -> bool {
+        self.writes.inc();
+        let p = self.loss_probability();
+        if p > 0.0 && self.rng.borrow_mut().chance(p) {
+            self.failures.inc();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// (posted writes, lost acks) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.writes.get(), self.failures.get())
+    }
+
+    /// Err if any ack was lost — the paper's prototype could not recover.
+    pub fn check(&self) -> Result<(), StabilityError> {
+        if self.failures.get() > 0 {
+            Err(StabilityError { failures: self.failures.get(), writes: self.writes.get() })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_devices_are_stable() {
+        let fa = FastAck::new(true, 2, 1);
+        for _ in 0..200_000 {
+            assert!(!fa.on_posted_write());
+        }
+        assert!(fa.check().is_ok());
+    }
+
+    #[test]
+    fn disabled_never_fails() {
+        let fa = FastAck::new(false, 5, 1);
+        for _ in 0..100_000 {
+            assert!(!fa.on_posted_write());
+        }
+        assert!(fa.check().is_ok());
+    }
+
+    #[test]
+    fn three_devices_fail_under_heavy_traffic() {
+        let fa = FastAck::new(true, 3, 7);
+        // ~ 1 MB/run of line writes in a real session: ~3e5 posted writes.
+        for _ in 0..300_000 {
+            fa.on_posted_write();
+        }
+        let err = fa.check().expect_err("3-device coupling must destabilize");
+        assert!(err.failures > 0);
+        assert_eq!(err.writes, 300_000);
+    }
+
+    #[test]
+    fn loss_probability_grows_with_device_count() {
+        let p3 = FastAck::new(true, 3, 0).loss_probability();
+        let p5 = FastAck::new(true, 5, 0).loss_probability();
+        assert!(p5 > p3);
+        assert_eq!(p5, p3 * 4.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let fa = FastAck::new(true, 4, seed);
+            (0..50_000).filter(|_| fa.on_posted_write()).count()
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

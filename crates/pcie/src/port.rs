@@ -1,0 +1,180 @@
+//! Device ports and the shared host fabric.
+//!
+//! Each device owns a full-duplex PCIe path to the host, modelled as two
+//! FIFO [`Link`]s whose bandwidth is the SIF's 32 B-packet processing rate
+//! (the structural bottleneck of the system, see crate docs). All ports
+//! additionally contend for host memory through one shared link.
+
+use des::link::{Bandwidth, Link};
+use des::{Cycles, Sim};
+use scc::geometry::DeviceId;
+
+use crate::model::PcieModel;
+
+/// One device's PCIe attachment (SIF + FPGA + cable).
+pub struct DevicePort {
+    /// Device → host direction.
+    pub egress: Link,
+    /// Host → device direction.
+    pub ingress: Link,
+    /// The device this port belongs to.
+    pub device: DeviceId,
+}
+
+impl DevicePort {
+    /// Build a port from the model parameters.
+    pub fn new(model: &PcieModel, device: DeviceId) -> Self {
+        let bw = model.sif_bandwidth();
+        DevicePort {
+            egress: Link::new(bw, model.hw_latency, model.per_transfer_cycles),
+            ingress: Link::new(bw, model.hw_latency, model.per_transfer_cycles),
+            device,
+        }
+    }
+
+    /// Move `bytes` device → host; resolves at arrival in host memory.
+    pub async fn to_host(&self, sim: &Sim, bytes: u64) {
+        self.egress.transfer(sim, bytes).await;
+    }
+
+    /// Move `bytes` host → device; resolves at arrival in the device.
+    pub async fn to_device(&self, sim: &Sim, bytes: u64) {
+        self.ingress.transfer(sim, bytes).await;
+    }
+
+    /// Reserve egress wire time without waiting (pipelined senders).
+    pub fn reserve_to_host(&self, sim: &Sim, bytes: u64) -> Cycles {
+        self.egress.reserve(sim, bytes)
+    }
+
+    /// Reserve ingress wire time without waiting (pipelined delivery).
+    pub fn reserve_to_device(&self, sim: &Sim, bytes: u64) -> Cycles {
+        self.ingress.reserve(sim, bytes)
+    }
+
+    /// Total payload bytes moved in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.egress.total_bytes() + self.ingress.total_bytes()
+    }
+}
+
+/// The host side of the fabric: one port per device plus the shared
+/// host-memory path.
+pub struct HostFabric {
+    /// Per-device ports, indexed by device id.
+    pub ports: Vec<DevicePort>,
+    /// Shared host memory bandwidth (both the daemon's buffers and DMA
+    /// descriptors live here).
+    pub host_mem: Link,
+    /// The timing model.
+    pub model: PcieModel,
+}
+
+impl HostFabric {
+    /// Build the fabric for `devices` devices.
+    pub fn new(model: PcieModel, devices: u8) -> Self {
+        let host_mem = Link::new(
+            Bandwidth::bytes_per_cycle(model.host_mem_bytes_per_cycle),
+            0,
+            20,
+        );
+        HostFabric {
+            ports: (0..devices).map(|d| DevicePort::new(&model, DeviceId(d))).collect(),
+            host_mem,
+            model,
+        }
+    }
+
+    /// The port of `device`.
+    pub fn port(&self, device: DeviceId) -> &DevicePort {
+        &self.ports[device.0 as usize]
+    }
+
+    /// Charge a pass through host memory for `bytes` (copy into or out of
+    /// a daemon buffer).
+    pub async fn host_copy(&self, sim: &Sim, bytes: u64) {
+        self.host_mem.transfer(sim, bytes).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_stream_rate_matches_sif_ceiling() {
+        let sim = Sim::new();
+        let model = PcieModel::default();
+        let fabric = HostFabric::new(model.clone(), 2);
+        let bytes: u64 = 1 << 20;
+        let s = sim.clone();
+        let t = sim
+            .block_on(async move {
+                fabric.port(DeviceId(0)).to_host(&s, bytes).await;
+                s.now()
+            })
+            .unwrap();
+        let mbps = des::time::CORE_FREQ.mbytes_per_sec(bytes, t);
+        let peak = model.sif_peak_mbps();
+        assert!(
+            (mbps - peak).abs() / peak < 0.05,
+            "1 MiB stream at {mbps} MB/s should be within 5% of the {peak} MB/s ceiling"
+        );
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let sim = Sim::new();
+        let fabric = std::rc::Rc::new(HostFabric::new(PcieModel::default(), 1));
+        // Saturate egress; an ingress transfer must not queue behind it.
+        let (s, f) = (sim.clone(), fabric.clone());
+        sim.spawn(async move {
+            f.port(DeviceId(0)).to_host(&s, 1 << 20).await;
+        });
+        let (s, f) = (sim.clone(), fabric.clone());
+        let h = sim.spawn(async move {
+            f.port(DeviceId(0)).to_device(&s, 32).await;
+            s.now()
+        });
+        sim.run().unwrap();
+        let t = h.try_take().unwrap();
+        assert!(t < 2_000, "ingress line took {t} cycles; must not contend with egress");
+    }
+
+    #[test]
+    fn ports_of_different_devices_run_in_parallel() {
+        let sim = Sim::new();
+        let fabric = std::rc::Rc::new(HostFabric::new(PcieModel::default(), 2));
+        let mut handles = Vec::new();
+        for d in 0..2u8 {
+            let (s, f) = (sim.clone(), fabric.clone());
+            handles.push(sim.spawn(async move {
+                f.port(DeviceId(d)).to_host(&s, 1 << 18).await;
+                s.now()
+            }));
+        }
+        sim.run().unwrap();
+        let t0 = handles[0].try_take().unwrap();
+        let t1 = handles[1].try_take().unwrap();
+        // Same finish time: no cross-device serialization on the wire.
+        assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn host_mem_is_shared_contention_point() {
+        let sim = Sim::new();
+        let fabric = std::rc::Rc::new(HostFabric::new(PcieModel::default(), 2));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let (s, f) = (sim.clone(), fabric.clone());
+            handles.push(sim.spawn(async move {
+                f.host_copy(&s, 1 << 16).await;
+                s.now()
+            }));
+        }
+        sim.run().unwrap();
+        let t0 = handles[0].try_take().unwrap();
+        let t1 = handles[1].try_take().unwrap();
+        assert!(t1 > t0, "second host copy must queue behind the first");
+    }
+}

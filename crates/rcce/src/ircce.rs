@@ -1,0 +1,254 @@
+//! iRCCE non-blocking extensions: `isend`/`irecv` requests and wait lists.
+//!
+//! Requests are simulated-concurrent tasks; per-pair FIFO locks preserve
+//! iRCCE's in-order message matching between any two ranks even when many
+//! requests are outstanding.
+
+use des::JoinHandle;
+
+use crate::api::Rcce;
+
+/// Handle of an outstanding non-blocking send (`iRCCE_isend`).
+pub struct SendRequest {
+    handle: JoinHandle<()>,
+}
+
+impl SendRequest {
+    /// Block (in simulated time) until the send completed
+    /// (`iRCCE_isend_wait`).
+    pub async fn wait(self) {
+        self.handle.await;
+    }
+
+    /// Non-blocking completion test (`iRCCE_isend_test`).
+    pub fn test(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+/// Handle of an outstanding non-blocking receive (`iRCCE_irecv`).
+pub struct RecvRequest {
+    handle: JoinHandle<Vec<u8>>,
+}
+
+impl RecvRequest {
+    /// Block until the message arrived; yields the payload
+    /// (`iRCCE_irecv_wait`).
+    pub async fn wait(self) -> Vec<u8> {
+        self.handle.await
+    }
+
+    /// Non-blocking completion test (`iRCCE_irecv_test`).
+    pub fn test(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+impl Rcce {
+    /// Start a non-blocking send of `data` to `dest`.
+    pub fn isend(&self, data: Vec<u8>, dest: usize) -> SendRequest {
+        assert!(dest < self.num_ues() && dest != self.id());
+        let ctx = self.ctx.clone();
+        let me = self.id();
+        ctx.session.record_traffic(me, dest, data.len() as u64);
+        let sim = self.sim().clone();
+        let handle = sim.spawn_named(format!("isend {me}->{dest}"), async move {
+            let lock = ctx.send_lock(dest).clone();
+            lock.lock().await;
+            let proto = ctx.session.proto(me, dest);
+            proto.send(&ctx, dest, &data).await;
+            lock.unlock();
+        });
+        SendRequest { handle }
+    }
+
+    /// Start a non-blocking receive of `len` bytes from `src`.
+    pub fn irecv(&self, len: usize, src: usize) -> RecvRequest {
+        assert!(src < self.num_ues() && src != self.id());
+        let ctx = self.ctx.clone();
+        let me = self.id();
+        let sim = self.sim().clone();
+        let handle = sim.spawn_named(format!("irecv {src}->{me}"), async move {
+            let mut buf = vec![0u8; len];
+            let lock = ctx.recv_lock(src).clone();
+            lock.lock().await;
+            let proto = ctx.session.proto(src, me);
+            proto.recv(&ctx, src, &mut buf).await;
+            lock.unlock();
+            buf
+        });
+        RecvRequest { handle }
+    }
+}
+
+/// A wait list over mixed outstanding requests (`iRCCE_wait_all`).
+#[derive(Default)]
+pub struct WaitList {
+    sends: Vec<SendRequest>,
+    recvs: Vec<RecvRequest>,
+}
+
+impl WaitList {
+    /// Empty wait list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Track a send request.
+    pub fn push_send(&mut self, r: SendRequest) {
+        self.sends.push(r);
+    }
+
+    /// Track a receive request.
+    pub fn push_recv(&mut self, r: RecvRequest) {
+        self.recvs.push(r);
+    }
+
+    /// Number of tracked requests.
+    pub fn len(&self) -> usize {
+        self.sends.len() + self.recvs.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Wait for every request; returns the received payloads in push
+    /// order.
+    pub async fn wait_all(self) -> Vec<Vec<u8>> {
+        for s in self.sends {
+            s.wait().await;
+        }
+        let mut out = Vec::with_capacity(self.recvs.len());
+        for r in self.recvs {
+            out.push(r.wait().await);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::session::SessionBuilder;
+    use des::Sim;
+    use scc::device::SccDevice;
+    use scc::geometry::DeviceId;
+
+    fn session(sim: &Sim, n: usize) -> crate::Session {
+        let dev = SccDevice::new(sim, DeviceId(0));
+        SessionBuilder::new(sim, vec![dev]).max_ranks(n).build()
+    }
+
+    #[test]
+    fn isend_irecv_roundtrip() {
+        let sim = Sim::new();
+        let s = session(&sim, 2);
+        s.run_app(|r| async move {
+            if r.id() == 0 {
+                let req = r.isend(vec![9u8; 300], 1);
+                req.wait().await;
+            } else {
+                let req = r.irecv(300, 0);
+                let got = req.wait().await;
+                assert_eq!(got, vec![9u8; 300]);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn outstanding_sends_same_pair_keep_order() {
+        let sim = Sim::new();
+        let s = session(&sim, 2);
+        s.run_app(|r| async move {
+            if r.id() == 0 {
+                let a = r.isend(vec![1u8; 100], 1);
+                let b = r.isend(vec![2u8; 100], 1);
+                a.wait().await;
+                b.wait().await;
+            } else {
+                let first = r.recv_vec(100, 0).await;
+                let second = r.recv_vec(100, 0).await;
+                assert_eq!(first, vec![1u8; 100]);
+                assert_eq!(second, vec![2u8; 100]);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn irecv_posted_before_send_arrives() {
+        let sim = Sim::new();
+        let s = session(&sim, 2);
+        s.run_app(|r| async move {
+            if r.id() == 1 {
+                let req = r.irecv(64, 0);
+                assert!(!req.test());
+                let got = req.wait().await;
+                assert_eq!(got, vec![5u8; 64]);
+            } else {
+                r.compute(10_000).await;
+                r.send(&[5u8; 64], 1).await;
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn overlap_computation_with_communication() {
+        // Non-blocking allows compute to proceed while the message moves.
+        let run = |overlap: bool| {
+            let sim = Sim::new();
+            let s = session(&sim, 2);
+            s.run_app(move |r| async move {
+                let big = vec![3u8; 30_000];
+                if r.id() == 0 {
+                    if overlap {
+                        let req = r.isend(big, 1);
+                        r.compute(200_000).await;
+                        req.wait().await;
+                    } else {
+                        r.send(&big, 1).await;
+                        r.compute(200_000).await;
+                    }
+                } else {
+                    let mut buf = vec![0u8; 30_000];
+                    r.recv(&mut buf, 0).await;
+                }
+            })
+            .unwrap();
+            sim.now()
+        };
+        // In this model, isend runs the same protocol concurrently with
+        // the compute block, so overlap must not be slower.
+        assert!(run(true) <= run(false));
+    }
+
+    #[test]
+    fn waitlist_gathers_everything() {
+        let sim = Sim::new();
+        let s = session(&sim, 4);
+        s.run_app(|r| async move {
+            let me = r.id();
+            let n = r.num_ues();
+            let mut wl = crate::ircce::WaitList::new();
+            for other in 0..n {
+                if other == me {
+                    continue;
+                }
+                wl.push_send(r.isend(vec![me as u8; 50], other));
+                wl.push_recv(r.irecv(50, other));
+            }
+            assert_eq!(wl.len(), 6);
+            let msgs = wl.wait_all().await;
+            // Received one message from each peer, in peer order.
+            let mut peers: Vec<usize> = (0..n).filter(|&o| o != me).collect();
+            peers.sort_unstable();
+            for (msg, peer) in msgs.iter().zip(peers) {
+                assert_eq!(msg, &vec![peer as u8; 50]);
+            }
+        })
+        .unwrap();
+    }
+}

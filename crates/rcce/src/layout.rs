@@ -1,0 +1,134 @@
+//! The RCCE memory layout of each core's 8 KiB MPB region.
+//!
+//! ```text
+//! offset   0 .. 240   sent[j]    per-source chunk counters (written remotely)
+//! offset 256 .. 496   ready[j]   per-destination ack counters (written remotely)
+//! offset 496 .. 504   barrier[r] dissemination-barrier round flags
+//! offset 504 .. 512   misc       vDMA completion flag etc.
+//! offset 512 .. 8192  payload    7680 B = 2 pipeline slots x 3840 B
+//! ```
+//!
+//! Flags are one-byte wrapping *counters*, not booleans: the sender
+//! increments `sent`, the receiver increments `ready`, and both poll their
+//! local copies for a target value (wrap-around-safe comparison). This is
+//! the counter-flag scheme iRCCE uses for its pipelined protocol and it
+//! subsumes RCCE's toggle flags.
+//!
+//! A message larger than [`CHUNK_BYTES`] is split; the paper's Fig. 6
+//! throughput dip "from 8 kB" is exactly this split (the 8 KiB region must
+//! also hold the flags, so an 8 KiB payload no longer fits — footnote 5).
+
+use scc::geometry::{GlobalCore, MpbAddr};
+
+/// Most ranks a session can hold (5 devices × 48 cores).
+pub const MAX_RANKS: usize = 240;
+
+/// Byte offset of the `sent[j]` counter array.
+pub const OFF_SENT: u16 = 0;
+/// Byte offset of the `ready[j]` counter array.
+pub const OFF_READY: u16 = 256;
+/// Byte offset of the barrier round flags.
+pub const OFF_BARRIER: u16 = 496;
+/// Number of dissemination-barrier rounds supported (2^8 = 256 ≥ 240).
+pub const BARRIER_ROUNDS: u16 = 8;
+/// Byte offset of the vDMA completion flag (paper §3.3: the core spins on
+/// a flag in its own on-chip memory after programming the controller).
+pub const OFF_VDMA_DONE: u16 = 504;
+/// Byte offset of the payload buffer.
+pub const OFF_PAYLOAD: u16 = 512;
+/// Usable payload bytes per chunk (one full MPB round).
+pub const CHUNK_BYTES: usize = 7680;
+/// Pipeline slots subdivide the payload buffer.
+pub const PIPELINE_SLOTS: usize = 2;
+/// Bytes per pipeline slot.
+pub const SLOT_BYTES: usize = CHUNK_BYTES / PIPELINE_SLOTS;
+
+const _: () = assert!(OFF_PAYLOAD as usize + CHUNK_BYTES == scc::MPB_BYTES);
+const _: () = assert!(OFF_BARRIER + BARRIER_ROUNDS <= OFF_VDMA_DONE);
+
+/// Address of the `sent[src]` counter in `owner`'s region.
+pub fn sent_flag(owner: GlobalCore, src: usize) -> MpbAddr {
+    debug_assert!(src < MAX_RANKS);
+    MpbAddr::new(owner, OFF_SENT + src as u16)
+}
+
+/// Address of the `ready[dest]` counter in `owner`'s region.
+pub fn ready_flag(owner: GlobalCore, dest: usize) -> MpbAddr {
+    debug_assert!(dest < MAX_RANKS);
+    MpbAddr::new(owner, OFF_READY + dest as u16)
+}
+
+/// Address of barrier round flag `round` in `owner`'s region.
+pub fn barrier_flag(owner: GlobalCore, round: u16) -> MpbAddr {
+    debug_assert!(round < BARRIER_ROUNDS);
+    MpbAddr::new(owner, OFF_BARRIER + round)
+}
+
+/// Address of the vDMA completion flag in `owner`'s region.
+pub fn vdma_done_flag(owner: GlobalCore) -> MpbAddr {
+    MpbAddr::new(owner, OFF_VDMA_DONE)
+}
+
+/// Address of payload byte `offset` in `owner`'s region.
+pub fn payload(owner: GlobalCore, offset: usize) -> MpbAddr {
+    debug_assert!(offset < CHUNK_BYTES);
+    MpbAddr::new(owner, OFF_PAYLOAD + offset as u16)
+}
+
+/// Address of pipeline slot `slot` in `owner`'s region.
+pub fn slot(owner: GlobalCore, slot: usize) -> MpbAddr {
+    debug_assert!(slot < PIPELINE_SLOTS);
+    payload(owner, slot * SLOT_BYTES)
+}
+
+/// Wrap-around-safe counter comparison: has the one-byte counter `value`
+/// reached `target` (within a half-window of 128)?
+pub fn counter_reached(value: u8, target: u8) -> bool {
+    value.wrapping_sub(target) < 128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        assert!(OFF_SENT + MAX_RANKS as u16 <= OFF_READY);
+        assert!(OFF_READY + MAX_RANKS as u16 <= OFF_BARRIER);
+        assert!(OFF_VDMA_DONE < OFF_PAYLOAD);
+        assert_eq!(OFF_PAYLOAD as usize + CHUNK_BYTES, scc::MPB_BYTES);
+    }
+
+    #[test]
+    fn slots_tile_the_payload() {
+        assert_eq!(SLOT_BYTES * PIPELINE_SLOTS, CHUNK_BYTES);
+        let g = GlobalCore::new(0, 0);
+        assert_eq!(slot(g, 0).offset, OFF_PAYLOAD);
+        assert_eq!(slot(g, 1).offset, OFF_PAYLOAD + SLOT_BYTES as u16);
+    }
+
+    #[test]
+    fn counter_comparison_handles_wraparound() {
+        assert!(counter_reached(1, 1));
+        assert!(counter_reached(5, 3)); // already past
+        assert!(!counter_reached(3, 5)); // not yet
+        assert!(counter_reached(2, 250)); // wrapped past 255
+        assert!(!counter_reached(250, 2));
+    }
+
+    #[test]
+    fn chunk_smaller_than_8k() {
+        // An 8 KiB message must split into two chunks (the Fig. 6 dip).
+        assert!(CHUNK_BYTES < 8192);
+        assert_eq!(8192usize.div_ceil(CHUNK_BYTES), 2);
+    }
+
+    #[test]
+    fn flag_addresses_distinct_per_rank() {
+        let g = GlobalCore::new(0, 0);
+        let a: Vec<u16> = (0..MAX_RANKS).map(|j| sent_flag(g, j).offset).collect();
+        let mut b = a.clone();
+        b.dedup();
+        assert_eq!(a.len(), b.len());
+    }
+}

@@ -1,0 +1,414 @@
+//! RCCE sessions: rank numbering, per-rank state, traffic accounting.
+//!
+//! A session pins one RCCE process (a *unit of execution*, UE) to each
+//! participating core. Ranks are assigned linearly over the participating
+//! cores — first all cores of device 0, then device 1 starting at 48, and
+//! so on (paper §3) — and, as in the paper's startup-script extension
+//! (§4), cores that failed to boot are simply skipped, compacting the rank
+//! space.
+
+use std::cell::{Cell, RefCell};
+use std::future::Future;
+use std::rc::Rc;
+
+use des::sync::SimMutex;
+use des::trace::Trace;
+use des::{JoinHandle, Sim};
+use scc::device::SccDevice;
+use scc::geometry::{DeviceId, GlobalCore};
+use scc::CoreHandle;
+
+use crate::api::Rcce;
+use crate::protocol::{BlockingProtocol, PointToPoint};
+
+/// Shared per-session state.
+pub struct SessionInner {
+    sim: Sim,
+    devices: Vec<Rc<SccDevice>>,
+    ranks: Vec<GlobalCore>,
+    onchip: Rc<dyn PointToPoint>,
+    inter: Rc<dyn PointToPoint>,
+    traffic: RefCell<Vec<u64>>,
+    messages: RefCell<Vec<u64>>,
+    trace: Trace,
+}
+
+impl SessionInner {
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The core a rank runs on.
+    pub fn who(&self, rank: usize) -> GlobalCore {
+        self.ranks[rank]
+    }
+
+    /// The device object hosting `rank`.
+    pub fn device_of(&self, rank: usize) -> &Rc<SccDevice> {
+        &self.devices[self.ranks[rank].device.0 as usize]
+    }
+
+    /// The device object hosting a physical core.
+    pub fn device_of_core(&self, who: GlobalCore) -> &Rc<SccDevice> {
+        &self.devices[who.device.0 as usize]
+    }
+
+    /// All devices of the session, in id order.
+    pub fn devices(&self) -> &[Rc<SccDevice>] {
+        &self.devices
+    }
+
+    /// The simulation clock.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The protocol serving the pair `(a, b)`: the on-chip protocol for
+    /// same-device pairs, the inter-device protocol otherwise.
+    pub fn proto(&self, a: usize, b: usize) -> Rc<dyn PointToPoint> {
+        if self.ranks[a].device == self.ranks[b].device {
+            self.onchip.clone()
+        } else {
+            self.inter.clone()
+        }
+    }
+
+    /// Whether ranks `a` and `b` live on different devices.
+    pub fn is_inter_device(&self, a: usize, b: usize) -> bool {
+        self.ranks[a].device != self.ranks[b].device
+    }
+
+    /// Account `bytes` of payload moved from `src` to `dest` (Fig. 8's
+    /// traffic matrix).
+    pub fn record_traffic(&self, src: usize, dest: usize, bytes: u64) {
+        let n = self.num_ranks();
+        self.traffic.borrow_mut()[src * n + dest] += bytes;
+        self.messages.borrow_mut()[src * n + dest] += 1;
+    }
+
+    /// The protocol trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Dense traffic matrix snapshot: `matrix[src][dest]` payload bytes.
+    pub fn traffic_matrix(&self) -> Vec<Vec<u64>> {
+        let n = self.num_ranks();
+        let flat = self.traffic.borrow();
+        (0..n).map(|s| flat[s * n..(s + 1) * n].to_vec()).collect()
+    }
+
+    /// Message-count matrix snapshot.
+    pub fn message_matrix(&self) -> Vec<Vec<u64>> {
+        let n = self.num_ranks();
+        let flat = self.messages.borrow();
+        (0..n).map(|s| flat[s * n..(s + 1) * n].to_vec()).collect()
+    }
+}
+
+/// Per-rank protocol state: the UE's core handle, flag counters, and
+/// per-pair ordering locks.
+pub struct RankCtx {
+    /// This UE's rank.
+    pub rank: usize,
+    /// The core it runs on.
+    pub core: CoreHandle,
+    /// The owning session.
+    pub session: Rc<SessionInner>,
+    /// Chunks sent towards each destination (wrapping counters).
+    pub sent_count: RefCell<Vec<u8>>,
+    /// Chunks received from each source (wrapping counters).
+    pub recv_count: RefCell<Vec<u8>>,
+    /// Barrier generation.
+    pub barrier_gen: Cell<u8>,
+    /// Serializes inbound streams that deliver into this rank's MPB
+    /// (remote-put and vDMA schemes share the receive area).
+    pub inbound_lock: SimMutex,
+    send_lock: SimMutex,
+    recv_locks: Vec<SimMutex>,
+}
+
+impl RankCtx {
+    fn new(session: &Rc<SessionInner>, rank: usize) -> Rc<Self> {
+        let n = session.num_ranks();
+        let device = session.device_of(rank);
+        Rc::new(RankCtx {
+            rank,
+            core: CoreHandle::new(device, session.who(rank).core),
+            session: session.clone(),
+            sent_count: RefCell::new(vec![0; n]),
+            recv_count: RefCell::new(vec![0; n]),
+            barrier_gen: Cell::new(0),
+            inbound_lock: SimMutex::new(),
+            send_lock: SimMutex::new(),
+            recv_locks: (0..n).map(|_| SimMutex::new()).collect(),
+        })
+    }
+
+    /// Number of ranks in the session.
+    pub fn num_ranks(&self) -> usize {
+        self.session.num_ranks()
+    }
+
+    /// This rank's core identity.
+    pub fn who(&self) -> GlobalCore {
+        self.session.who(self.rank)
+    }
+
+    /// Serializes this rank's outgoing sends. The lock is global per UE,
+    /// not per destination: every send stages its chunks through the one
+    /// local MPB send buffer, exactly like iRCCE's single outgoing
+    /// request queue — two concurrent isends would otherwise clobber the
+    /// buffer.
+    pub fn send_lock(&self, _dest: usize) -> &SimMutex {
+        &self.send_lock
+    }
+
+    /// Serializes concurrent receives from the same source.
+    pub fn recv_lock(&self, src: usize) -> &SimMutex {
+        &self.recv_locks[src]
+    }
+}
+
+/// Builder for [`Session`].
+pub struct SessionBuilder {
+    sim: Sim,
+    devices: Vec<Rc<SccDevice>>,
+    participants: Option<Vec<GlobalCore>>,
+    onchip: Rc<dyn PointToPoint>,
+    inter: Option<Rc<dyn PointToPoint>>,
+    trace: Trace,
+}
+
+impl SessionBuilder {
+    /// Start building a session over `devices`.
+    pub fn new(sim: &Sim, devices: Vec<Rc<SccDevice>>) -> Self {
+        assert!(!devices.is_empty(), "a session needs at least one device");
+        for (i, d) in devices.iter().enumerate() {
+            assert_eq!(d.id, DeviceId(i as u8), "devices must be passed in id order");
+        }
+        SessionBuilder {
+            sim: sim.clone(),
+            devices,
+            participants: None,
+            onchip: Rc::new(BlockingProtocol::default()),
+            inter: None,
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Restrict the session to an explicit core list (rank order).
+    pub fn participants(mut self, cores: Vec<GlobalCore>) -> Self {
+        self.participants = Some(cores);
+        self
+    }
+
+    /// Use only the first `k` alive cores of each device.
+    pub fn cores_per_device(mut self, k: usize) -> Self {
+        let mut cores = Vec::new();
+        for dev in &self.devices {
+            cores.extend(dev.alive_cores().into_iter().take(k).map(|c| dev.global(c)));
+        }
+        self.participants = Some(cores);
+        self
+    }
+
+    /// Cap the total number of ranks (e.g. BT's square process counts).
+    pub fn max_ranks(mut self, n: usize) -> Self {
+        let all = self.participants.take().unwrap_or_else(|| self.default_participants());
+        self.participants = Some(all.into_iter().take(n).collect());
+        self
+    }
+
+    /// Replace the on-chip (same-device) point-to-point protocol.
+    pub fn onchip_protocol(mut self, p: Rc<dyn PointToPoint>) -> Self {
+        self.onchip = p;
+        self
+    }
+
+    /// Replace the inter-device point-to-point protocol (the vSCC schemes).
+    pub fn interdevice_protocol(mut self, p: Rc<dyn PointToPoint>) -> Self {
+        self.inter = Some(p);
+        self
+    }
+
+    /// Enable protocol tracing (Fig. 2 regeneration).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Trace::enabled();
+        self
+    }
+
+    fn default_participants(&self) -> Vec<GlobalCore> {
+        // Linear extension of RCCE ranks over alive cores, device by
+        // device (paper §2.1/§4).
+        self.devices
+            .iter()
+            .flat_map(|d| d.alive_cores().into_iter().map(|c| d.global(c)))
+            .collect()
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> Session {
+        let ranks = match self.participants {
+            Some(p) => p,
+            None => self.default_participants(),
+        };
+        assert!(!ranks.is_empty(), "session has no participants");
+        assert!(ranks.len() <= crate::layout::MAX_RANKS);
+        for g in &ranks {
+            let dev = &self.devices[g.device.0 as usize];
+            assert!(dev.is_alive(g.core), "participant {g} did not boot");
+        }
+        let n = ranks.len();
+        let inter = self.inter.unwrap_or_else(|| self.onchip.clone());
+        Session {
+            inner: Rc::new(SessionInner {
+                sim: self.sim,
+                devices: self.devices,
+                ranks,
+                onchip: self.onchip,
+                inter,
+                traffic: RefCell::new(vec![0; n * n]),
+                messages: RefCell::new(vec![0; n * n]),
+                trace: self.trace,
+            }),
+        }
+    }
+}
+
+/// A built RCCE session.
+#[derive(Clone)]
+pub struct Session {
+    /// Shared state (exposed for the vSCC system layer).
+    pub inner: Rc<SessionInner>,
+}
+
+impl Session {
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.inner.num_ranks()
+    }
+
+    /// Build the per-rank handle for `rank`.
+    pub fn rcce(&self, rank: usize) -> Rcce {
+        assert!(rank < self.num_ranks());
+        Rcce::new(RankCtx::new(&self.inner, rank))
+    }
+
+    /// Spawn one task per rank running `f(rcce)`; returns the handles in
+    /// rank order.
+    pub fn spawn_ranks<T, Fut>(&self, f: impl Fn(Rcce) -> Fut) -> Vec<JoinHandle<T>>
+    where
+        T: 'static,
+        Fut: Future<Output = T> + 'static,
+    {
+        (0..self.num_ranks())
+            .map(|r| self.inner.sim().spawn_named(format!("rank{r}"), f(self.rcce(r))))
+            .collect()
+    }
+
+    /// Spawn all ranks, run the simulation to completion, and return the
+    /// per-rank results.
+    pub fn run_app<T, Fut>(&self, f: impl Fn(Rcce) -> Fut) -> Result<Vec<T>, des::SimError>
+    where
+        T: 'static,
+        Fut: Future<Output = T> + 'static,
+    {
+        let handles = self.spawn_ranks(f);
+        self.inner.sim().run()?;
+        Ok(handles
+            .into_iter()
+            .map(|h| h.try_take().expect("rank task finished under run()"))
+            .collect())
+    }
+
+    /// Traffic matrix (payload bytes), `matrix[src][dest]`.
+    pub fn traffic_matrix(&self) -> Vec<Vec<u64>> {
+        self.inner.traffic_matrix()
+    }
+
+    /// Message-count matrix.
+    pub fn message_matrix(&self) -> Vec<Vec<u64>> {
+        self.inner.message_matrix()
+    }
+
+    /// The protocol trace (empty unless built `with_trace`).
+    pub fn trace(&self) -> Trace {
+        self.inner.trace().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc::device::BootConfig;
+
+    fn one_device(sim: &Sim) -> Vec<Rc<SccDevice>> {
+        vec![SccDevice::new(sim, DeviceId(0))]
+    }
+
+    #[test]
+    fn default_mapping_is_linear() {
+        let sim = Sim::new();
+        let s = SessionBuilder::new(&sim, one_device(&sim)).build();
+        assert_eq!(s.num_ranks(), 48);
+        assert_eq!(s.inner.who(0), GlobalCore::new(0, 0));
+        assert_eq!(s.inner.who(47), GlobalCore::new(0, 47));
+    }
+
+    #[test]
+    fn failed_cores_are_skipped_and_ranks_compact() {
+        let sim = Sim::new();
+        let dev = SccDevice::new(&sim, DeviceId(0));
+        let up = dev.boot(&BootConfig { core_failure_prob: 0.2, seed: 3 });
+        let s = SessionBuilder::new(&sim, vec![dev]).build();
+        assert_eq!(s.num_ranks(), up.len());
+        // Ranks are dense over the surviving cores in id order.
+        for (r, c) in up.iter().enumerate() {
+            assert_eq!(s.inner.who(r).core, *c);
+        }
+    }
+
+    #[test]
+    fn cores_per_device_limits_ranks() {
+        let sim = Sim::new();
+        let s = SessionBuilder::new(&sim, one_device(&sim)).cores_per_device(4).build();
+        assert_eq!(s.num_ranks(), 4);
+    }
+
+    #[test]
+    fn max_ranks_truncates() {
+        let sim = Sim::new();
+        let s = SessionBuilder::new(&sim, one_device(&sim)).max_ranks(9).build();
+        assert_eq!(s.num_ranks(), 9);
+    }
+
+    #[test]
+    fn traffic_matrix_accumulates() {
+        let sim = Sim::new();
+        let s = SessionBuilder::new(&sim, one_device(&sim)).max_ranks(3).build();
+        s.inner.record_traffic(0, 1, 100);
+        s.inner.record_traffic(0, 1, 50);
+        s.inner.record_traffic(2, 0, 7);
+        let m = s.traffic_matrix();
+        assert_eq!(m[0][1], 150);
+        assert_eq!(m[2][0], 7);
+        assert_eq!(m[1][2], 0);
+        assert_eq!(s.message_matrix()[0][1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not boot")]
+    fn dead_participant_rejected() {
+        let sim = Sim::new();
+        let dev = SccDevice::new(&sim, DeviceId(0));
+        dev.boot(&BootConfig { core_failure_prob: 0.99, seed: 5 });
+        let dead = (0..48)
+            .map(scc::geometry::CoreId)
+            .find(|c| !dev.is_alive(*c))
+            .expect("some core failed");
+        let g = dev.global(dead);
+        SessionBuilder::new(&sim, vec![dev]).participants(vec![g]).build();
+    }
+}

@@ -1,0 +1,256 @@
+//! One SCC device: 48 cores, their MPB regions, test-and-set registers,
+//! memory-controller ports, and the pluggable off-chip fabric.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use des::event::Notify;
+use des::link::{Bandwidth, Link};
+use des::rng::DetRng;
+use des::Sim;
+
+use crate::costmodel::CostModel;
+use crate::geometry::{CoreId, DeviceId, GlobalCore, CORES_PER_DEVICE};
+use crate::mpb::MpbRegion;
+use crate::remote::RemoteFabric;
+
+/// Startup configuration; models the paper's observation (§4) that on a
+/// multi-device installation "the situation occurs frequently that not all
+/// 240 cores are available at startup".
+#[derive(Debug, Clone)]
+pub struct BootConfig {
+    /// Probability that a core silently fails to boot.
+    pub core_failure_prob: f64,
+    /// Seed for the failure draw (combined with the device id).
+    pub seed: u64,
+}
+
+impl Default for BootConfig {
+    fn default() -> Self {
+        BootConfig { core_failure_prob: 0.0, seed: 0 }
+    }
+}
+
+/// Number of memory controllers per device.
+pub const MEMORY_CONTROLLERS: usize = 4;
+
+/// One SCC chip.
+pub struct SccDevice {
+    /// Device id (the z coordinate).
+    pub id: DeviceId,
+    /// The device's cycle-cost parameters.
+    pub cost: CostModel,
+    sim: Sim,
+    mpbs: Vec<Rc<MpbRegion>>,
+    tas: Vec<Cell<bool>>,
+    tas_notify: Vec<Notify>,
+    mc_ports: Vec<Link>,
+    fabric: RefCell<Option<Rc<dyn RemoteFabric>>>,
+    alive: RefCell<Vec<bool>>,
+}
+
+impl SccDevice {
+    /// Build a device with the default cost model.
+    pub fn new(sim: &Sim, id: DeviceId) -> Rc<Self> {
+        Self::with_cost(sim, id, CostModel::default())
+    }
+
+    /// Build a device with an explicit cost model.
+    pub fn with_cost(sim: &Sim, id: DeviceId, cost: CostModel) -> Rc<Self> {
+        let n = CORES_PER_DEVICE as usize;
+        // DDR3-800 port: ~6.4 GB/s ≈ 12 B per 533 MHz core cycle. Streaming
+        // latency is already inside CostModel::dram_line; the port link only
+        // adds queueing when many cores stream at once.
+        let mc_bw = Bandwidth::bytes_per_cycle(12);
+        Rc::new(SccDevice {
+            id,
+            cost,
+            sim: sim.clone(),
+            mpbs: (0..n).map(|_| MpbRegion::shared()).collect(),
+            tas: (0..n).map(|_| Cell::new(false)).collect(),
+            tas_notify: (0..n).map(|_| Notify::new()).collect(),
+            mc_ports: (0..MEMORY_CONTROLLERS).map(|_| Link::new(mc_bw, 0, 0)).collect(),
+            fabric: RefCell::new(None),
+            alive: RefCell::new(vec![true; n]),
+        })
+    }
+
+    /// The simulation this device lives in.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Boot the device, silently failing cores per `cfg`; returns the cores
+    /// that came up. At least one core always boots.
+    pub fn boot(&self, cfg: &BootConfig) -> Vec<CoreId> {
+        let mut rng = DetRng::seed_from(cfg.seed ^ (0xD5CC_0000 + self.id.0 as u64));
+        let mut alive = self.alive.borrow_mut();
+        for a in alive.iter_mut() {
+            *a = !rng.chance(cfg.core_failure_prob);
+        }
+        if !alive.iter().any(|&a| a) {
+            alive[0] = true;
+        }
+        alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| CoreId(i as u8))
+            .collect()
+    }
+
+    /// Cores currently booted.
+    pub fn alive_cores(&self) -> Vec<CoreId> {
+        self.alive
+            .borrow()
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| CoreId(i as u8))
+            .collect()
+    }
+
+    /// Whether `core` booted.
+    pub fn is_alive(&self, core: CoreId) -> bool {
+        self.alive.borrow()[core.0 as usize]
+    }
+
+    /// The MPB region owned by `core`.
+    pub fn mpb(&self, core: CoreId) -> &Rc<MpbRegion> {
+        &self.mpbs[core.0 as usize]
+    }
+
+    /// The memory-controller port serving `core`'s private DRAM.
+    pub fn mc_port(&self, core: CoreId) -> &Link {
+        &self.mc_ports[core.tile().memory_controller() as usize]
+    }
+
+    /// Plug in the off-chip fabric (done by the vSCC system builder).
+    pub fn set_fabric(&self, fabric: Rc<dyn RemoteFabric>) {
+        *self.fabric.borrow_mut() = Some(fabric);
+    }
+
+    /// The off-chip fabric, panicking with a clear message if absent.
+    pub fn fabric(&self) -> Rc<dyn RemoteFabric> {
+        self.fabric
+            .borrow()
+            .clone()
+            .expect("cross-device access without a fabric: build the system via vscc::System")
+    }
+
+    /// Whether an off-chip fabric is installed.
+    pub fn has_fabric(&self) -> bool {
+        self.fabric.borrow().is_some()
+    }
+
+    /// Atomically test-and-set `core`'s lock register; true if acquired.
+    pub fn tas_try_acquire(&self, core: CoreId) -> bool {
+        let cell = &self.tas[core.0 as usize];
+        if cell.get() {
+            false
+        } else {
+            cell.set(true);
+            true
+        }
+    }
+
+    /// Release `core`'s test-and-set register and wake spinners.
+    pub fn tas_release(&self, core: CoreId) {
+        self.tas[core.0 as usize].set(false);
+        self.tas_notify[core.0 as usize].notify_all();
+    }
+
+    /// Spin (in simulated time) until the register is acquired.
+    pub async fn tas_acquire(&self, core: CoreId) {
+        loop {
+            if self.tas_try_acquire(core) {
+                return;
+            }
+            let notify = self.tas_notify[core.0 as usize].clone();
+            notify.wait_until(|| !self.tas[core.0 as usize].get()).await;
+        }
+    }
+
+    /// The `GlobalCore` handle of a local core id.
+    pub fn global(&self, core: CoreId) -> GlobalCore {
+        GlobalCore { device: self.id, core }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_device_all_cores_alive() {
+        let sim = Sim::new();
+        let dev = SccDevice::new(&sim, DeviceId(0));
+        assert_eq!(dev.alive_cores().len(), 48);
+        assert!(dev.is_alive(CoreId(47)));
+    }
+
+    #[test]
+    fn boot_with_failures_drops_cores_deterministically() {
+        let sim = Sim::new();
+        let dev = SccDevice::new(&sim, DeviceId(1));
+        let cfg = BootConfig { core_failure_prob: 0.1, seed: 99 };
+        let up1 = dev.boot(&cfg);
+        let up2 = dev.boot(&cfg);
+        assert_eq!(up1, up2, "boot must be deterministic for a fixed seed");
+        assert!(up1.len() < 48, "10% failure probability should drop some of 48 cores");
+        assert!(!up1.is_empty());
+    }
+
+    #[test]
+    fn boot_never_yields_zero_cores() {
+        let sim = Sim::new();
+        let dev = SccDevice::new(&sim, DeviceId(0));
+        let up = dev.boot(&BootConfig { core_failure_prob: 1.0, seed: 1 });
+        assert_eq!(up.len(), 1);
+    }
+
+    #[test]
+    fn tas_exclusion() {
+        let sim = Sim::new();
+        let dev = SccDevice::new(&sim, DeviceId(0));
+        assert!(dev.tas_try_acquire(CoreId(3)));
+        assert!(!dev.tas_try_acquire(CoreId(3)));
+        dev.tas_release(CoreId(3));
+        assert!(dev.tas_try_acquire(CoreId(3)));
+    }
+
+    #[test]
+    fn tas_acquire_waits_for_release() {
+        let sim = Sim::new();
+        let dev = SccDevice::new(&sim, DeviceId(0));
+        assert!(dev.tas_try_acquire(CoreId(0)));
+        let (s, d) = (sim.clone(), dev.clone());
+        sim.spawn_named("waiter", async move {
+            d.tas_acquire(CoreId(0)).await;
+            assert_eq!(s.now(), 77);
+        });
+        let (s, d) = (sim.clone(), dev.clone());
+        sim.spawn_named("holder", async move {
+            s.delay(77).await;
+            d.tas_release(CoreId(0));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn mpb_regions_are_distinct() {
+        let sim = Sim::new();
+        let dev = SccDevice::new(&sim, DeviceId(0));
+        dev.mpb(CoreId(0)).write_byte(0, 1);
+        assert_eq!(dev.mpb(CoreId(1)).read_byte(0), 0);
+    }
+
+    #[test]
+    fn fabric_missing_panics_with_hint() {
+        let sim = Sim::new();
+        let dev = SccDevice::new(&sim, DeviceId(0));
+        assert!(!dev.has_fabric());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dev.fabric()));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! Run the NPB BT benchmark on a vSCC system and show the Fig. 8-style
+//! traffic matrix.
+//!
+//! ```sh
+//! cargo run --release --example npb_bt [class] [ranks]
+//! # e.g. cargo run --release --example npb_bt W 16
+//! ```
+
+use des::Sim;
+use vscc::{CommScheme, VsccBuilder};
+use vscc_apps::npb::{run_bt, BtClass, BtConfig};
+use vscc_apps::traffic::TrafficMatrix;
+
+fn main() {
+    let class = match std::env::args().nth(1).as_deref() {
+        Some("S") => BtClass::S,
+        Some("A") => BtClass::A,
+        Some("B") => BtClass::B,
+        Some("C") => BtClass::C,
+        _ => BtClass::W,
+    };
+    let ranks: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    let sim = Sim::new();
+    let devices = ranks.div_ceil(48).max(1) as u8;
+    let system = VsccBuilder::new(&sim, devices).scheme(CommScheme::LocalPutLocalGet).build();
+    let session = system.session_with_ranks(ranks);
+
+    let cfg = BtConfig::new(class, ranks);
+    println!(
+        "NPB BT class {} ({}^3 grid), {} ranks on {} device(s), q = {}, cell edge {}",
+        class.name(),
+        class.n(),
+        ranks,
+        devices,
+        cfg.q(),
+        cfg.cell_edge()
+    );
+    let res = run_bt(&session, &cfg).expect("BT run");
+    println!(
+        "verified: {} | {:.2} GFLOP/s over {} timed iterations ({} messages, {} cycles)",
+        res.verified, res.gflops, cfg.measured, res.messages, res.cycles
+    );
+
+    let m = TrafficMatrix::capture(&session)
+        .scaled(class.full_iterations() as u64, (cfg.warmup + cfg.measured) as u64);
+    println!("\ntraffic matrix projected to the full {} iterations:", class.full_iterations());
+    println!("{}", m.render());
+}

@@ -1,0 +1,22 @@
+//! vscc-repro — umbrella crate of the vSCC reproduction.
+//!
+//! Re-exports the layered public API:
+//!
+//! * [`des`] — deterministic discrete-event simulation engine;
+//! * [`scc`] — the SCC device model;
+//! * [`pcie`] — the PCIe tunnel and host fabric;
+//! * [`rcce`] — the RCCE / iRCCE communication libraries;
+//! * [`vscc`] — the paper's contribution: host-assisted inter-device
+//!   communication (communication task, software cache, write-combining
+//!   buffer, virtual DMA controller);
+//! * [`apps`] — Ping-Pong, NPB BT, traffic analysis, stencil demo.
+//!
+//! See the `examples/` directory for runnable entry points and
+//! `crates/bench/benches/` for the figure/table regeneration harnesses.
+
+pub use des;
+pub use pcie;
+pub use rcce;
+pub use scc;
+pub use vscc;
+pub use vscc_apps as apps;

@@ -1,0 +1,242 @@
+//! Property-based tests over the core invariants, with `proptest`.
+//!
+//! The king property: *any* sequence of messages over *any* scheme is
+//! delivered byte-exact and in order. The rest pin down the data
+//! structures the protocols rely on (counter flags, chunking, the host
+//! WCB reassembly, cache selectivity, the executor clock).
+
+use proptest::prelude::*;
+
+use des::Sim;
+use rcce::layout::counter_reached;
+use rcce::protocol::chunk_ranges;
+use vscc::{CommScheme, VsccBuilder};
+
+fn scheme_strategy() -> impl Strategy<Value = CommScheme> {
+    prop_oneof![
+        Just(CommScheme::SimpleRouting),
+        Just(CommScheme::RemotePutHwAck),
+        Just(CommScheme::RemotePutWcb),
+        Just(CommScheme::LocalPutRemoteGet),
+        Just(CommScheme::LocalPutLocalGet),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Messages of arbitrary sizes and contents cross the tunnel intact
+    /// and in order, under every scheme.
+    #[test]
+    fn cross_device_stream_is_exact_and_ordered(
+        scheme in scheme_strategy(),
+        lens in prop::collection::vec(0usize..20_000, 1..5),
+        seed in any::<u64>(),
+    ) {
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 2).scheme(scheme).build();
+        let a = v.devices[0].global(scc::geometry::CoreId(0));
+        let b = v.devices[1].global(scc::geometry::CoreId(0));
+        let s = v.session_builder().participants(vec![a, b]).build();
+        // Deterministic pseudo-random payloads.
+        let msgs: Vec<Vec<u8>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let mut rng = des::rng::DetRng::seed_from(seed ^ i as u64);
+                let mut v = vec![0u8; len];
+                rng.fill(&mut v);
+                v
+            })
+            .collect();
+        let expect = msgs.clone();
+        s.run_app(move |r| {
+            let msgs = msgs.clone();
+            let expect = expect.clone();
+            async move {
+                if r.id() == 0 {
+                    for m in &msgs {
+                        r.send(m, 1).await;
+                    }
+                } else {
+                    for e in &expect {
+                        let got = r.recv_vec(e.len(), 0).await;
+                        assert_eq!(&got, e, "stream corrupted under {:?}", scheme);
+                    }
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    /// Bidirectional random traffic between two cross-device ranks.
+    #[test]
+    fn cross_device_bidirectional(
+        scheme in scheme_strategy(),
+        len_a in 1usize..10_000,
+        len_b in 1usize..10_000,
+    ) {
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 2).scheme(scheme).build();
+        let a = v.devices[0].global(scc::geometry::CoreId(0));
+        let b = v.devices[1].global(scc::geometry::CoreId(0));
+        let s = v.session_builder().participants(vec![a, b]).build();
+        s.run_app(move |r| async move {
+            if r.id() == 0 {
+                let req = r.isend(vec![0xA1; len_a], 1);
+                let got = r.recv_vec(len_b, 1).await;
+                req.wait().await;
+                assert_eq!(got, vec![0xB2; len_b]);
+            } else {
+                let req = r.isend(vec![0xB2; len_b], 0);
+                let got = r.recv_vec(len_a, 0).await;
+                req.wait().await;
+                assert_eq!(got, vec![0xA1; len_a]);
+            }
+        })
+        .unwrap();
+    }
+
+    /// chunk_ranges tiles [0, len) exactly, in order, within the chunk cap.
+    #[test]
+    fn chunk_ranges_tile_exactly(len in 0usize..100_000, chunk in 1usize..9_000) {
+        let ranges = chunk_ranges(len, chunk);
+        prop_assert!(!ranges.is_empty());
+        if len == 0 {
+            prop_assert_eq!(ranges, vec![(0, 0)]);
+        } else {
+            prop_assert_eq!(ranges[0].0, 0);
+            prop_assert_eq!(ranges.last().unwrap().1, len);
+            for w in ranges.windows(2) {
+                prop_assert_eq!(w[0].1, w[1].0);
+            }
+            for (lo, hi) in ranges {
+                prop_assert!(hi > lo && hi - lo <= chunk);
+            }
+        }
+    }
+
+    /// Wrapping counter comparison is consistent with bounded distance:
+    /// a counter at distance < 128 ahead of the target is "reached".
+    #[test]
+    fn counter_reached_window(target in any::<u8>(), ahead in 0u8..128) {
+        let value = target.wrapping_add(ahead);
+        prop_assert!(counter_reached(value, target));
+        // And strictly behind (1..=128) is not reached.
+        let behind = target.wrapping_sub(ahead).wrapping_sub(1);
+        prop_assert!(!counter_reached(behind, target));
+    }
+
+    /// The host WCB reassembles any *linear* write stream exactly. (A
+    /// sender emits its chunk bytes in address order; the WCB does not
+    /// order overlapping runs, and the protocols never produce them —
+    /// see `hostwcb` docs.)
+    #[test]
+    fn wcb_reassembles_any_pattern(
+        granularity in 1usize..2_048,
+        pieces in prop::collection::vec((0usize..400, 1usize..700), 1..12),
+    ) {
+        let wcb = vscc::hostwcb::HostWcb::new(granularity);
+        let dst = scc::GlobalCore::new(1, 0);
+        let mut shadow = vec![0u8; scc::MPB_BYTES];
+        let mut touched = vec![false; scc::MPB_BYTES];
+        let mut delivered: Vec<vscc::hostwcb::PendingRun> = Vec::new();
+        let mut cursor = 0usize;
+        for (i, (gap, len)) in pieces.iter().enumerate() {
+            let off = (cursor + gap).min(scc::MPB_BYTES - len);
+            cursor = off + len;
+            let data = vec![(i % 251) as u8 + 1; *len];
+            shadow[off..off + len].copy_from_slice(&data);
+            touched[off..off + len].fill(true);
+            delivered.extend(wcb.append(dst, off as u16, &data));
+            if cursor >= scc::MPB_BYTES - 700 {
+                break;
+            }
+        }
+        delivered.extend(wcb.drain(dst));
+        // Apply the flush stream in order; the result must equal the
+        // shadow on every touched byte.
+        let mut out = vec![0u8; scc::MPB_BYTES];
+        for run in delivered {
+            out[run.offset as usize..run.offset as usize + run.data.len()]
+                .copy_from_slice(&run.data);
+        }
+        for i in 0..scc::MPB_BYTES {
+            if touched[i] {
+                prop_assert_eq!(out[i], shadow[i], "byte {} differs", i);
+            }
+        }
+        prop_assert_eq!(wcb.buffered(dst), 0);
+    }
+
+    /// The software cache never serves bytes that were not installed, and
+    /// serves installed ranges exactly.
+    #[test]
+    fn swcache_selectivity(
+        installs in prop::collection::vec((0usize..7_000, 1usize..1_000), 0..6),
+        probe_off in 0usize..7_500,
+        probe_len in 1usize..600,
+    ) {
+        let cache = vscc::swcache::SwCache::new();
+        let owner = scc::GlobalCore::new(0, 3);
+        let mut valid = vec![false; scc::MPB_BYTES];
+        let mut shadow = vec![0u8; scc::MPB_BYTES];
+        for (i, (off, len)) in installs.iter().enumerate() {
+            let off = (*off).min(scc::MPB_BYTES - *len);
+            let data = vec![i as u8 + 1; *len];
+            cache.begin_update(owner);
+            cache.complete_update(owner, off as u16, &data);
+            shadow[off..off + len].copy_from_slice(&data);
+            valid[off..off + len].fill(true);
+        }
+        let probe_off = probe_off.min(scc::MPB_BYTES - probe_len);
+        let hit = cache.read(owner, probe_off as u16, probe_len);
+        let fully_valid = valid[probe_off..probe_off + probe_len].iter().all(|&v| v);
+        prop_assert_eq!(hit.is_some(), fully_valid);
+        if let Some(bytes) = hit {
+            prop_assert_eq!(bytes, shadow[probe_off..probe_off + probe_len].to_vec());
+        }
+    }
+
+    /// The simulated clock is monotone and delays compose additively for
+    /// a single task.
+    #[test]
+    fn clock_is_monotone_and_additive(delays in prop::collection::vec(0u64..100_000, 1..20)) {
+        let sim = Sim::new();
+        let total: u64 = delays.iter().sum();
+        let s = sim.clone();
+        sim.spawn(async move {
+            let mut last = 0;
+            for d in delays {
+                s.delay(d).await;
+                prop_assert!(s.now() >= last);
+                last = s.now();
+            }
+            Ok(())
+        });
+        sim.run().unwrap();
+        prop_assert_eq!(sim.now(), total);
+    }
+
+    /// FIFO link: n contending transfers of equal size finish in arrival
+    /// order, spaced by exactly the occupancy.
+    #[test]
+    fn link_fifo_spacing(n in 1usize..20, bytes in 1u64..5_000, lat in 0u64..2_000) {
+        let sim = Sim::new();
+        let link = des::link::Link::new(des::link::Bandwidth::cycles_per_byte(3, 2), lat, 7);
+        let ends = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for _ in 0..n {
+            let (s, l, e) = (sim.clone(), link.clone(), ends.clone());
+            sim.spawn(async move {
+                l.transfer(&s, bytes).await;
+                e.borrow_mut().push(s.now());
+            });
+        }
+        sim.run().unwrap();
+        let ends = ends.borrow();
+        let occupy = (bytes * 3).div_ceil(2) + 7;
+        for (i, &t) in ends.iter().enumerate() {
+            prop_assert_eq!(t, occupy * (i as u64 + 1) + lat);
+        }
+    }
+}
