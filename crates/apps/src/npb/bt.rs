@@ -174,7 +174,8 @@ impl BtRank {
 
     fn payload(&self, len: usize, iter: usize, phase: u8, stage: usize, src: usize) -> Vec<u8> {
         let mut v = vec![(iter as u8) ^ (stage as u8).wrapping_mul(37) ^ phase; len];
-        let header = ((iter as u64) << 32) | ((phase as u64) << 24) | ((stage as u64) << 12) | src as u64;
+        let header =
+            ((iter as u64) << 32) | ((phase as u64) << 24) | ((stage as u64) << 12) | src as u64;
         let h = header.to_le_bytes();
         let k = len.min(8);
         v[..k].copy_from_slice(&h[..k]);
@@ -227,15 +228,34 @@ impl BtRank {
         let mut buf = vec![0u8; len];
         self.r.recv(&mut buf, from).await;
         let expect = self.payload(len, iter, phase, stage, from);
-        if buf != expect && std::env::var("BT_DEBUG").is_ok() {
+        if buf != expect {
             let first_bad = buf.iter().zip(&expect).position(|(a, b)| a != b).unwrap();
-            eprintln!(
-                "MISMATCH rank{} <- rank{from} iter{iter} phase{phase} stage{stage} len{len} first_bad@{first_bad} got {:?} want {:?} (got hdr {:?})",
-                self.r.id(),
-                &buf[first_bad..(first_bad + 8).min(len)],
-                &expect[first_bad..(first_bad + 8).min(len)],
-                &buf[..8.min(len)]
+            // Structured record for the trace export, stderr for humans.
+            let me = self.r.id();
+            self.r.ctx().session.trace().instant(
+                self.r.sim().now(),
+                des::trace::Category::App,
+                "bt_payload_mismatch",
+                || format!("rank{me}"),
+                || {
+                    des::fields![
+                        src = from as u64,
+                        iter = iter as u64,
+                        phase = phase as u64,
+                        stage = stage as u64,
+                        len = len as u64,
+                        first_bad = first_bad as u64
+                    ]
+                },
             );
+            if std::env::var("BT_DEBUG").is_ok() {
+                eprintln!(
+                    "MISMATCH rank{me} <- rank{from} iter{iter} phase{phase} stage{stage} len{len} first_bad@{first_bad} got {:?} want {:?} (got hdr {:?})",
+                    &buf[first_bad..(first_bad + 8).min(len)],
+                    &expect[first_bad..(first_bad + 8).min(len)],
+                    &buf[..8.min(len)]
+                );
+            }
         }
         self.ok &= buf == expect;
         self.messages += 1;
@@ -301,7 +321,7 @@ impl BtRank {
         self.sweep(1, 0, iter, 0).await; // x
         self.sweep(0, 1, iter, 2).await; // y
         self.sweep(-1, -1, iter, 4).await; // z
-        // add: the remaining ~9%.
+                                           // add: the remaining ~9%.
         self.r.compute(per_rank * 9 / 100).await;
     }
 }
@@ -320,15 +340,8 @@ pub fn run_bt(session: &Session, cfg: &BtConfig) -> Result<BtResult, SimError> {
         async move {
             let q = cfg.q();
             let me = r.id();
-            let mut bt = BtRank {
-                r: r.clone(),
-                q,
-                pi: me % q,
-                pj: me / q,
-                cfg,
-                ok: true,
-                messages: 0,
-            };
+            let mut bt =
+                BtRank { r: r.clone(), q, pi: me % q, pj: me / q, cfg, ok: true, messages: 0 };
             for iter in 0..bt.cfg.warmup {
                 bt.iteration(iter).await;
             }

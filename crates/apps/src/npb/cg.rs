@@ -206,7 +206,8 @@ impl CgRank {
         // Transpose exchange (send the reduced segment to the transposed
         // position in the grid; with cols == 2*rows the partner halves).
         let t_row = self.col % self.rows;
-        let t_col = self.row + if self.cols > self.rows { self.rows * (self.col / self.rows) } else { 0 };
+        let t_col =
+            self.row + if self.cols > self.rows { self.rows * (self.col / self.rows) } else { 0 };
         let transpose = self.rank_of(t_row, t_col % self.cols);
         self.exchange(transpose, seg, tag_base + 40).await;
         // Two dot products over the distributed vectors.
@@ -323,9 +324,7 @@ mod tests {
     #[test]
     fn cg_verifies_cross_device() {
         let sim = Sim::new();
-        let v = vscc::VsccBuilder::new(&sim, 2)
-            .scheme(vscc::CommScheme::LocalPutLocalGet)
-            .build();
+        let v = vscc::VsccBuilder::new(&sim, 2).scheme(vscc::CommScheme::LocalPutLocalGet).build();
         let s = v.session_builder().cores_per_device(8).build();
         let res = run_cg(&s, &CgConfig::new(CgClass::S, 16)).unwrap();
         assert!(res.verified, "CG corrupted across the tunnel");

@@ -5,7 +5,9 @@
 //! fresh system per measurement point so runs are independent and
 //! deterministic.
 
+use des::obs::Registry;
 use des::time::CORE_FREQ;
+use des::trace::{Category, Trace};
 use des::Sim;
 use rcce::{PipelinedProtocol, SessionBuilder};
 use scc::device::SccDevice;
@@ -67,10 +69,53 @@ pub fn onchip(pipelined: bool, size: usize, reps: usize) -> PingPongPoint {
     point(&sim, size, reps)
 }
 
+/// Like [`onchip`], but with the device metrics registered and all trace
+/// categories enabled; returns the observability handles alongside the
+/// measurement (for `VSCC_TRACE` / `VSCC_METRICS` exports).
+pub fn onchip_observed(
+    pipelined: bool,
+    size: usize,
+    reps: usize,
+) -> (PingPongPoint, Trace, Registry) {
+    let sim = Sim::new();
+    let reg = Registry::new();
+    let dev = SccDevice::new(&sim, DeviceId(0));
+    dev.register_metrics(&reg);
+    let mut b = SessionBuilder::new(&sim, vec![dev]).max_ranks(2).with_trace().with_metrics(&reg);
+    if pipelined {
+        b = b.onchip_protocol(std::rc::Rc::new(PipelinedProtocol::default()));
+    }
+    let s = b.build();
+    s.run_app(move |r| bounce(r, size, reps)).expect("on-chip ping-pong");
+    (point(&sim, size, reps), s.trace(), reg)
+}
+
 /// Inter-device ping-pong between core 0 of device 0 and core 0 of
 /// device 1 under the given scheme.
 pub fn interdevice(scheme: CommScheme, size: usize, reps: usize) -> PingPongPoint {
     interdevice_on(scheme, size, reps, 2)
+}
+
+/// Like [`interdevice`], but with every layer's metrics in one registry
+/// and all trace categories enabled.
+pub fn interdevice_observed(
+    scheme: CommScheme,
+    size: usize,
+    reps: usize,
+) -> (PingPongPoint, Trace, Registry) {
+    let sim = Sim::new();
+    let reg = Registry::new();
+    let v = VsccBuilder::new(&sim, 2)
+        .scheme(scheme)
+        .metrics_registry(&reg)
+        .trace_categories(&Category::ALL)
+        .build();
+    let a = v.devices[0].global(CoreId(0));
+    let b = v.devices[1].global(CoreId(0));
+    let s = v.session_builder().participants(vec![a, b]).build();
+    s.run_app(move |r| bounce(r, size, reps)).expect("inter-device ping-pong");
+    let trace = v.trace().clone();
+    (point(&sim, size, reps), trace, reg)
 }
 
 /// Inter-device ping-pong on a system of `n_devices` (the extra devices

@@ -50,7 +50,7 @@ fn unpack(buf: &[u8], row: &mut [f64]) {
 /// `height / num_ranks` rows plus two halo rows.
 pub fn run_stencil(session: &Session, cfg: &StencilConfig) -> Result<StencilResult, SimError> {
     let n = session.num_ranks();
-    assert!(cfg.height % n == 0, "height must divide evenly over ranks");
+    assert!(cfg.height.is_multiple_of(n), "height must divide evenly over ranks");
     let cfg = cfg.clone();
     let results = session.run_app(move |r| {
         let cfg = cfg.clone();
@@ -64,12 +64,10 @@ pub fn run_stencil(session: &Session, cfg: &StencilConfig) -> Result<StencilResu
             let mut next = grid.clone();
             // Initial condition: a hot square in the global centre.
             let (gy0, gy1) = (cfg.height / 4, 3 * cfg.height / 4);
-            for ly in 1..=rows {
+            for (ly, row) in grid.iter_mut().enumerate().take(rows + 1).skip(1) {
                 let gy = me * rows + (ly - 1);
                 if (gy0..gy1).contains(&gy) {
-                    for x in w / 4..3 * w / 4 {
-                        grid[ly][x] = 100.0;
-                    }
+                    row[w / 4..3 * w / 4].fill(100.0);
                 }
             }
             for iter in 0..cfg.iterations {
@@ -108,7 +106,8 @@ pub fn run_stencil(session: &Session, cfg: &StencilConfig) -> Result<StencilResu
                         let left = grid[y][x.saturating_sub(1)];
                         let right = grid[y][(x + 1).min(w - 1)];
                         let c = grid[y][x];
-                        next[y][x] = c + 0.2 * (grid[y - 1][x] + grid[y + 1][x] + left + right - 4.0 * c);
+                        next[y][x] =
+                            c + 0.2 * (grid[y - 1][x] + grid[y + 1][x] + left + right - 4.0 * c);
                     }
                 }
                 std::mem::swap(&mut grid, &mut next);

@@ -7,10 +7,9 @@
 //! volume).
 
 use rcce::Session;
-use serde::Serialize;
 
 /// A dense traffic matrix with rank→device mapping.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TrafficMatrix {
     /// `bytes[src][dest]` payload bytes.
     pub bytes: Vec<Vec<u64>>,
@@ -124,13 +123,41 @@ impl TrafficMatrix {
                     // levels of the paper's figure.
                     let level = ((b as f64).ln() / (max as f64).ln() * (SHADES.len() - 1) as f64)
                         .round()
-                        .clamp(1.0, (SHADES.len() - 1) as f64) as usize;
+                        .clamp(1.0, (SHADES.len() - 1) as f64)
+                        as usize;
                     SHADES[level]
                 };
                 out.push(shade as char);
             }
             out.push('\n');
         }
+        out
+    }
+
+    /// JSON dump of the full matrix (machine-readable Fig. 8 artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"bytes\":[");
+        for (s, row) in self.bytes.iter().enumerate() {
+            if s > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (d, &b) in row.iter().enumerate() {
+                if d > 0 {
+                    out.push(',');
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push(']');
+        }
+        out.push_str("],\"device_of\":[");
+        for (i, &dev) in self.device_of.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&dev.to_string());
+        }
+        out.push_str("]}");
         out
     }
 
@@ -218,6 +245,14 @@ mod tests {
         assert!(r.contains("4 ranks"));
         assert!(r.contains('|'), "device boundary column marker expected");
         assert!(r.lines().count() >= 5);
+    }
+
+    #[test]
+    fn json_round_shape() {
+        let m = sample();
+        let j = m.to_json();
+        assert!(j.starts_with("{\"bytes\":[["));
+        assert!(j.ends_with("\"device_of\":[0,0,1,1]}"));
     }
 
     #[test]

@@ -30,18 +30,12 @@ fn main() {
     );
     println!(
         "{}",
-        vscc_bench::header(
-            "ranks",
-            &["vDMA GF/s".into(), "routed GF/s".into(), "x-dev %".into()]
-        )
+        vscc_bench::header("ranks", &["vDMA GF/s".into(), "routed GF/s".into(), "x-dev %".into()])
     );
     for ranks in [4usize, 8, 16, 32, 64] {
         let (best, xf) = cg_point(CommScheme::LocalPutLocalGet, ranks);
         let (worst, _) = cg_point(CommScheme::SimpleRouting, ranks);
-        println!(
-            "{}",
-            vscc_bench::row(&format!("{ranks:>5}"), &[best, worst, xf * 100.0])
-        );
+        println!("{}", vscc_bench::row(&format!("{ranks:>5}"), &[best, worst, xf * 100.0]));
     }
 
     // Contrast the traffic structure with BT at the same scale. (At 16

@@ -8,15 +8,19 @@
 
 use std::rc::Rc;
 
+use des::obs::Registry;
+use des::trace::Trace;
 use des::Sim;
 use rcce::{PipelinedProtocol, SessionBuilder};
 use scc::device::SccDevice;
 use scc::geometry::DeviceId;
 
-fn run(pipelined: bool, size: usize) -> (u64, String) {
+fn run(pipelined: bool, size: usize) -> (u64, String, Trace, Registry) {
     let sim = Sim::new();
+    let reg = Registry::new();
     let dev = SccDevice::new(&sim, DeviceId(0));
-    let mut b = SessionBuilder::new(&sim, vec![dev]).max_ranks(2).with_trace();
+    dev.register_metrics(&reg);
+    let mut b = SessionBuilder::new(&sim, vec![dev]).max_ranks(2).with_trace().with_metrics(&reg);
     if pipelined {
         b = b.onchip_protocol(Rc::new(PipelinedProtocol::default()));
     }
@@ -30,14 +34,14 @@ fn run(pipelined: bool, size: usize) -> (u64, String) {
         }
     })
     .expect("protocol run");
-    (sim.now(), s.trace().render())
+    (sim.now(), s.trace().render(), s.trace(), reg)
 }
 
 fn main() {
     vscc_bench::banner("Figure 2", "timely behaviour of blocking vs pipelined protocols");
     let size = 16 * 1024;
-    let (t_block, trace_block) = run(false, size);
-    let (t_pipe, trace_pipe) = run(true, size);
+    let (t_block, trace_block, events_block, _) = run(false, size);
+    let (t_pipe, trace_pipe, events_pipe, metrics_pipe) = run(true, size);
 
     println!("\n--- (a) RCCE blocking, {size} B message, completion at {t_block} cycles ---");
     println!("{trace_block}");
@@ -48,4 +52,9 @@ fn main() {
         (1.0 - t_pipe as f64 / t_block as f64) * 100.0
     );
     assert!(t_pipe < t_block, "Fig. 2's qualitative result must hold");
+
+    vscc_bench::export_observability(
+        &metrics_pipe,
+        &[("blocking", &events_block), ("pipelined", &events_pipe)],
+    );
 }

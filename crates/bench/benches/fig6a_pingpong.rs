@@ -14,11 +14,9 @@ fn main() {
     let sizes = pingpong::fig6_sizes();
     let reps = 3;
 
-    let cols: Vec<String> = ["size", "RCCE", "iRCCE", "vDMA", "routed"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-    println!("{}", vscc_bench::header("series", &cols[1..].to_vec()));
+    let cols: Vec<String> =
+        ["size", "RCCE", "iRCCE", "vDMA", "routed"].iter().map(|s| s.to_string()).collect();
+    println!("{}", vscc_bench::header("series", &cols[1..]));
 
     struct Row {
         size: usize,
@@ -40,15 +38,19 @@ fn main() {
         max_onchip = max_onchip.max(r.ircce).max(r.rcce);
         println!(
             "{}",
-            vscc_bench::row(
-                &format!("{:>8} B", r.size),
-                &[r.rcce, r.ircce, r.vdma, r.routed]
-            )
+            vscc_bench::row(&format!("{:>8} B", r.size), &[r.rcce, r.ircce, r.vdma, r.routed])
         );
     }
     println!("\nmax on-chip throughput: {max_onchip:.1} MB/s (paper: 'about 150 MB/s')");
-    assert!(
-        (110.0..200.0).contains(&max_onchip),
-        "on-chip ceiling out of the calibrated band"
-    );
+    assert!((110.0..200.0).contains(&max_onchip), "on-chip ceiling out of the calibrated band");
+
+    if vscc_bench::observability_requested() {
+        let (_, onchip_trace, _) = pingpong::onchip_observed(true, 64 * 1024, 1);
+        let (_, vdma_trace, vdma_reg) =
+            pingpong::interdevice_observed(CommScheme::LocalPutLocalGet, 64 * 1024, 1);
+        vscc_bench::export_observability(
+            &vdma_reg,
+            &[("ircce-onchip-64K", &onchip_trace), ("vdma-interdevice-64K", &vdma_trace)],
+        );
+    }
 }

@@ -69,4 +69,15 @@ fn main() {
         dip(CommScheme::LocalPutRemoteGet),
         dip(CommScheme::LocalPutLocalGet)
     );
+
+    if vscc_bench::observability_requested() {
+        let (_, vdma_trace, vdma_reg) =
+            pingpong::interdevice_observed(CommScheme::LocalPutLocalGet, 8192, 1);
+        let (_, lprg_trace, _) =
+            pingpong::interdevice_observed(CommScheme::LocalPutRemoteGet, 8192, 1);
+        vscc_bench::export_observability(
+            &vdma_reg,
+            &[("vdma-8K", &vdma_trace), ("lprg-8K", &lprg_trace)],
+        );
+    }
 }

@@ -45,10 +45,7 @@ fn main() {
     });
 
     for (ranks, best, worst) in &rows {
-        println!(
-            "{}",
-            vscc_bench::row(&format!("{ranks:>5}"), &[*best, *worst, *best / *worst])
-        );
+        println!("{}", vscc_bench::row(&format!("{ranks:>5}"), &[*best, *worst, *best / *worst]));
     }
 
     let single_device = rows.iter().find(|(r, _, _)| *r == 36).expect("36-rank row");
@@ -63,4 +60,18 @@ fn main() {
         largest.1 > 2.0 * largest.2,
         "host-accelerated communication must clearly beat transparent routing"
     );
+
+    if vscc_bench::observability_requested() {
+        // One small fully-observed BT run for the exports.
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 1)
+            .scheme(CommScheme::LocalPutLocalGet)
+            .trace_categories(&des::trace::Category::ALL)
+            .build();
+        let s = v.session_with_ranks(16);
+        let mut cfg = BtConfig::new(BtClass::C, 16);
+        cfg.measured = 1;
+        run_bt(&s, &cfg).expect("observed BT run");
+        vscc_bench::export_observability(v.metrics(), &[("bt-class-c-16", v.trace())]);
+    }
 }

@@ -15,7 +15,11 @@ fn main() {
     vscc_bench::banner("Figure 8", "NPB BT (class C) communication traffic of 64 cores");
     let ranks = 64usize;
     let sim = Sim::new();
-    let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet).build();
+    let mut b = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet);
+    if vscc_bench::observability_requested() {
+        b = b.trace_categories(&des::trace::Category::ALL);
+    }
+    let v = b.build();
     let s = v.session_with_ranks(ranks);
     let mut cfg = BtConfig::new(BtClass::C, ranks);
     cfg.measured = 2;
@@ -24,8 +28,8 @@ fn main() {
 
     // Scale the recorded (warmup + measured) iterations to the full run.
     let simulated_iters = (cfg.warmup + cfg.measured) as u64;
-    let full = TrafficMatrix::capture(&s)
-        .scaled(BtClass::C.full_iterations() as u64, simulated_iters);
+    let full =
+        TrafficMatrix::capture(&s).scaled(BtClass::C.full_iterations() as u64, simulated_iters);
 
     println!("{}", full.render());
     let (src, dst, bytes) = full.max_pair();
@@ -45,4 +49,6 @@ fn main() {
         "max pairwise traffic must be in the paper's order of magnitude"
     );
     assert!(full.neighbour_fraction(9) > 0.5, "the pattern must be neighbourhood-based");
+
+    vscc_bench::export_observability(v.metrics(), &[("bt-class-c-64", v.trace())]);
 }

@@ -54,7 +54,7 @@ fn main() {
         )
     );
 
-    let mut failures_at = vec![0u64; 6];
+    let mut failures_at = [0u64; 6];
     for n in 2u8..=5 {
         let mut row = Vec::new();
         for (i, &vol) in volumes.iter().enumerate() {

@@ -27,11 +27,7 @@ fn latency(scheme: CommScheme, threshold: usize, size: usize) -> f64 {
         }
         _ => unreachable!("threshold applies to the explicit schemes"),
     };
-    let s = v
-        .session_builder()
-        .participants(vec![a, b])
-        .interdevice_protocol(proto)
-        .build();
+    let s = v.session_builder().participants(vec![a, b]).interdevice_protocol(proto).build();
     s.run_app(move |r| async move {
         if r.id() == 0 {
             r.send(&vec![1u8; size], 1).await;
@@ -51,10 +47,9 @@ fn main() {
         "small-message one-way latency in us: direct transfer vs controller path",
     );
     let sizes = [16usize, 32, 64, 96, 128, 192, 256, 512];
-    for (scheme, default_thr) in [
-        (CommScheme::LocalPutLocalGet, 128usize),
-        (CommScheme::LocalPutRemoteGet, 96usize),
-    ] {
+    for (scheme, default_thr) in
+        [(CommScheme::LocalPutLocalGet, 128usize), (CommScheme::LocalPutRemoteGet, 96usize)]
+    {
         println!("\n{} (default threshold {default_thr} B)", scheme.name());
         println!(
             "{}",
@@ -66,18 +61,11 @@ fn main() {
         for &size in &sizes {
             let on = latency(scheme, default_thr, size);
             let off = latency(scheme, 0, size);
-            println!(
-                "{}",
-                vscc_bench::row(&format!("{size:>5} B"), &[on, off, off / on])
-            );
+            println!("{}", vscc_bench::row(&format!("{size:>5} B"), &[on, off, off / on]));
         }
         // Below the threshold, the direct path must win clearly.
         let on = latency(scheme, default_thr, 64);
         let off = latency(scheme, 0, 64);
-        assert!(
-            on < off,
-            "{}: direct path must cut small-message latency",
-            scheme.name()
-        );
+        assert!(on < off, "{}: direct path must cut small-message latency", scheme.name());
     }
 }

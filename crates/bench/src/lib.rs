@@ -9,6 +9,9 @@
 
 use std::sync::Mutex;
 
+use des::obs::{Registry, METRICS_ENV, TRACE_ENV};
+use des::trace::Trace;
+
 /// Print a figure/table banner.
 pub fn banner(id: &str, caption: &str) {
     println!("\n================================================================");
@@ -36,10 +39,35 @@ pub fn header(label: &str, columns: &[String]) -> String {
 
 /// Human-readable byte sizes for column headers.
 pub fn size_label(bytes: usize) -> String {
-    if bytes >= 1024 && bytes % 1024 == 0 {
+    if bytes >= 1024 && bytes.is_multiple_of(1024) {
         format!("{}K", bytes / 1024)
     } else {
         format!("{bytes}")
+    }
+}
+
+/// Whether either observability env var asks for an export. Benches use
+/// this to skip the extra fully-traced run when nobody wants the output.
+pub fn observability_requested() -> bool {
+    let set = |var: &str| std::env::var(var).map(|v| !v.is_empty()).unwrap_or(false);
+    set(TRACE_ENV) || set(METRICS_ENV)
+}
+
+/// Honour the observability env vars at the end of a bench target: write
+/// the Chrome trace of `traces` when `VSCC_TRACE=path` is set and the
+/// metrics snapshot of `registry` when `VSCC_METRICS=path` is set (see
+/// DESIGN.md §"Observability"). Prints the paths written so the user can
+/// find the artifacts in the bench output.
+pub fn export_observability(registry: &Registry, traces: &[(&str, &Trace)]) {
+    match des::obs::export_trace_if_env(traces) {
+        Ok(Some(path)) => println!("[obs] Chrome trace written to {path} ({TRACE_ENV})"),
+        Ok(None) => {}
+        Err(e) => eprintln!("[obs] {TRACE_ENV} export failed: {e}"),
+    }
+    match des::obs::export_metrics_if_env(registry) {
+        Ok(Some(path)) => println!("[obs] metrics snapshot written to {path} ({METRICS_ENV})"),
+        Ok(None) => {}
+        Err(e) => eprintln!("[obs] {METRICS_ENV} export failed: {e}"),
     }
 }
 
@@ -58,9 +86,9 @@ where
     out.resize_with(n, || None);
     let out = Mutex::new(out);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -69,8 +97,7 @@ where
                 out.lock().expect("sweep mutex")[i] = Some(r);
             });
         }
-    })
-    .expect("sweep threads");
+    });
     out.into_inner()
         .expect("sweep mutex")
         .into_iter()

@@ -195,10 +195,7 @@ mod tests {
         };
         let t_async = run(true);
         let t_sync = run(false);
-        assert!(
-            t_async < t_sync,
-            "asynchronous overlap ({t_async}) must beat blocking ({t_sync})"
-        );
+        assert!(t_async < t_sync, "asynchronous overlap ({t_async}) must beat blocking ({t_sync})");
     }
 
     #[test]

@@ -21,7 +21,10 @@ use std::cell::RefCell;
 use std::rc::{Rc, Weak};
 
 use des::channel::{unbounded, Receiver, Sender};
+use des::fields;
+use des::obs::Registry;
 use des::stats::Counter;
+use des::trace::{Category, Trace};
 use des::Sim;
 use pcie::{FastAck, HostFabric, PcieModel};
 use rcce::layout::{self, OFF_PAYLOAD};
@@ -77,6 +80,20 @@ pub struct HostStats {
     pub direct_writes: Counter,
 }
 
+impl HostStats {
+    /// Surface the counters in `registry` under `host.*`. Field access
+    /// (`host.stats.routed_lines.get()`) keeps working; the registry
+    /// shares the same handles.
+    pub fn register(&self, registry: &Registry) {
+        let host = registry.scoped("host");
+        host.adopt_counter("routed_lines", &self.routed_lines);
+        host.adopt_counter("flag_forwards", &self.flag_forwards);
+        host.adopt_counter("vdma_ops", &self.vdma_ops);
+        host.adopt_counter("cache_updates", &self.cache_updates);
+        host.adopt_counter("direct_writes", &self.direct_writes);
+    }
+}
+
 /// The communication task and fabric.
 pub struct HostSide {
     sim: Sim,
@@ -92,6 +109,7 @@ pub struct HostSide {
     pub fastack: FastAck,
     /// Operation counters.
     pub stats: HostStats,
+    trace: Trace,
     cfg: HostConfig,
     me: Weak<HostSide>,
     devices: RefCell<Vec<Weak<SccDevice>>>,
@@ -101,24 +119,48 @@ pub struct HostSide {
 
 impl HostSide {
     /// Create the host side for `n_devices` devices with `scheme` active,
-    /// then [`HostSide::attach`] the devices.
+    /// then [`HostSide::attach`] the devices. Metrics land in a private
+    /// registry and tracing is off; see [`HostSide::with_obs`].
     pub fn new(sim: &Sim, n_devices: u8, scheme: CommScheme, cfg: HostConfig) -> Rc<Self> {
+        Self::with_obs(sim, n_devices, scheme, cfg, &Registry::new(), Trace::disabled())
+    }
+
+    /// Like [`HostSide::new`], but reporting into a shared `registry`
+    /// (`host.*`, `pcie.*` names) and emitting structured events into
+    /// `trace` ([`Category::Pcie`] / [`Category::Vdma`]).
+    pub fn with_obs(
+        sim: &Sim,
+        n_devices: u8,
+        scheme: CommScheme,
+        cfg: HostConfig,
+        registry: &Registry,
+        trace: Trace,
+    ) -> Rc<Self> {
         let fabric = HostFabric::new(cfg.model.clone(), n_devices);
+        fabric.register_metrics(registry);
         let fast = cfg.fast_ack || scheme == CommScheme::RemotePutHwAck;
+        let stats = HostStats::default();
+        stats.register(registry);
         Rc::new_cyclic(|me| HostSide {
             sim: sim.clone(),
             fabric,
             scheme,
-            cache: SwCache::new(),
-            wcb: HostWcb::new(cfg.wcb_granularity),
+            cache: SwCache::with_registry(registry),
+            wcb: HostWcb::with_registry(cfg.wcb_granularity, registry),
             fastack: FastAck::new(fast, n_devices as usize, cfg.seed),
-            stats: HostStats::default(),
+            stats,
+            trace,
             cfg,
             me: me.clone(),
             devices: RefCell::new(Vec::new()),
             registered: RefCell::new(std::collections::HashMap::new()),
             workers: RefCell::new(Vec::new()),
         })
+    }
+
+    /// The structured trace host events go to.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Wire the devices to this host: installs `self` as each device's
@@ -139,9 +181,7 @@ impl HostSide {
     }
 
     fn device(&self, id: DeviceId) -> Rc<SccDevice> {
-        self.devices.borrow()[id.0 as usize]
-            .upgrade()
-            .expect("device dropped while host running")
+        self.devices.borrow()[id.0 as usize].upgrade().expect("device dropped while host running")
     }
 
     /// The configured DMA chunk size.
@@ -158,7 +198,9 @@ impl HostSide {
         self.registered
             .borrow()
             .get(&addr.owner)
-            .map(|&(off, rlen)| addr.offset >= off && addr.offset as usize + len <= off as usize + rlen)
+            .map(|&(off, rlen)| {
+                addr.offset >= off && addr.offset as usize + len <= off as usize + rlen
+            })
             .unwrap_or(false)
     }
 
@@ -172,7 +214,16 @@ impl HostSide {
                 HostCmd::CacheUpdate { owner, offset, len } => {
                     self.do_cache_update(owner, offset, len).await;
                 }
-                HostCmd::VdmaStart { src, src_off, dst, dst_off, len, seq, src_rank, drain_seq } => {
+                HostCmd::VdmaStart {
+                    src,
+                    src_off,
+                    dst,
+                    dst_off,
+                    len,
+                    seq,
+                    src_rank,
+                    drain_seq,
+                } => {
                     self.do_vdma(src, src_off, dst, dst_off, len, seq, src_rank, drain_seq).await;
                 }
                 // Handled synchronously at MMIO arrival; never queued.
@@ -186,18 +237,25 @@ impl HostSide {
     /// be answered "in parallel after a warmup phase" (§3.2).
     async fn do_cache_update(&self, owner: GlobalCore, offset: u16, len: usize) {
         let sim = &self.sim;
+        self.trace.begin(
+            sim.now(),
+            Category::Pcie,
+            "prefetch",
+            || format!("commtask-d{}", owner.device.0),
+            || fields![core = owner.core.0 as u64, offset = offset as u64, bytes = len as u64],
+        );
         let port = self.fabric.port(owner.device);
         for (lo, hi) in rcce::protocol::chunk_ranges(len, self.cfg.dma_chunk) {
             port.egress.transfer(sim, self.cfg.model.host_dma_bytes((hi - lo) as u64)).await;
             self.fabric.host_mem.reserve(sim, (hi - lo) as u64);
             let mut buf = vec![0u8; hi - lo];
-            self.device(owner.device)
-                .mpb(owner.core)
-                .read(offset as usize + lo, &mut buf);
+            self.device(owner.device).mpb(owner.core).read(offset as usize + lo, &mut buf);
             self.cache.install(owner, offset + lo as u16, &buf);
         }
         self.cache.finish_update(owner);
         self.stats.cache_updates.inc();
+        self.trace
+            .end(sim.now(), Category::Pcie, "prefetch", || format!("commtask-d{}", owner.device.0));
     }
 
     /// Execute one vDMA copy: `src` MPB → host → `dst` MPB, pipelined at
@@ -217,6 +275,20 @@ impl HostSide {
     ) {
         assert_ne!(src.device, dst.device, "vDMA serves inter-device copies only");
         let sim = &self.sim;
+        self.trace.begin(
+            sim.now(),
+            Category::Vdma,
+            "vdma",
+            || format!("commtask-d{}", src.device.0),
+            || {
+                fields![
+                    src_dev = src.device.0 as u64,
+                    dst_dev = dst.device.0 as u64,
+                    bytes = len as u64,
+                    seq = seq as u64
+                ]
+            },
+        );
         // Descriptor setup in the daemon before any wire activity.
         sim.delay(self.cfg.model.dma_descriptor_cycles).await;
         let sport = self.fabric.port(src.device);
@@ -249,6 +321,13 @@ impl HostSide {
                 host.device(src.device)
                     .mpb(src.core)
                     .write_byte(layout::OFF_VDMA_DONE as usize, drain_seq);
+                host.trace.instant(
+                    sim2.now(),
+                    Category::Vdma,
+                    "drain_flag",
+                    || format!("commtask-d{}", src.device.0),
+                    || fields![seq = drain_seq as u64],
+                );
             });
         }
         sim.delay_until(last_arrival.max(drain_arrival)).await;
@@ -260,6 +339,7 @@ impl HostSide {
             .mpb(dst.core)
             .write_byte(layout::sent_flag(dst, src_rank as usize).offset as usize, seq);
         self.stats.vdma_ops.inc();
+        self.trace.end(sim.now(), Category::Vdma, "vdma", || format!("commtask-d{}", src.device.0));
     }
 
     /// Forward a classified flag write to its device, preserving order
@@ -268,6 +348,13 @@ impl HostSide {
         let sim = self.sim.clone();
         let host = self.clone();
         self.stats.flag_forwards.inc();
+        self.trace.instant(
+            sim.now(),
+            Category::Pcie,
+            "flag_forward",
+            || format!("commtask-d{}", addr.owner.device.0),
+            || fields![core = addr.owner.core.0 as u64, offset = addr.offset as u64],
+        );
         // Ordering: drain WCB runs for this destination *before* reserving
         // the flag's slot on the ingress link.
         let runs = if self.scheme == CommScheme::RemotePutWcb {
@@ -302,9 +389,7 @@ impl HostSide {
         let arrival = self.fabric.port(addr.owner.device).ingress.reserve(&sim, data.len() as u64);
         self.sim.spawn_named("payload-forward", async move {
             sim.delay_until(arrival).await;
-            host.device(addr.owner.device)
-                .mpb(addr.owner.core)
-                .write(addr.offset as usize, &data);
+            host.device(addr.owner.device).mpb(addr.owner.core).write(addr.offset as usize, &data);
         });
     }
 
@@ -323,6 +408,13 @@ impl HostSide {
         sim.delay(m.sw_forward_cycles).await;
         rport.ingress.transfer(sim, LINE_BYTES as u64).await;
         self.stats.routed_lines.inc();
+        self.trace.instant(
+            sim.now(),
+            Category::Pcie,
+            "routed_line",
+            || format!("commtask-d{}", requester.0),
+            || fields![target_dev = target.0 as u64],
+        );
     }
 }
 
@@ -427,8 +519,7 @@ impl RemoteFabric for HostSide {
                     // granule delivery pipelines with the sender's stream.
                     let sport = self.fabric.port(src.device);
                     let mut wire_free = sim.now();
-                    for (lo, hi) in
-                        rcce::protocol::chunk_ranges(data.len(), self.wcb.granularity())
+                    for (lo, hi) in rcce::protocol::chunk_ranges(data.len(), self.wcb.granularity())
                     {
                         let r = sport.egress.reserve_timed(&sim, (hi - lo) as u64);
                         wire_free = r.wire_free;
@@ -448,6 +539,13 @@ impl RemoteFabric for HostSide {
                     sport.egress.transfer(&sim, data.len() as u64).await;
                     sim.delay(self.cfg.model.sw_answer_cycles).await;
                     self.stats.direct_writes.inc();
+                    self.trace.instant(
+                        sim.now(),
+                        Category::Pcie,
+                        "direct_write",
+                        || format!("commtask-d{}", addr.owner.device.0),
+                        || fields![bytes = data.len() as u64],
+                    );
                     this.deliver_payload(addr, data);
                 }
             }
@@ -465,6 +563,19 @@ impl RemoteFabric for HostSide {
                 // scratch MMIO space (and still cost the transaction).
                 return;
             };
+            let kind = match &cmd {
+                HostCmd::VdmaStart { .. } => "mmio_vdma_start",
+                HostCmd::CacheUpdate { .. } => "mmio_cache_update",
+                HostCmd::CacheInvalidate { .. } => "mmio_cache_invalidate",
+                HostCmd::RegisterBuffer { .. } => "mmio_register_buffer",
+            };
+            self.trace.instant(
+                sim.now(),
+                Category::Vdma,
+                kind,
+                || format!("commtask-d{}", line.src.device.0),
+                || fields![core = line.src.core.0 as u64],
+            );
             match cmd {
                 HostCmd::RegisterBuffer { owner, offset, len } => {
                     self.registered.borrow_mut().insert(owner, (offset, len));
@@ -478,13 +589,11 @@ impl RemoteFabric for HostSide {
                     self.cache.begin_update(owner);
                     self.workers.borrow()[line.src.device.0 as usize]
                         .try_send(cmd)
-                        .ok()
                         .expect("worker queue is unbounded");
                 }
                 HostCmd::VdmaStart { .. } => {
                     self.workers.borrow()[line.src.device.0 as usize]
                         .try_send(cmd)
-                        .ok()
                         .expect("worker queue is unbounded");
                 }
             }

@@ -18,6 +18,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use des::obs::Registry;
 use des::stats::Counter;
 use scc::{GlobalCore, MPB_BYTES};
 
@@ -33,6 +34,15 @@ pub struct PendingRun {
 #[derive(Default)]
 struct State {
     pending: HashMap<GlobalCore, Vec<PendingRun>>,
+}
+
+/// A named snapshot of the buffer's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostWcbStats {
+    /// Complete granules emitted (append-triggered or drained).
+    pub flushes: u64,
+    /// Stores merged into the preceding contiguous run.
+    pub merges: u64,
 }
 
 /// The write-combining buffer.
@@ -54,6 +64,16 @@ impl HostWcb {
             flushes: Counter::new(),
             merges: Counter::new(),
         }
+    }
+
+    /// Like [`HostWcb::new`], but with the counters registered in
+    /// `registry` under `host.wcb.{flushes, merges}`.
+    pub fn with_registry(granularity: usize, registry: &Registry) -> Self {
+        let scope = registry.scoped("host").scoped("wcb");
+        let mut wcb = Self::new(granularity);
+        wcb.flushes = scope.counter("flushes");
+        wcb.merges = scope.counter("merges");
+        wcb
     }
 
     /// The flush granularity in bytes.
@@ -110,9 +130,9 @@ impl HostWcb {
             .unwrap_or(0)
     }
 
-    /// (granule flushes emitted, contiguous merges).
-    pub fn stats(&self) -> (u64, u64) {
-        (self.flushes.get(), self.merges.get())
+    /// Current counter values, by name.
+    pub fn stats(&self) -> HostWcbStats {
+        HostWcbStats { flushes: self.flushes.get(), merges: self.merges.get() }
     }
 }
 
@@ -130,7 +150,16 @@ mod tests {
         assert!(w.append(dst(), 512, &[1; 100]).is_empty());
         assert!(w.append(dst(), 612, &[2; 100]).is_empty());
         assert_eq!(w.buffered(dst()), 200);
-        assert_eq!(w.stats().1, 1, "contiguous append must merge");
+        assert_eq!(w.stats().merges, 1, "contiguous append must merge");
+    }
+
+    #[test]
+    fn registry_backed_wcb_reports_named_metrics() {
+        let reg = Registry::new();
+        let w = HostWcb::with_registry(256, &reg);
+        w.append(dst(), 0, &[1; 256]);
+        assert_eq!(reg.counter("host.wcb.flushes").get(), 1);
+        assert_eq!(w.stats(), HostWcbStats { flushes: 1, merges: 0 });
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! grants its buffer, sender then writes and signals) for schemes that
 //! deliver into the receiver's MPB.
 
+use des::fields;
+use des::trace::Category;
 use rcce::layout::{self, CHUNK_BYTES};
 use rcce::protocol::{chunk_ranges, flag_wait_reached, LocalBoxFuture, PointToPoint};
 use rcce::session::RankCtx;
@@ -118,6 +120,13 @@ async fn direct_send(ctx: &RankCtx, dest: usize, data: &[u8]) {
     let me = ctx.rank;
     let my = ctx.who();
     let peer = ctx.session.who(dest);
+    ctx.session.trace().instant(
+        ctx.core.sim().now(),
+        Category::Protocol,
+        "direct_send",
+        || format!("rank{me}"),
+        || fields![bytes = data.len() as u64, dest = dest as u64],
+    );
     let cnt = {
         let mut sc = ctx.sent_count.borrow_mut();
         sc[dest] = sc[dest].wrapping_add(1);
@@ -134,6 +143,13 @@ async fn direct_recv(ctx: &RankCtx, src: usize, buf: &mut [u8]) {
     let me = ctx.rank;
     let my = ctx.who();
     let peer = ctx.session.who(src);
+    ctx.session.trace().instant(
+        ctx.core.sim().now(),
+        Category::Protocol,
+        "direct_recv",
+        || format!("rank{me}"),
+        || fields![bytes = buf.len() as u64, src = src as u64],
+    );
     ctx.inbound_lock.lock().await;
     let cnt = ctx.recv_count.borrow()[src].wrapping_add(1);
     // b1: grant the buffer.
@@ -155,16 +171,19 @@ async fn direct_recv(ctx: &RankCtx, src: usize, buf: &mut [u8]) {
 pub struct RemotePutProtocol;
 
 impl PointToPoint for RemotePutProtocol {
-    fn send<'a>(
-        &'a self,
-        ctx: &'a RankCtx,
-        dest: usize,
-        data: &'a [u8],
-    ) -> LocalBoxFuture<'a, ()> {
+    fn send<'a>(&'a self, ctx: &'a RankCtx, dest: usize, data: &'a [u8]) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(dest);
+            let trace = ctx.session.trace().clone();
+            trace.begin(
+                ctx.core.sim().now(),
+                Category::Protocol,
+                "rput_send",
+                || format!("rank{me}"),
+                || fields![bytes = data.len() as u64, dest = dest as u64],
+            );
             for (lo, hi) in chunk_ranges(data.len(), REMOTE_PUT_CHUNK) {
                 let cnt = {
                     let mut sc = ctx.sent_count.borrow_mut();
@@ -179,6 +198,8 @@ impl PointToPoint for RemotePutProtocol {
                 // b2: data available.
                 ctx.core.flag_write(layout::sent_flag(peer, me), cnt).await;
             }
+            trace
+                .end(ctx.core.sim().now(), Category::Protocol, "rput_send", || format!("rank{me}"));
         })
     }
 
@@ -192,6 +213,14 @@ impl PointToPoint for RemotePutProtocol {
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(src);
+            let trace = ctx.session.trace().clone();
+            trace.begin(
+                ctx.core.sim().now(),
+                Category::Protocol,
+                "rput_recv",
+                || format!("rank{me}"),
+                || fields![bytes = buf.len() as u64, src = src as u64],
+            );
             ctx.inbound_lock.lock().await;
             for (lo, hi) in chunk_ranges(buf.len(), REMOTE_PUT_CHUNK) {
                 let cnt = ctx.recv_count.borrow()[src].wrapping_add(1);
@@ -204,6 +233,8 @@ impl PointToPoint for RemotePutProtocol {
                 ctx.recv_count.borrow_mut()[src] = cnt;
             }
             ctx.inbound_lock.unlock();
+            trace
+                .end(ctx.core.sim().now(), Category::Protocol, "rput_recv", || format!("rank{me}"));
         })
     }
 
@@ -235,12 +266,7 @@ impl Default for CachedGetProtocol {
 }
 
 impl PointToPoint for CachedGetProtocol {
-    fn send<'a>(
-        &'a self,
-        ctx: &'a RankCtx,
-        dest: usize,
-        data: &'a [u8],
-    ) -> LocalBoxFuture<'a, ()> {
+    fn send<'a>(&'a self, ctx: &'a RankCtx, dest: usize, data: &'a [u8]) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             if data.len() <= self.direct_threshold {
                 return direct_send(ctx, dest, data).await;
@@ -248,6 +274,14 @@ impl PointToPoint for CachedGetProtocol {
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(dest);
+            let trace = ctx.session.trace().clone();
+            trace.begin(
+                ctx.core.sim().now(),
+                Category::Protocol,
+                "lprg_send",
+                || format!("rank{me}"),
+                || fields![bytes = data.len() as u64, dest = dest as u64],
+            );
             let mut last = 0u8;
             for (lo, hi) in chunk_ranges(data.len(), LPRG_CHUNK) {
                 let cnt = {
@@ -280,6 +314,8 @@ impl PointToPoint for CachedGetProtocol {
                 last = cnt;
             }
             flag_wait_reached(ctx, layout::ready_flag(my, dest), last).await;
+            trace
+                .end(ctx.core.sim().now(), Category::Protocol, "lprg_send", || format!("rank{me}"));
         })
     }
 
@@ -296,6 +332,14 @@ impl PointToPoint for CachedGetProtocol {
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(src);
+            let trace = ctx.session.trace().clone();
+            trace.begin(
+                ctx.core.sim().now(),
+                Category::Protocol,
+                "lprg_recv",
+                || format!("rank{me}"),
+                || fields![bytes = buf.len() as u64, src = src as u64],
+            );
             for (lo, hi) in chunk_ranges(buf.len(), LPRG_CHUNK) {
                 let cnt = ctx.recv_count.borrow()[src].wrapping_add(1);
                 flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
@@ -305,6 +349,8 @@ impl PointToPoint for CachedGetProtocol {
                 ctx.recv_count.borrow_mut()[src] = cnt;
                 ctx.core.flag_write(layout::ready_flag(peer, me), cnt).await;
             }
+            trace
+                .end(ctx.core.sim().now(), Category::Protocol, "lprg_recv", || format!("rank{me}"));
         })
     }
 
@@ -349,12 +395,7 @@ impl VdmaProtocol {
 }
 
 impl PointToPoint for VdmaProtocol {
-    fn send<'a>(
-        &'a self,
-        ctx: &'a RankCtx,
-        dest: usize,
-        data: &'a [u8],
-    ) -> LocalBoxFuture<'a, ()> {
+    fn send<'a>(&'a self, ctx: &'a RankCtx, dest: usize, data: &'a [u8]) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             if data.len() <= self.direct_threshold {
                 return direct_send(ctx, dest, data).await;
@@ -362,6 +403,14 @@ impl PointToPoint for VdmaProtocol {
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(dest);
+            let trace = ctx.session.trace().clone();
+            trace.begin(
+                ctx.core.sim().now(),
+                Category::Protocol,
+                "vdma_send",
+                || format!("rank{me}"),
+                || fields![bytes = data.len() as u64, dest = dest as u64],
+            );
             let base = ctx.sent_count.borrow()[dest];
             let packets = chunk_ranges(data.len(), VDMA_SLOT);
             let n = packets.len();
@@ -414,8 +463,9 @@ impl PointToPoint for VdmaProtocol {
             flag_wait_reached(ctx, layout::vdma_done_flag(my), last_gseq).await;
             // And until the receiver's grants confirm the tail packets
             // were consumed (blocking RCCE semantics).
-            flag_wait_reached(ctx, layout::ready_flag(my, dest), base.wrapping_add(n as u8))
-                .await;
+            flag_wait_reached(ctx, layout::ready_flag(my, dest), base.wrapping_add(n as u8)).await;
+            trace
+                .end(ctx.core.sim().now(), Category::Protocol, "vdma_send", || format!("rank{me}"));
         })
     }
 
@@ -432,6 +482,14 @@ impl PointToPoint for VdmaProtocol {
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(src);
+            let trace = ctx.session.trace().clone();
+            trace.begin(
+                ctx.core.sim().now(),
+                Category::Protocol,
+                "vdma_recv",
+                || format!("rank{me}"),
+                || fields![bytes = buf.len() as u64, src = src as u64],
+            );
             ctx.inbound_lock.lock().await;
             let base = ctx.recv_count.borrow()[src];
             let packets = chunk_ranges(buf.len(), VDMA_SLOT);
@@ -450,15 +508,14 @@ impl PointToPoint for VdmaProtocol {
                 if p0 + 3 <= n {
                     // Re-grant the slot just freed.
                     ctx.core
-                        .flag_write(
-                            layout::ready_flag(peer, me),
-                            base.wrapping_add(p0 as u8 + 3),
-                        )
+                        .flag_write(layout::ready_flag(peer, me), base.wrapping_add(p0 as u8 + 3))
                         .await;
                 }
             }
             ctx.recv_count.borrow_mut()[src] = base.wrapping_add(n as u8);
             ctx.inbound_lock.unlock();
+            trace
+                .end(ctx.core.sim().now(), Category::Protocol, "vdma_recv", || format!("rank{me}"));
         })
     }
 

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use des::event::Notify;
+use des::obs::Registry;
 use des::stats::Counter;
 use scc::{GlobalCore, MPB_BYTES};
 
@@ -32,6 +33,19 @@ impl Entry {
     }
 }
 
+/// A named snapshot of the cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SwCacheStats {
+    /// Reads fully served from a valid mirror range.
+    pub hits: u64,
+    /// Reads that found (part of) the range invalid.
+    pub misses: u64,
+    /// Completed prefetch (update) operations.
+    pub updates: u64,
+    /// Explicit invalidate operations.
+    pub invalidations: u64,
+}
+
 /// The software cache: one optional mirror per remote core region.
 #[derive(Clone, Default)]
 pub struct SwCache {
@@ -44,9 +58,23 @@ pub struct SwCache {
 }
 
 impl SwCache {
-    /// Empty cache.
+    /// Empty cache with private (unregistered) counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty cache whose counters are registered in `registry` under
+    /// `host.swcache.{hits, misses, updates, invalidations}`.
+    pub fn with_registry(registry: &Registry) -> Self {
+        let scope = registry.scoped("host").scoped("swcache");
+        SwCache {
+            entries: Rc::default(),
+            notify: Notify::new(),
+            hits: scope.counter("hits"),
+            misses: scope.counter("misses"),
+            updates: scope.counter("updates"),
+            invalidations: scope.counter("invalidations"),
+        }
     }
 
     /// Mark an update of `owner`'s mirror as in flight (called when the
@@ -93,10 +121,7 @@ impl SwCache {
     pub fn range_valid(&self, owner: GlobalCore, offset: u16, len: usize) -> bool {
         let entries = self.entries.borrow();
         let off = offset as usize;
-        entries
-            .get(&owner)
-            .map(|e| e.valid[off..off + len].iter().all(|&v| v))
-            .unwrap_or(false)
+        entries.get(&owner).map(|e| e.valid[off..off + len].iter().all(|&v| v)).unwrap_or(false)
     }
 
     /// Wait until the range is valid or no update is in flight (so a read
@@ -104,9 +129,7 @@ impl SwCache {
     pub async fn wait_range_or_settled(&self, owner: GlobalCore, offset: u16, len: usize) {
         let this = self.clone();
         self.notify
-            .wait_until(move || {
-                this.range_valid(owner, offset, len) || !this.has_pending(owner)
-            })
+            .wait_until(move || this.range_valid(owner, offset, len) || !this.has_pending(owner))
             .await;
     }
 
@@ -149,9 +172,14 @@ impl SwCache {
         }
     }
 
-    /// (hits, misses, updates, invalidations).
-    pub fn stats(&self) -> (u64, u64, u64, u64) {
-        (self.hits.get(), self.misses.get(), self.updates.get(), self.invalidations.get())
+    /// Current counter values, by name.
+    pub fn stats(&self) -> SwCacheStats {
+        SwCacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            updates: self.updates.get(),
+            invalidations: self.invalidations.get(),
+        }
     }
 }
 
@@ -171,8 +199,24 @@ mod tests {
         c.begin_update(owner());
         c.complete_update(owner(), 512, &[7u8; 64]);
         assert_eq!(c.read(owner(), 512, 64).unwrap(), vec![7u8; 64]);
-        let (h, m, u, _) = c.stats();
-        assert_eq!((h, m, u), (1, 1, 1));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.updates), (1, 1, 1));
+    }
+
+    #[test]
+    fn registry_backed_cache_reports_named_metrics() {
+        let reg = Registry::new();
+        let c = SwCache::with_registry(&reg);
+        assert!(c.read(owner(), 0, 8).is_none());
+        c.begin_update(owner());
+        c.complete_update(owner(), 0, &[1u8; 8]);
+        assert!(c.read(owner(), 0, 8).is_some());
+        c.invalidate(owner(), 0, 8);
+        assert_eq!(reg.counter("host.swcache.hits").get(), 1);
+        assert_eq!(reg.counter("host.swcache.misses").get(), 1);
+        assert_eq!(reg.counter("host.swcache.updates").get(), 1);
+        assert_eq!(reg.counter("host.swcache.invalidations").get(), 1);
+        assert_eq!(c.stats().hits, 1);
     }
 
     #[test]

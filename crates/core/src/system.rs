@@ -3,6 +3,8 @@
 
 use std::rc::Rc;
 
+use des::obs::Registry;
+use des::trace::{Category, Trace};
 use des::Sim;
 use rcce::{PipelinedProtocol, Session, SessionBuilder};
 use scc::device::{BootConfig, SccDevice};
@@ -28,6 +30,8 @@ pub struct VsccBuilder {
     onchip: OnchipProtocol,
     boot: BootConfig,
     host_cfg: HostConfig,
+    metrics: Option<Registry>,
+    trace: Trace,
 }
 
 impl VsccBuilder {
@@ -41,6 +45,8 @@ impl VsccBuilder {
             onchip: OnchipProtocol::Blocking,
             boot: BootConfig::default(),
             host_cfg: HostConfig::default(),
+            metrics: None,
+            trace: Trace::disabled(),
         }
     }
 
@@ -80,16 +86,55 @@ impl VsccBuilder {
         self
     }
 
+    /// Report every layer's metrics into an externally-owned registry
+    /// (by default the system creates its own; see [`Vscc::metrics`]).
+    pub fn metrics_registry(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(registry.clone());
+        self
+    }
+
+    /// Enable structured tracing for `cats` across every layer (host,
+    /// PCIe, vDMA, and the RCCE protocols of sessions built from this
+    /// system).
+    pub fn trace_categories(mut self, cats: &[Category]) -> Self {
+        self.trace = Trace::with_categories(cats);
+        self
+    }
+
+    /// Use an externally-shared trace instead (e.g. to interleave two
+    /// systems' events on one timeline).
+    pub fn trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Build devices, boot them, start the communication task.
     pub fn build(self) -> Vscc {
+        let metrics = self.metrics.unwrap_or_default();
         let devices: Vec<Rc<SccDevice>> =
             (0..self.n_devices).map(|d| SccDevice::new(&self.sim, DeviceId(d))).collect();
         for dev in &devices {
             dev.boot(&self.boot);
+            dev.register_metrics(&metrics);
         }
-        let host = HostSide::new(&self.sim, self.n_devices, self.scheme, self.host_cfg);
+        let host = HostSide::with_obs(
+            &self.sim,
+            self.n_devices,
+            self.scheme,
+            self.host_cfg,
+            &metrics,
+            self.trace.clone(),
+        );
         host.attach(&devices);
-        Vscc { sim: self.sim, devices, host, scheme: self.scheme, onchip: self.onchip }
+        Vscc {
+            sim: self.sim,
+            devices,
+            host,
+            scheme: self.scheme,
+            onchip: self.onchip,
+            metrics,
+            trace: self.trace,
+        }
     }
 }
 
@@ -104,12 +149,25 @@ pub struct Vscc {
     /// The active inter-device scheme.
     pub scheme: CommScheme,
     onchip: OnchipProtocol,
+    metrics: Registry,
+    trace: Trace,
 }
 
 impl Vscc {
     /// Total cores that booted across all devices.
     pub fn alive_cores(&self) -> usize {
         self.devices.iter().map(|d| d.alive_cores().len()).sum()
+    }
+
+    /// The system-wide metrics registry (`host.*`, `pcie.*`, `scc.*`,
+    /// plus `rcce.*` once a session is built).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// The system-wide structured trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// A pre-wired session builder (on-chip protocol and inter-device
@@ -121,7 +179,9 @@ impl Vscc {
     /// into the receive half, and a rank may be sending on-chip while such
     /// a delivery is in flight.
     pub fn session_builder(&self) -> SessionBuilder {
-        let b = SessionBuilder::new(&self.sim, self.devices.clone());
+        let b = SessionBuilder::new(&self.sim, self.devices.clone())
+            .with_metrics(&self.metrics)
+            .with_shared_trace(self.trace.clone());
         let multi = self.devices.len() > 1;
         let send_window = crate::schemes::SEND_AREA_BYTES;
         let b = match (self.onchip, multi) {
@@ -306,6 +366,49 @@ mod tests {
             })
             .unwrap();
         assert!(out.iter().all(|&v| v == 6.0));
+    }
+
+    #[test]
+    fn system_wide_observability_covers_every_layer() {
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 2)
+            .scheme(CommScheme::LocalPutLocalGet)
+            .trace_categories(&Category::ALL)
+            .build();
+        let d0 = v.devices[0].global(scc::geometry::CoreId(0));
+        let d1 = v.devices[1].global(scc::geometry::CoreId(0));
+        let s = v.session_builder().participants(vec![d0, d1]).build();
+        s.run_app(|r| async move {
+            if r.id() == 0 {
+                r.send(&[3u8; 6000], 1).await;
+            } else {
+                let mut buf = vec![0u8; 6000];
+                r.recv(&mut buf, 0).await;
+            }
+        })
+        .unwrap();
+        // One registry spans scc, pcie, host, and rcce.
+        let names = v.metrics().names();
+        for expect in [
+            "scc.d0.mpb.writes",
+            "scc.d1.cl1inv",
+            "pcie.link0.egress.bytes",
+            "pcie.host_mem.queue_depth",
+            "host.vdma_ops",
+            "host.swcache.hits",
+            "rcce.send.lock_wait_cycles",
+        ] {
+            assert!(names.contains(&expect.to_string()), "missing metric {expect}");
+        }
+        assert!(v.metrics().counter("host.vdma_ops").get() >= 1);
+        assert!(v.metrics().counter("pcie.link0.egress.bytes").get() >= 6000);
+        // One trace interleaves protocol and host/vDMA events.
+        let evs = v.trace().events();
+        assert!(evs.iter().any(|e| e.cat == Category::Vdma && e.kind == "vdma"));
+        assert!(evs.iter().any(|e| e.cat == Category::Protocol));
+        // Session-level accessors share the same objects.
+        assert!(s.metrics().names().contains(&"host.vdma_ops".to_string()));
+        assert!(s.trace().is_enabled());
     }
 
     #[test]

@@ -97,11 +97,8 @@ pub struct OneshotReceiver<T> {
 /// Create a one-shot channel. The receiver resolves once the sender fires;
 /// if the sender is dropped first the receiver resolves to `None`.
 pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
-    let state = Rc::new(RefCell::new(OneshotState {
-        value: None,
-        waiter: None,
-        sender_dropped: false,
-    }));
+    let state =
+        Rc::new(RefCell::new(OneshotState { value: None, waiter: None, sender_dropped: false }));
     (OneshotSender { state: state.clone() }, OneshotReceiver { state })
 }
 
@@ -208,7 +205,7 @@ mod tests {
             s.delay(9).await;
             tx.send(1234);
         });
-        let got = sim.block_on(async move { rx.await }).unwrap();
+        let got = sim.block_on(rx).unwrap();
         assert_eq!(got, Some(1234));
     }
 
@@ -221,7 +218,7 @@ mod tests {
             s.delay(3).await;
             drop(tx);
         });
-        let got = sim.block_on(async move { rx.await }).unwrap();
+        let got = sim.block_on(rx).unwrap();
         assert_eq!(got, None);
     }
 

@@ -16,7 +16,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
-use parking_lot::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crate::time::Cycles;
 
@@ -60,11 +60,11 @@ struct TaskWaker {
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.queue.ids.lock().push(self.id);
+        self.queue.ids.lock().unwrap_or_else(PoisonError::into_inner).push(self.id);
     }
 
     fn wake_by_ref(self: &Arc<Self>) {
-        self.queue.ids.lock().push(self.id);
+        self.queue.ids.lock().unwrap_or_else(PoisonError::into_inner).push(self.id);
     }
 }
 
@@ -193,11 +193,8 @@ impl Sim {
         fut: impl Future<Output = T> + 'static,
         daemon: bool,
     ) -> JoinHandle<T> {
-        let state = Rc::new(RefCell::new(JoinState {
-            result: None,
-            waiters: Vec::new(),
-            detached: false,
-        }));
+        let state =
+            Rc::new(RefCell::new(JoinState { result: None, waiters: Vec::new(), detached: false }));
         let task_state = state.clone();
         let wrapped: BoxFuture = Box::pin(async move {
             let out = fut.await;
@@ -244,14 +241,13 @@ impl Sim {
     fn register_timer(&self, deadline: Cycles, waker: Waker) {
         let seq = self.inner.timer_seq.get();
         self.inner.timer_seq.set(seq + 1);
-        self.inner
-            .timers
-            .borrow_mut()
-            .push(Reverse(TimerEntry { deadline, seq, waker }));
+        self.inner.timers.borrow_mut().push(Reverse(TimerEntry { deadline, seq, waker }));
     }
 
     fn drain_wake_queue(&self) {
-        let ids: Vec<TaskId> = std::mem::take(&mut *self.inner.wake_queue.ids.lock());
+        let ids: Vec<TaskId> = std::mem::take(
+            &mut *self.inner.wake_queue.ids.lock().unwrap_or_else(PoisonError::into_inner),
+        );
         let mut tasks = self.inner.tasks.borrow_mut();
         let mut ready = self.inner.ready.borrow_mut();
         for id in ids {
@@ -331,9 +327,7 @@ impl Sim {
     ) -> Result<T, SimError> {
         let handle = self.spawn_named("block_on", fut);
         self.run()?;
-        Ok(handle
-            .try_take()
-            .expect("block_on: run() completed, result must be present"))
+        Ok(handle.try_take().expect("block_on: run() completed, result must be present"))
     }
 
     fn poll_task(&self, id: TaskId) {

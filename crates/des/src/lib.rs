@@ -27,15 +27,16 @@
 //! assert_eq!(sim.now(), 100);
 //! ```
 
-mod executor;
-pub mod time;
-pub mod event;
-pub mod sync;
 pub mod channel;
+pub mod event;
+mod executor;
 pub mod link;
-pub mod stats;
-pub mod trace;
+pub mod obs;
 pub mod rng;
+pub mod stats;
+pub mod sync;
+pub mod time;
+pub mod trace;
 
 pub use executor::{JoinHandle, Sim, SimError};
 pub use time::{Cycles, Freq};

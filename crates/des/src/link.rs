@@ -6,10 +6,12 @@
 //! per-transfer overhead, and arriving `latency` cycles after leaving the
 //! wire. Queuing delay under contention emerges from the reservation.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
-use crate::stats::ByteCounter;
+use crate::obs::Registry;
+use crate::stats::{Counter, Gauge, Log2Histogram};
 use crate::time::Cycles;
 use crate::Sim;
 
@@ -50,9 +52,14 @@ struct LinkState {
     bw: Bandwidth,
     latency: Cycles,
     per_transfer: Cycles,
-    bytes: ByteCounter,
+    bytes: Counter,
     transfers: Cell<u64>,
     busy_cycles: Cell<Cycles>,
+    /// Wire-free times of reservations not yet drained; its length at
+    /// reservation time is the queue depth.
+    pending: RefCell<VecDeque<Cycles>>,
+    queue_depth: Gauge,
+    latency_hist: Log2Histogram,
 }
 
 /// Timing of one reserved transfer (see [`Link::reserve_timed`]).
@@ -81,11 +88,23 @@ impl Link {
                 bw,
                 latency,
                 per_transfer,
-                bytes: ByteCounter::new(),
+                bytes: Counter::new(),
                 transfers: Cell::new(0),
                 busy_cycles: Cell::new(0),
+                pending: RefCell::new(VecDeque::new()),
+                queue_depth: Gauge::new(),
+                latency_hist: Log2Histogram::new(),
             }),
         }
+    }
+
+    /// Surface this link's instruments in `registry` under
+    /// `{bytes, transfers, queue_depth, latency_cycles}`; scope the
+    /// registry first (e.g. `registry.scoped("pcie").scoped("link0")`).
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.adopt_counter("bytes", &self.state.bytes);
+        registry.adopt_gauge("queue_depth", &self.state.queue_depth);
+        registry.adopt_histogram("latency_cycles", &self.state.latency_hist);
     }
 
     /// Propagation latency in cycles.
@@ -118,13 +137,24 @@ impl Link {
     /// `wire_free`; the payload lands at `arrival`.
     pub fn reserve_timed(&self, sim: &Sim, bytes: u64) -> Reservation {
         let st = &*self.state;
+        let now = sim.now();
         let occupy = st.bw.occupancy(bytes) + st.per_transfer;
-        let start = st.busy_until.get().max(sim.now());
+        let start = st.busy_until.get().max(now);
         let done = start + occupy;
         st.busy_until.set(done);
         st.bytes.add(bytes);
         st.transfers.set(st.transfers.get() + 1);
         st.busy_cycles.set(st.busy_cycles.get() + occupy);
+        // Queue depth: reservations whose wire time has not yet elapsed,
+        // including this one. Drained lazily at reservation time so the
+        // gauge (and its high watermark) stay exact without timers.
+        let mut pending = st.pending.borrow_mut();
+        while pending.front().is_some_and(|&free| free <= now) {
+            pending.pop_front();
+        }
+        pending.push_back(done);
+        st.queue_depth.set(pending.len() as i64);
+        st.latency_hist.record(done + st.latency - now);
         Reservation { wire_free: done, arrival: done + st.latency }
     }
 
@@ -219,6 +249,34 @@ mod tests {
             assert_eq!(s.now(), 900);
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn link_metrics_register_and_track() {
+        let sim = Sim::new();
+        let link = Link::new(Bandwidth::cycles_per_byte(1, 1), 50, 0);
+        let reg = Registry::new();
+        link.register_metrics(&reg.scoped("pcie").scoped("link0"));
+        let s = sim.clone();
+        let l = link.clone();
+        sim.spawn(async move {
+            // Three back-to-back reservations at t=0: queue builds to 3.
+            l.reserve(&s, 100);
+            l.reserve(&s, 100);
+            l.reserve(&s, 100);
+        });
+        sim.run().unwrap();
+        assert_eq!(reg.counter("pcie.link0.bytes").get(), 300);
+        let g = reg.gauge("pcie.link0.queue_depth");
+        assert_eq!(g.high_watermark(), 3);
+        match reg.snapshot().entries.iter().find(|(n, _)| n == "pcie.link0.latency_cycles") {
+            Some((_, crate::obs::MetricValue::Histogram { count, max, .. })) => {
+                assert_eq!(*count, 3);
+                // Last chunk: 300 wire + 50 latency.
+                assert_eq!(*max, 350);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! Observability: a metrics registry and machine-readable exporters.
+//!
+//! The registry names the primitive instruments of [`crate::stats`] with
+//! hierarchical dot-separated keys (`host.swcache.hits`,
+//! `pcie.link0.bytes`, `rcce.send.lock_wait_cycles`) and snapshots them
+//! as a sorted text table or JSON. The exporters turn a
+//! [`crate::trace::Trace`] into Chrome-trace-event JSON (loadable in
+//! Perfetto; `ts` is the virtual clock in cycles) and a [`Registry`]
+//! into a metrics-snapshot JSON, both gated on environment variables:
+//!
+//! - `VSCC_TRACE=path.json` — write the Chrome trace of the run there.
+//! - `VSCC_METRICS=path.json` — write the metrics snapshot there.
+//!
+//! Everything is deterministic: timestamps are [`crate::time::Cycles`],
+//! iteration is insertion-ordered (trace) or name-sorted (metrics), and
+//! two seeded runs produce byte-identical exports.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::stats::{Counter, Gauge, Log2Histogram};
+use crate::trace::{SpanPhase, Trace};
+
+/// Environment variable naming the Chrome-trace output file.
+pub const TRACE_ENV: &str = "VSCC_TRACE";
+/// Environment variable naming the metrics-snapshot output file.
+pub const METRICS_ENV: &str = "VSCC_METRICS";
+
+/// One registered instrument.
+#[derive(Clone)]
+pub enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Log2Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    /// Full names in registration order.
+    names: Vec<String>,
+    metrics: HashMap<String, Metric>,
+}
+
+/// A shared, hierarchically-named metrics registry.
+///
+/// Handles are cheap clones over one store; [`Registry::scoped`] derives
+/// a view that prefixes every name, so a subsystem can register
+/// `"hits"` and have it appear as `"host.swcache.hits"`.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Rc<RefCell<RegistryInner>>,
+    prefix: String,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A view of the same registry that prefixes names with `segment.`.
+    pub fn scoped(&self, segment: &str) -> Registry {
+        Registry { inner: self.inner.clone(), prefix: format!("{}{segment}.", self.prefix) }
+    }
+
+    fn full_name(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let full = self.full_name(name);
+        let mut inner = self.inner.borrow_mut();
+        if let Some(m) = inner.metrics.get(&full) {
+            return m.clone();
+        }
+        let m = make();
+        inner.names.push(full.clone());
+        inner.metrics.insert(full, m.clone());
+        m
+    }
+
+    /// Get or register the counter `name`.
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            m => panic!("metric {:?} is a {}, not a counter", self.full_name(name), m.kind()),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            m => panic!("metric {:?} is a {}, not a gauge", self.full_name(name), m.kind()),
+        }
+    }
+
+    /// Get or register the log2 histogram `name`.
+    pub fn histogram(&self, name: &str) -> Log2Histogram {
+        match self.get_or_insert(name, || Metric::Histogram(Log2Histogram::new())) {
+            Metric::Histogram(h) => h,
+            m => panic!("metric {:?} is a {}, not a histogram", self.full_name(name), m.kind()),
+        }
+    }
+
+    /// Register an *existing* counter handle under `name`, so a value
+    /// already shared elsewhere (e.g. a link's byte counter) surfaces in
+    /// snapshots without double counting.
+    ///
+    /// Panics if `name` is already registered.
+    pub fn adopt_counter(&self, name: &str, counter: &Counter) {
+        self.adopt(name, Metric::Counter(counter.clone()));
+    }
+
+    /// Register an existing gauge handle under `name`.
+    pub fn adopt_gauge(&self, name: &str, gauge: &Gauge) {
+        self.adopt(name, Metric::Gauge(gauge.clone()));
+    }
+
+    /// Register an existing histogram handle under `name`.
+    pub fn adopt_histogram(&self, name: &str, histogram: &Log2Histogram) {
+        self.adopt(name, Metric::Histogram(histogram.clone()));
+    }
+
+    fn adopt(&self, name: &str, metric: Metric) {
+        let full = self.full_name(name);
+        let mut inner = self.inner.borrow_mut();
+        assert!(!inner.metrics.contains_key(&full), "metric {full:?} registered twice");
+        inner.names.push(full.clone());
+        inner.metrics.insert(full, metric);
+    }
+
+    /// All registered full names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.borrow().names.clone()
+    }
+
+    /// Look up a metric by full name.
+    pub fn get(&self, full_name: &str) -> Option<Metric> {
+        self.inner.borrow().metrics.get(full_name).cloned()
+    }
+
+    /// A point-in-time copy of every metric's value, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.borrow();
+        let mut names = inner.names.clone();
+        names.sort();
+        let entries = names
+            .into_iter()
+            .map(|name| {
+                let value = match &inner.metrics[&name] {
+                    Metric::Counter(c) => MetricValue::Counter { value: c.get() },
+                    Metric::Gauge(g) => {
+                        MetricValue::Gauge { value: g.get(), high_watermark: g.high_watermark() }
+                    }
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        max: h.max(),
+                        p50: h.quantile_lower_bound(0.5),
+                        p99: h.quantile_lower_bound(0.99),
+                        buckets: h.buckets(),
+                    },
+                };
+                (name, value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+/// A snapshot of one metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    Counter { value: u64 },
+    Gauge { value: i64, high_watermark: i64 },
+    Histogram { count: u64, sum: u128, max: u64, p50: u64, p99: u64, buckets: Vec<u64> },
+}
+
+/// A point-in-time, name-sorted copy of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(full_name, value)` pairs, sorted by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Render as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter { value } => {
+                    let _ = writeln!(out, "{name:<48} {value:>12}");
+                }
+                MetricValue::Gauge { value, high_watermark } => {
+                    let _ = writeln!(out, "{name:<48} {value:>12}  (max {high_watermark})");
+                }
+                MetricValue::Histogram { count, max, p50, p99, .. } => {
+                    let _ = writeln!(out, "{name:<48} {count:>12}  p50={p50} p99={p99} max={max}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialize as deterministic JSON (sorted keys, integer values).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"metrics\": {");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": ", json_escape(name));
+            match value {
+                MetricValue::Counter { value } => {
+                    let _ = write!(out, "{{\"type\": \"counter\", \"value\": {value}}}");
+                }
+                MetricValue::Gauge { value, high_watermark } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\": \"gauge\", \"value\": {value}, \"high_watermark\": {high_watermark}}}"
+                    );
+                }
+                MetricValue::Histogram { count, sum, max, p50, p99, buckets } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\": \"histogram\", \"count\": {count}, \"sum\": {sum}, \"max\": {max}, \"p50\": {p50}, \"p99\": {p99}, \"buckets\": ["
+                    );
+                    for (j, b) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "{b}");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize traces as Chrome-trace-event JSON (the "JSON array format"
+/// Perfetto and `chrome://tracing` load).
+///
+/// Each `(process_name, trace)` pair becomes one `pid`; actors become
+/// `tid`s in order of first appearance, with `process_name` /
+/// `thread_name` metadata events so the Perfetto UI shows real names.
+/// `ts` is the virtual clock in cycles (exported as microseconds purely
+/// so the UI's time axis is readable).
+pub fn chrome_trace_json(processes: &[(&str, &Trace)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push_line = |out: &mut String, line: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+    for (pid, (pname, trace)) in processes.iter().enumerate() {
+        push_line(
+            &mut out,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(pname)
+            ),
+        );
+        let mut tids: HashMap<String, usize> = HashMap::new();
+        for event in trace.events() {
+            let next_tid = tids.len();
+            let tid = match tids.get(&event.actor) {
+                Some(&t) => t,
+                None => {
+                    tids.insert(event.actor.clone(), next_tid);
+                    push_line(
+                        &mut out,
+                        format!(
+                            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{next_tid},\"args\":{{\"name\":\"{}\"}}}}",
+                            json_escape(&event.actor)
+                        ),
+                    );
+                    next_tid
+                }
+            };
+            let ph = match event.phase {
+                SpanPhase::Instant => "i",
+                SpanPhase::Begin => "B",
+                SpanPhase::End => "E",
+            };
+            let mut line = format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{pid},\"tid\":{tid}",
+                json_escape(event.kind),
+                event.cat.name(),
+                event.time,
+            );
+            if event.phase == SpanPhase::Instant {
+                line.push_str(",\"s\":\"t\"");
+            }
+            if !event.fields.is_empty() {
+                line.push_str(",\"args\":{");
+                for (i, (name, value)) in event.fields.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    use crate::trace::FieldValue;
+                    match value {
+                        FieldValue::U64(v) => {
+                            let _ = write!(line, "\"{}\":{v}", json_escape(name));
+                        }
+                        FieldValue::I64(v) => {
+                            let _ = write!(line, "\"{}\":{v}", json_escape(name));
+                        }
+                        FieldValue::Str(s) => {
+                            let _ =
+                                write!(line, "\"{}\":\"{}\"", json_escape(name), json_escape(s));
+                        }
+                        FieldValue::Text(s) => {
+                            let _ =
+                                write!(line, "\"{}\":\"{}\"", json_escape(name), json_escape(s));
+                        }
+                    }
+                }
+                line.push('}');
+            }
+            line.push('}');
+            push_line(&mut out, line);
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+/// If `VSCC_TRACE` is set, write the Chrome trace there and return the
+/// path written.
+pub fn export_trace_if_env(processes: &[(&str, &Trace)]) -> std::io::Result<Option<String>> {
+    match std::env::var(TRACE_ENV) {
+        Ok(path) if !path.is_empty() => {
+            std::fs::write(&path, chrome_trace_json(processes))?;
+            Ok(Some(path))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// If `VSCC_METRICS` is set, write the snapshot JSON there and return the
+/// path written.
+pub fn export_metrics_if_env(registry: &Registry) -> std::io::Result<Option<String>> {
+    match std::env::var(METRICS_ENV) {
+        Ok(path) if !path.is_empty() => {
+            std::fs::write(&path, registry.snapshot().to_json())?;
+            Ok(Some(path))
+        }
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields;
+    use crate::trace::Category;
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("host.hits");
+        let b = reg.counter("host.hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("host.hits").get(), 3);
+    }
+
+    #[test]
+    fn scoped_views_prefix_names() {
+        let reg = Registry::new();
+        let host = reg.scoped("host");
+        let swcache = host.scoped("swcache");
+        swcache.counter("hits").inc();
+        host.gauge("depth").set(4);
+        assert_eq!(reg.names(), vec!["host.swcache.hits", "host.depth"]);
+        assert_eq!(reg.counter("host.swcache.hits").get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.gauge("x");
+        reg.counter("x");
+    }
+
+    #[test]
+    fn adopted_counter_is_not_double_counted() {
+        let reg = Registry::new();
+        let c = Counter::new();
+        c.add(5);
+        reg.adopt_counter("link.bytes", &c);
+        c.add(2);
+        assert_eq!(reg.counter("link.bytes").get(), 7);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("a.first").add(2);
+        reg.histogram("m.lat").record(5);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "m.lat", "z.last"]);
+        assert_eq!(snap.entries[0].1, MetricValue::Counter { value: 2 });
+        match &snap.entries[1].1 {
+            MetricValue::Histogram { count, p50, .. } => {
+                assert_eq!(*count, 1);
+                assert_eq!(*p50, 4);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let build = || {
+            let reg = Registry::new();
+            reg.counter("b").add(2);
+            reg.counter("a").add(1);
+            reg.gauge("g").set(-3);
+            reg.histogram("h").record(0);
+            reg.snapshot().to_json()
+        };
+        let j1 = build();
+        let j2 = build();
+        assert_eq!(j1, j2);
+        let a = j1.find("\"a\"").unwrap();
+        let b = j1.find("\"b\"").unwrap();
+        let g = j1.find("\"g\"").unwrap();
+        assert!(a < b && b < g);
+        assert!(j1.contains("\"high_watermark\": 0"));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let t = Trace::enabled();
+        t.begin(10, Category::Protocol, "send", || "rank0".into(), || fields![bytes = 64u64]);
+        t.instant(12, Category::Mpb, "flag_set", || "rank1".into(), Vec::new);
+        t.end(20, Category::Protocol, "send", || "rank0".into());
+        let json = chrome_trace_json(&[("run", &t)]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"ph\":\"B\",\"ts\":10"));
+        assert!(json.contains("\"ph\":\"i\",\"ts\":12"));
+        assert!(json.contains("\"ph\":\"E\",\"ts\":20"));
+        assert!(json.contains("\"args\":{\"bytes\":64}"));
+        // rank0 saw tid 0, rank1 tid 1, by first appearance.
+        assert!(json.contains("\"tid\":1,\"args\":{\"name\":\"rank1\"}"));
+        // Balanced braces/brackets — cheap structural validity check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_trace_two_processes() {
+        let a = Trace::enabled();
+        a.instant(1, Category::App, "x", || "r0".into(), Vec::new);
+        let b = Trace::enabled();
+        b.instant(2, Category::App, "y", || "r0".into(), Vec::new);
+        let json = chrome_trace_json(&[("blocking", &a), ("pipelined", &b)]);
+        assert!(json.contains("\"pid\":0"));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"name\":\"blocking\""));
+        assert!(json.contains("\"name\":\"pipelined\""));
+    }
+}

@@ -1,45 +1,82 @@
 //! Deterministic random number generation for workloads and fault
 //! injection. All randomness in the repository flows through [`DetRng`],
 //! seeded explicitly, so every experiment is reproducible.
+//!
+//! The generator is a self-contained xoshiro256++ with splitmix64 seed
+//! expansion — no external crates, so the stream is stable across
+//! toolchains and dependency upgrades.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// A small, fast, explicitly-seeded RNG.
+/// A small, fast, explicitly-seeded RNG (xoshiro256++).
 pub struct DetRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Seed deterministically from a 64-bit value.
     pub fn seed_from(seed: u64) -> Self {
-        DetRng { inner: SmallRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        DetRng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
     }
 
     /// Derive an independent child stream, e.g. one per simulated core.
     pub fn fork(&mut self, stream: u64) -> Self {
-        let base: u64 = self.inner.random();
+        let base: u64 = self.next_u64();
         DetRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)) // golden-ratio mix
     }
 
-    /// Uniform value in `[lo, hi)`.
+    /// Uniform value in `[lo, hi)`, unbiased (Lemire rejection).
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.random_range(lo..hi)
+        assert!(lo < hi, "empty range");
+        let span = hi - lo;
+        let mut m = (self.next_u64() as u128) * (span as u128);
+        if (m as u64) < span {
+            let t = span.wrapping_neg() % span;
+            while (m as u64) < t {
+                m = (self.next_u64() as u128) * (span as u128);
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// Bernoulli trial with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.random_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        // 53 uniform mantissa bits in [0, 1); strictly below p, so 0.0
+        // never fires and 1.0 always does.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
     }
 
     /// A random u64.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Fill a byte buffer (payload generation).
     pub fn fill(&mut self, buf: &mut [u8]) {
-        self.inner.fill(buf);
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 }
 
@@ -89,5 +126,17 @@ mod tests {
         let mut r = DetRng::seed_from(5);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn fill_is_deterministic_and_covers_tail() {
+        let mut a = DetRng::seed_from(9);
+        let mut b = DetRng::seed_from(9);
+        let mut ba = [0u8; 13];
+        let mut bb = [0u8; 13];
+        a.fill(&mut ba);
+        b.fill(&mut bb);
+        assert_eq!(ba, bb);
+        assert!(ba.iter().any(|&x| x != 0));
     }
 }

@@ -1,4 +1,6 @@
-//! Lightweight simulation statistics: counters and log2 histograms.
+//! Lightweight simulation statistics: counters, gauges and log2
+//! histograms. These are the primitive instruments; [`crate::obs`] names
+//! and aggregates them into a registry.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -54,9 +56,57 @@ impl Counter {
     }
 }
 
+/// A shared level indicator (queue depths, in-flight transfers).
+///
+/// Unlike [`Counter`] a gauge moves both ways; it also tracks its high
+/// watermark, which is usually the interesting number for queue depths.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    v: Rc<Cell<i64>>,
+    max: Rc<Cell<i64>>,
+}
+
+impl Gauge {
+    /// Create a zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the current level.
+    pub fn set(&self, v: i64) {
+        self.v.set(v);
+        self.max.set(self.max.get().max(v));
+    }
+
+    /// Move the level by `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.set(self.v.get() + d);
+    }
+
+    /// Decrease the level by `d`.
+    pub fn sub(&self, d: i64) {
+        self.add(-d);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.v.get()
+    }
+
+    /// Highest level ever set (0 for a fresh gauge).
+    pub fn high_watermark(&self) -> i64 {
+        self.max.get()
+    }
+}
+
 /// Histogram with power-of-two buckets, for latency distributions.
 ///
-/// Bucket `i` counts samples in `[2^i, 2^(i+1))`; bucket 0 also counts 0.
+/// Bucketing, precisely: bucket 0 counts *only* samples equal to 0;
+/// bucket `i >= 1` counts samples in `[2^(i-1), 2^i)`. So 1 is the sole
+/// occupant of bucket 1, `[2, 4)` lands in bucket 2, and in general a
+/// sample `v > 0` lands in bucket `bit_length(v)` — zero-cycle and
+/// one-cycle events are distinguishable, which matters when the paper's
+/// fast paths really do complete in under a cycle of overhead.
 #[derive(Clone, Default)]
 pub struct Log2Histogram {
     buckets: Rc<RefCell<Vec<u64>>>,
@@ -73,7 +123,7 @@ impl Log2Histogram {
 
     /// Record one sample.
     pub fn record(&self, v: u64) {
-        let idx = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        let idx = (64 - v.leading_zeros()) as usize; // 0 for v == 0, else bit_length(v)
         let mut b = self.buckets.borrow_mut();
         if b.len() <= idx {
             b.resize(idx + 1, 0);
@@ -87,6 +137,11 @@ impl Log2Histogram {
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count.get()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum.get()
     }
 
     /// Arithmetic mean of samples (0 when empty).
@@ -103,9 +158,19 @@ impl Log2Histogram {
         self.max.get()
     }
 
-    /// Snapshot of bucket counts (index = log2 of bucket lower bound).
+    /// Snapshot of bucket counts; see the type docs for the index → range
+    /// mapping ([`Log2Histogram::bucket_lower_bound`] gives the bound).
     pub fn buckets(&self) -> Vec<u64> {
         self.buckets.borrow().clone()
+    }
+
+    /// Smallest sample value that lands in bucket `i`.
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
     }
 
     /// Approximate quantile: lower bound of the bucket containing quantile
@@ -120,7 +185,7 @@ impl Log2Histogram {
         for (i, &c) in self.buckets.borrow().iter().enumerate() {
             acc += c;
             if acc >= target {
-                return if i == 0 { 0 } else { 1u64 << i };
+                return Self::bucket_lower_bound(i);
             }
         }
         self.max.get()
@@ -157,11 +222,60 @@ mod tests {
         assert_eq!(h.count(), 8);
         assert_eq!(h.max(), 1024);
         let b = h.buckets();
-        assert_eq!(b[0], 2); // 0 and 1
-        assert_eq!(b[1], 2); // 2, 3
-        assert_eq!(b[2], 2); // 4, 7
-        assert_eq!(b[3], 1); // 8
-        assert_eq!(b[10], 1); // 1024
+        assert_eq!(b[0], 1); // exactly 0
+        assert_eq!(b[1], 1); // exactly 1
+        assert_eq!(b[2], 2); // 2, 3
+        assert_eq!(b[3], 2); // 4, 7
+        assert_eq!(b[4], 1); // 8
+        assert_eq!(b[11], 1); // 1024
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // 0 and 1 must land in distinct buckets, and every power of two
+        // opens a new bucket while 2^i - 1 closes the previous one.
+        let h = Log2Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        for i in 1..=32usize {
+            let h = Log2Histogram::new();
+            let lo = 1u64 << (i - 1);
+            h.record(lo); // lower edge of bucket i
+            h.record((1u64 << i) - 1); // upper edge of bucket i
+            h.record(1u64 << i); // lower edge of bucket i + 1
+            let b = h.buckets();
+            assert_eq!(b[i], 2, "edges of bucket {i}");
+            assert_eq!(b[i + 1], 1, "2^{i} opens bucket {}", i + 1);
+            assert_eq!(Log2Histogram::bucket_lower_bound(i), lo);
+        }
+    }
+
+    #[test]
+    fn quantile_uses_bucket_lower_bounds() {
+        let h = Log2Histogram::new();
+        for _ in 0..10 {
+            h.record(5); // bucket 3: [4, 8)
+        }
+        assert_eq!(h.quantile_lower_bound(0.5), 4);
+        let h = Log2Histogram::new();
+        h.record(1);
+        assert_eq!(h.quantile_lower_bound(0.5), 1);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_watermark() {
+        let g = Gauge::new();
+        g.add(3);
+        g.add(4);
+        g.sub(5);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_watermark(), 7);
+        let g2 = g.clone();
+        g2.set(1);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.high_watermark(), 7);
     }
 
     #[test]

@@ -1,5 +1,15 @@
-//! Protocol event tracing, used to regenerate the paper's Figure 2
-//! (timely behaviour of the blocking vs. pipelined protocols).
+//! Structured protocol event tracing.
+//!
+//! Events are typed — an actor, a [`Category`], a kind, and named payload
+//! fields — and carry virtual-clock timestamps only, so a trace of a
+//! seeded run is bit-reproducible. Point events ([`Trace::instant`]) and
+//! begin/end spans ([`Trace::begin`] / [`Trace::end`]) both feed the
+//! Figure 2 text timeline ([`Trace::render`]) and the Chrome-trace-event
+//! export in [`crate::obs`].
+//!
+//! Categories can be enabled selectively; a disabled category (or a fully
+//! disabled trace) costs one branch per call site — the actor and field
+//! closures are never evaluated.
 
 use std::cell::RefCell;
 use std::fmt;
@@ -7,30 +17,164 @@ use std::rc::Rc;
 
 use crate::time::Cycles;
 
-/// One traced protocol event.
+/// Event category, used both for filtering and for the `cat` field of the
+/// Chrome trace export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// RCCE/iRCCE message-passing protocol steps (put, flag, chunk).
+    Protocol,
+    /// PCIe tunnel/link transfers.
+    Pcie,
+    /// Host-side vDMA operations.
+    Vdma,
+    /// Message-passing-buffer accesses.
+    Mpb,
+    /// Application-level events (e.g. NPB BT payload verification).
+    App,
+}
+
+impl Category {
+    /// All categories, in declaration order.
+    pub const ALL: [Category; 5] =
+        [Category::Protocol, Category::Pcie, Category::Vdma, Category::Mpb, Category::App];
+
+    fn bit(self) -> u8 {
+        1 << self as u8
+    }
+
+    /// Lower-case name, as exported.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Protocol => "protocol",
+            Category::Pcie => "pcie",
+            Category::Vdma => "vdma",
+            Category::Mpb => "mpb",
+            Category::App => "app",
+        }
+    }
+}
+
+/// A typed payload field value.
 #[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    Str(&'static str),
+    Text(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::Str(s) => f.write_str(s),
+            FieldValue::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+macro_rules! field_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::U64(v as u64)
+            }
+        }
+    )*};
+}
+field_from_uint!(u8, u16, u32, u64, usize);
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<&'static str> for FieldValue {
+    fn from(s: &'static str) -> Self {
+        FieldValue::Str(s)
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(s: String) -> Self {
+        FieldValue::Text(s)
+    }
+}
+
+/// Named payload fields of one event.
+pub type Fields = Vec<(&'static str, FieldValue)>;
+
+/// Build a [`Fields`] list: `fields![bytes = n, dest = d]`.
+#[macro_export]
+macro_rules! fields {
+    ($($name:ident = $value:expr),* $(,)?) => {
+        vec![$((stringify!($name), $crate::trace::FieldValue::from($value))),*]
+    };
+}
+
+/// Whether an event is a point or delimits a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    Instant,
+    Begin,
+    End,
+}
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Simulated timestamp (core cycles).
     pub time: Cycles,
-    /// The acting entity, e.g. `"rank0"`, `"commtask"`.
+    /// The acting entity, e.g. `"rank0"`, `"host"`, `"vdma1"`.
     pub actor: String,
-    /// Event description, e.g. `"put 4096B"`, `"flag set"`.
-    pub what: String,
+    /// Event category.
+    pub cat: Category,
+    /// Event kind, e.g. `"put"`, `"flag_set"`, `"chunk"`.
+    pub kind: &'static str,
+    /// Point event or span delimiter.
+    pub phase: SpanPhase,
+    /// Named payload fields.
+    pub fields: Fields,
 }
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:>12}  {:<12} {}", self.time, self.actor, self.what)
+        let marker = match self.phase {
+            SpanPhase::Instant => ' ',
+            SpanPhase::Begin => '[',
+            SpanPhase::End => ']',
+        };
+        write!(
+            f,
+            "{:>12}  {:<12} {:<9}{}{}",
+            self.time,
+            self.actor,
+            self.cat.name(),
+            marker,
+            self.kind
+        )?;
+        for (name, value) in &self.fields {
+            write!(f, " {name}={value}")?;
+        }
+        Ok(())
     }
 }
 
-/// A shared, optionally-enabled protocol trace.
+struct TraceInner {
+    events: RefCell<Vec<TraceEvent>>,
+    mask: u8,
+}
+
+/// A shared, optionally-enabled structured trace.
 ///
-/// Disabled traces are free: `record` returns immediately without
-/// formatting, so tracing can stay wired into the hot protocol paths.
+/// Disabled traces (and disabled categories) are free: the recording
+/// methods return after one branch, without evaluating the actor or field
+/// closures.
 #[derive(Clone, Default)]
 pub struct Trace {
-    inner: Option<Rc<RefCell<Vec<TraceEvent>>>>,
+    inner: Option<Rc<TraceInner>>,
 }
 
 impl Trace {
@@ -39,27 +183,94 @@ impl Trace {
         Trace { inner: None }
     }
 
-    /// An enabled trace.
+    /// An enabled trace collecting every category.
     pub fn enabled() -> Self {
-        Trace { inner: Some(Rc::new(RefCell::new(Vec::new()))) }
+        Trace::with_categories(&Category::ALL)
     }
 
-    /// Whether events are being collected.
+    /// An enabled trace collecting only the given categories.
+    pub fn with_categories(cats: &[Category]) -> Self {
+        let mask = cats.iter().fold(0u8, |m, c| m | c.bit());
+        Trace { inner: Some(Rc::new(TraceInner { events: RefCell::new(Vec::new()), mask })) }
+    }
+
+    /// Whether any category is being collected.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
     }
 
-    /// Record an event; `what` is only evaluated when enabled.
-    pub fn record(&self, time: Cycles, actor: &str, what: impl FnOnce() -> String) {
-        if let Some(inner) = &self.inner {
-            inner.borrow_mut().push(TraceEvent { time, actor: actor.to_string(), what: what() });
+    /// Whether events of `cat` are being collected.
+    pub fn enabled_for(&self, cat: Category) -> bool {
+        match &self.inner {
+            Some(inner) => inner.mask & cat.bit() != 0,
+            None => false,
         }
+    }
+
+    fn push(
+        &self,
+        time: Cycles,
+        cat: Category,
+        phase: SpanPhase,
+        kind: &'static str,
+        actor: impl FnOnce() -> String,
+        fields: impl FnOnce() -> Fields,
+    ) {
+        if let Some(inner) = &self.inner {
+            if inner.mask & cat.bit() != 0 {
+                inner.events.borrow_mut().push(TraceEvent {
+                    time,
+                    actor: actor(),
+                    cat,
+                    kind,
+                    phase,
+                    fields: fields(),
+                });
+            }
+        }
+    }
+
+    /// Record a point event. `actor` and `fields` are only evaluated when
+    /// the category is enabled.
+    pub fn instant(
+        &self,
+        time: Cycles,
+        cat: Category,
+        kind: &'static str,
+        actor: impl FnOnce() -> String,
+        fields: impl FnOnce() -> Fields,
+    ) {
+        self.push(time, cat, SpanPhase::Instant, kind, actor, fields);
+    }
+
+    /// Open a span. Must be closed by [`Trace::end`] with the same actor
+    /// and kind; spans of one actor nest like a call stack.
+    pub fn begin(
+        &self,
+        time: Cycles,
+        cat: Category,
+        kind: &'static str,
+        actor: impl FnOnce() -> String,
+        fields: impl FnOnce() -> Fields,
+    ) {
+        self.push(time, cat, SpanPhase::Begin, kind, actor, fields);
+    }
+
+    /// Close the innermost open span of `actor` with this `kind`.
+    pub fn end(
+        &self,
+        time: Cycles,
+        cat: Category,
+        kind: &'static str,
+        actor: impl FnOnce() -> String,
+    ) {
+        self.push(time, cat, SpanPhase::End, kind, actor, Vec::new);
     }
 
     /// Snapshot of all events in record order.
     pub fn events(&self) -> Vec<TraceEvent> {
         match &self.inner {
-            Some(inner) => inner.borrow().clone(),
+            Some(inner) => inner.events.borrow().clone(),
             None => Vec::new(),
         }
     }
@@ -69,7 +280,12 @@ impl Trace {
         self.events().into_iter().filter(|e| e.actor == actor).collect()
     }
 
-    /// Render as an aligned text timeline.
+    /// Events of one category.
+    pub fn events_in(&self, cat: Category) -> Vec<TraceEvent> {
+        self.events().into_iter().filter(|e| e.cat == cat).collect()
+    }
+
+    /// Render as an aligned text timeline (the Figure 2 view).
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in self.events() {
@@ -85,40 +301,79 @@ mod tests {
     use super::*;
 
     #[test]
-    fn disabled_records_nothing_and_skips_closure() {
+    fn disabled_records_nothing_and_skips_closures() {
         let t = Trace::disabled();
-        t.record(1, "a", || panic!("must not be evaluated"));
+        t.instant(
+            1,
+            Category::Protocol,
+            "x",
+            || panic!("actor must not run"),
+            || panic!("fields must not run"),
+        );
         assert!(t.events().is_empty());
         assert!(!t.is_enabled());
+        assert!(!t.enabled_for(Category::App));
     }
 
     #[test]
     fn enabled_collects_in_order() {
         let t = Trace::enabled();
-        t.record(5, "rank0", || "put".into());
-        t.record(9, "rank1", || "get".into());
+        t.instant(5, Category::Protocol, "put", || "rank0".into(), || fields![bytes = 64u64]);
+        t.instant(9, Category::Protocol, "get", || "rank1".into(), Vec::new);
         let ev = t.events();
         assert_eq!(ev.len(), 2);
         assert_eq!(ev[0].time, 5);
+        assert_eq!(ev[0].fields, vec![("bytes", FieldValue::U64(64))]);
         assert_eq!(ev[1].actor, "rank1");
+    }
+
+    #[test]
+    fn category_filter_drops_and_skips() {
+        let t = Trace::with_categories(&[Category::Pcie]);
+        assert!(t.enabled_for(Category::Pcie));
+        assert!(!t.enabled_for(Category::Protocol));
+        t.instant(
+            1,
+            Category::Protocol,
+            "x",
+            || panic!("filtered actor must not run"),
+            || panic!("filtered fields must not run"),
+        );
+        t.instant(2, Category::Pcie, "xfer", || "link0".into(), Vec::new);
+        let ev = t.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].cat, Category::Pcie);
+    }
+
+    #[test]
+    fn spans_record_phases() {
+        let t = Trace::enabled();
+        t.begin(10, Category::Vdma, "dma", || "vdma0".into(), || fields![bytes = 4096u64]);
+        t.end(25, Category::Vdma, "dma", || "vdma0".into());
+        let ev = t.events();
+        assert_eq!(ev[0].phase, SpanPhase::Begin);
+        assert_eq!(ev[1].phase, SpanPhase::End);
+        assert!(ev[0].time < ev[1].time);
     }
 
     #[test]
     fn filter_by_actor() {
         let t = Trace::enabled();
-        t.record(1, "a", || "x".into());
-        t.record(2, "b", || "y".into());
-        t.record(3, "a", || "z".into());
+        t.instant(1, Category::App, "x", || "a".into(), Vec::new);
+        t.instant(2, Category::App, "y", || "b".into(), Vec::new);
+        t.instant(3, Category::App, "z", || "a".into(), Vec::new);
         assert_eq!(t.events_of("a").len(), 2);
+        assert_eq!(t.events_in(Category::App).len(), 3);
     }
 
     #[test]
     fn render_contains_all_lines() {
         let t = Trace::enabled();
-        t.record(1, "a", || "one".into());
-        t.record(2, "b", || "two".into());
+        t.instant(1, Category::Protocol, "one", || "a".into(), || fields![n = 7u64]);
+        t.begin(2, Category::Mpb, "two", || "b".into(), Vec::new);
         let s = t.render();
         assert!(s.contains("one") && s.contains("two"));
+        assert!(s.contains("n=7"));
         assert_eq!(s.lines().count(), 2);
     }
 }

@@ -6,6 +6,7 @@
 //! additionally contend for host memory through one shared link.
 
 use des::link::{Bandwidth, Link};
+use des::obs::Registry;
 use des::{Cycles, Sim};
 use scc::geometry::DeviceId;
 
@@ -56,6 +57,14 @@ impl DevicePort {
     pub fn total_bytes(&self) -> u64 {
         self.egress.total_bytes() + self.ingress.total_bytes()
     }
+
+    /// Surface both directions' link instruments in `registry` under
+    /// `pcie.linkN.{egress,ingress}.*` where `N` is the device id.
+    pub fn register_metrics(&self, registry: &Registry) {
+        let link = registry.scoped("pcie").scoped(&format!("link{}", self.device.0));
+        self.egress.register_metrics(&link.scoped("egress"));
+        self.ingress.register_metrics(&link.scoped("ingress"));
+    }
 }
 
 /// The host side of the fabric: one port per device plus the shared
@@ -73,11 +82,7 @@ pub struct HostFabric {
 impl HostFabric {
     /// Build the fabric for `devices` devices.
     pub fn new(model: PcieModel, devices: u8) -> Self {
-        let host_mem = Link::new(
-            Bandwidth::bytes_per_cycle(model.host_mem_bytes_per_cycle),
-            0,
-            20,
-        );
+        let host_mem = Link::new(Bandwidth::bytes_per_cycle(model.host_mem_bytes_per_cycle), 0, 20);
         HostFabric {
             ports: (0..devices).map(|d| DevicePort::new(&model, DeviceId(d))).collect(),
             host_mem,
@@ -94,6 +99,15 @@ impl HostFabric {
     /// a daemon buffer).
     pub async fn host_copy(&self, sim: &Sim, bytes: u64) {
         self.host_mem.transfer(sim, bytes).await;
+    }
+
+    /// Surface every port and the shared host-memory link in `registry`
+    /// (`pcie.linkN.*`, `pcie.host_mem.*`).
+    pub fn register_metrics(&self, registry: &Registry) {
+        for port in &self.ports {
+            port.register_metrics(registry);
+        }
+        self.host_mem.register_metrics(&registry.scoped("pcie").scoped("host_mem"));
     }
 }
 
@@ -158,6 +172,29 @@ mod tests {
         let t1 = handles[1].try_take().unwrap();
         // Same finish time: no cross-device serialization on the wire.
         assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn fabric_metrics_cover_every_link() {
+        let sim = Sim::new();
+        let fabric = HostFabric::new(PcieModel::default(), 2);
+        let reg = Registry::new();
+        fabric.register_metrics(&reg);
+        let s = sim.clone();
+        let t = sim
+            .block_on(async move {
+                fabric.port(DeviceId(1)).to_host(&s, 4096).await;
+                fabric.host_copy(&s, 4096).await;
+                (fabric.port(DeviceId(1)).total_bytes(), ())
+            })
+            .unwrap();
+        assert_eq!(reg.counter("pcie.link1.egress.bytes").get(), 4096);
+        assert_eq!(reg.counter("pcie.link0.egress.bytes").get(), 0);
+        assert_eq!(reg.counter("pcie.host_mem.bytes").get(), 4096);
+        assert_eq!(t.0, 4096);
+        let names = reg.names();
+        assert!(names.contains(&"pcie.link0.ingress.queue_depth".to_string()));
+        assert!(names.contains(&"pcie.host_mem.latency_cycles".to_string()));
     }
 
     #[test]

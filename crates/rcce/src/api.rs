@@ -10,7 +10,7 @@ use scc::geometry::MpbAddr;
 use scc::CoreHandle;
 
 use crate::layout;
-use crate::session::RankCtx;
+use crate::session::{size_class, RankCtx};
 
 /// Handle of one RCCE unit of execution (UE).
 ///
@@ -74,22 +74,28 @@ impl Rcce {
         assert!(dest < self.num_ues(), "send to invalid rank {dest}");
         assert_ne!(dest, self.id(), "RCCE forbids self-sends");
         self.ctx.session.record_traffic(self.id(), dest, data.len() as u64);
+        let metrics = self.ctx.session.rcce_metrics();
+        let start = self.now();
         let lock = self.ctx.send_lock(dest).clone();
         lock.lock().await;
+        metrics.send_lock_wait.add(self.now() - start);
         let proto = self.ctx.session.proto(self.id(), dest);
         proto.send(&self.ctx, dest, data).await;
         lock.unlock();
+        metrics.send_lat[size_class(data.len())].record(self.now() - start);
     }
 
     /// Blocking receive (`RCCE_recv`): fills `buf` from `src`.
     pub async fn recv(&self, buf: &mut [u8], src: usize) {
         assert!(src < self.num_ues(), "recv from invalid rank {src}");
         assert_ne!(src, self.id(), "RCCE forbids self-receives");
+        let start = self.now();
         let lock = self.ctx.recv_lock(src).clone();
         lock.lock().await;
         let proto = self.ctx.session.proto(src, self.id());
         proto.recv(&self.ctx, src, buf).await;
         lock.unlock();
+        self.ctx.session.rcce_metrics().recv_lat[size_class(buf.len())].record(self.now() - start);
     }
 
     /// Convenience: receive a message of known length into a new buffer.

@@ -59,7 +59,7 @@ impl Rcce {
         }
         let me = self.id();
         let vr = (me + n - root) % n; // virtual rank, root at 0
-        // Receive from the parent (vr with its highest bit cleared).
+                                      // Receive from the parent (vr with its highest bit cleared).
         let mut high = 0usize;
         if vr != 0 {
             high = 1 << (usize::BITS - 1 - vr.leading_zeros());
@@ -130,8 +130,7 @@ impl Rcce {
                 }
             } else {
                 let parent = ((vr - mask) + root) % n;
-                let packed: Vec<u8> =
-                    values.iter().flat_map(|v| v.to_le_bytes()).collect();
+                let packed: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
                 self.send(&packed, parent).await;
                 break;
             }
@@ -345,8 +344,7 @@ mod tests {
             .unwrap();
         for (i, g) in out.iter().enumerate() {
             if i == 1 {
-                let expect: Vec<u8> =
-                    (0..5u8).flat_map(|x| std::iter::repeat_n(x, 3)).collect();
+                let expect: Vec<u8> = (0..5u8).flat_map(|x| std::iter::repeat_n(x, 3)).collect();
                 assert_eq!(g.as_deref(), Some(expect.as_slice()));
             } else {
                 assert!(g.is_none());

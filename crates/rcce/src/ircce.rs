@@ -53,11 +53,16 @@ impl Rcce {
         ctx.session.record_traffic(me, dest, data.len() as u64);
         let sim = self.sim().clone();
         let handle = sim.spawn_named(format!("isend {me}->{dest}"), async move {
+            let start = ctx.session.sim().now();
             let lock = ctx.send_lock(dest).clone();
             lock.lock().await;
+            let metrics = ctx.session.rcce_metrics();
+            metrics.send_lock_wait.add(ctx.session.sim().now() - start);
             let proto = ctx.session.proto(me, dest);
             proto.send(&ctx, dest, &data).await;
             lock.unlock();
+            metrics.send_lat[crate::session::size_class(data.len())]
+                .record(ctx.session.sim().now() - start);
         });
         SendRequest { handle }
     }
@@ -69,12 +74,15 @@ impl Rcce {
         let me = self.id();
         let sim = self.sim().clone();
         let handle = sim.spawn_named(format!("irecv {src}->{me}"), async move {
+            let start = ctx.session.sim().now();
             let mut buf = vec![0u8; len];
             let lock = ctx.recv_lock(src).clone();
             lock.lock().await;
             let proto = ctx.session.proto(src, me);
             proto.recv(&ctx, src, &mut buf).await;
             lock.unlock();
+            ctx.session.rcce_metrics().recv_lat[crate::session::size_class(len)]
+                .record(ctx.session.sim().now() - start);
             buf
         });
         RecvRequest { handle }

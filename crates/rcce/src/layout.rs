@@ -92,6 +92,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the layout is all consts; that is the point
     fn regions_do_not_overlap() {
         assert!(OFF_SENT + MAX_RANKS as u16 <= OFF_READY);
         assert!(OFF_READY + MAX_RANKS as u16 <= OFF_BARRIER);
@@ -117,6 +118,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the layout is all consts; that is the point
     fn chunk_smaller_than_8k() {
         // An 8 KiB message must split into two chunks (the Fig. 6 dip).
         assert!(CHUNK_BYTES < 8192);

@@ -13,9 +13,10 @@
 use std::future::Future;
 use std::pin::Pin;
 
-use crate::layout::{
-    self, counter_reached, CHUNK_BYTES, PIPELINE_SLOTS, SLOT_BYTES,
-};
+use des::fields;
+use des::trace::Category;
+
+use crate::layout::{self, counter_reached, CHUNK_BYTES, PIPELINE_SLOTS, SLOT_BYTES};
 use crate::session::RankCtx;
 
 /// Boxed non-`Send` future (single-threaded simulator).
@@ -25,12 +26,15 @@ pub type LocalBoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
 pub trait PointToPoint {
     /// Blocking send of `data` from `ctx`'s rank to `dest`. Returns when
     /// the receiver has consumed the message (RCCE semantics, Fig. 2a).
-    fn send<'a>(&'a self, ctx: &'a RankCtx, dest: usize, data: &'a [u8])
-        -> LocalBoxFuture<'a, ()>;
+    fn send<'a>(&'a self, ctx: &'a RankCtx, dest: usize, data: &'a [u8]) -> LocalBoxFuture<'a, ()>;
 
     /// Blocking receive of `buf.len()` bytes from `src`.
-    fn recv<'a>(&'a self, ctx: &'a RankCtx, src: usize, buf: &'a mut [u8])
-        -> LocalBoxFuture<'a, ()>;
+    fn recv<'a>(
+        &'a self,
+        ctx: &'a RankCtx,
+        src: usize,
+        buf: &'a mut [u8],
+    ) -> LocalBoxFuture<'a, ()>;
 
     /// Human-readable protocol name (used in experiment output).
     fn name(&self) -> &'static str;
@@ -103,35 +107,44 @@ impl BlockingProtocol {
 }
 
 impl PointToPoint for BlockingProtocol {
-    fn send<'a>(
-        &'a self,
-        ctx: &'a RankCtx,
-        dest: usize,
-        data: &'a [u8],
-    ) -> LocalBoxFuture<'a, ()> {
+    fn send<'a>(&'a self, ctx: &'a RankCtx, dest: usize, data: &'a [u8]) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(dest);
             let trace = ctx.session.trace().clone();
             for (lo, hi) in chunk_ranges(data.len(), self.chunk) {
-                trace.record(ctx.core.sim().now(), &format!("rank{me}"), || {
-                    format!("put {}B -> local MPB", hi - lo)
-                });
+                trace.begin(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "chunk",
+                    || format!("rank{me}"),
+                    || fields![bytes = hi - lo, dest = dest],
+                );
+                trace.instant(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "put",
+                    || format!("rank{me}"),
+                    || fields![bytes = hi - lo, target = "local_mpb"],
+                );
                 ctx.core.put(layout::payload(my, self.window_off), &data[lo..hi]).await;
                 let cnt = {
                     let mut sc = ctx.sent_count.borrow_mut();
                     sc[dest] = sc[dest].wrapping_add(1);
                     sc[dest]
                 };
-                trace.record(ctx.core.sim().now(), &format!("rank{me}"), || {
-                    format!("set sent[{me}]={cnt} at rank{dest}")
-                });
+                trace.instant(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "flag_set",
+                    || format!("rank{me}"),
+                    || fields![flag = "sent", src = me, value = cnt, at_rank = dest],
+                );
                 ctx.core.flag_write(layout::sent_flag(peer, me), cnt).await;
                 flag_wait_reached(ctx, layout::ready_flag(my, dest), cnt).await;
-                trace.record(ctx.core.sim().now(), &format!("rank{me}"), || {
-                    format!("chunk acked (ready={cnt})")
-                });
+                trace
+                    .end(ctx.core.sim().now(), Category::Protocol, "chunk", || format!("rank{me}"));
             }
         })
     }
@@ -150,17 +163,25 @@ impl PointToPoint for BlockingProtocol {
             for (lo, hi) in chunk_ranges(buf.len(), self.chunk) {
                 let cnt = ctx.recv_count.borrow()[src].wrapping_add(1);
                 flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
-                trace.record(ctx.core.sim().now(), &format!("rank{me}"), || {
-                    format!("sent[{src}] reached {cnt}; get {}B", hi - lo)
-                });
+                trace.instant(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "get",
+                    || format!("rank{me}"),
+                    || fields![bytes = hi - lo, src = src, sent_count = cnt],
+                );
                 // The payload lines may be cached from the previous chunk.
                 ctx.core.cl1invmb().await;
                 ctx.core.get(layout::payload(peer, self.window_off), &mut buf[lo..hi]).await;
                 ctx.recv_count.borrow_mut()[src] = cnt;
                 ctx.core.flag_write(layout::ready_flag(peer, me), cnt).await;
-                trace.record(ctx.core.sim().now(), &format!("rank{me}"), || {
-                    format!("ready[{me}]={cnt} sent to rank{src}")
-                });
+                trace.instant(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "flag_set",
+                    || format!("rank{me}"),
+                    || fields![flag = "ready", src = me, value = cnt, at_rank = src],
+                );
             }
         })
     }
@@ -191,11 +212,7 @@ impl PipelinedProtocol {
     /// Use a custom packet size (clamped to the slot size).
     pub fn with_packet(packet: usize) -> Self {
         assert!(packet > 0);
-        PipelinedProtocol {
-            packet: packet.min(SLOT_BYTES),
-            window_off: 0,
-            slot_bytes: SLOT_BYTES,
-        }
+        PipelinedProtocol { packet: packet.min(SLOT_BYTES), window_off: 0, slot_bytes: SLOT_BYTES }
     }
 
     /// Confine both slots to `[window_off, window_off + window_len)` of
@@ -218,12 +235,7 @@ impl PipelinedProtocol {
 }
 
 impl PointToPoint for PipelinedProtocol {
-    fn send<'a>(
-        &'a self,
-        ctx: &'a RankCtx,
-        dest: usize,
-        data: &'a [u8],
-    ) -> LocalBoxFuture<'a, ()> {
+    fn send<'a>(&'a self, ctx: &'a RankCtx, dest: usize, data: &'a [u8]) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             let me = ctx.rank;
             let my = ctx.who();
@@ -242,9 +254,13 @@ impl PointToPoint for PipelinedProtocol {
                     )
                     .await;
                 }
-                trace.record(ctx.core.sim().now(), &format!("rank{me}"), || {
-                    format!("pipeline put pkt{p} ({}B) slot{}", hi - lo, p % 2)
-                });
+                trace.instant(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "pipe_put",
+                    || format!("rank{me}"),
+                    || fields![pkt = p, bytes = hi - lo, slot = p % 2],
+                );
                 ctx.core.put(self.slot_addr(my, p % PIPELINE_SLOTS), &data[lo..hi]).await;
                 let cnt = base.wrapping_add(p as u8 + 1);
                 ctx.core.flag_write(layout::sent_flag(peer, me), cnt).await;
@@ -252,9 +268,13 @@ impl PointToPoint for PipelinedProtocol {
             let total = base.wrapping_add(ranges.len() as u8);
             ctx.sent_count.borrow_mut()[dest] = total;
             flag_wait_reached(ctx, layout::ready_flag(my, dest), total).await;
-            trace.record(ctx.core.sim().now(), &format!("rank{me}"), || {
-                "pipeline send complete".to_string()
-            });
+            trace.instant(
+                ctx.core.sim().now(),
+                Category::Protocol,
+                "pipe_send_done",
+                || format!("rank{me}"),
+                || fields![packets = ranges.len()],
+            );
         })
     }
 
@@ -274,9 +294,13 @@ impl PointToPoint for PipelinedProtocol {
             for (p, (lo, hi)) in ranges.iter().copied().enumerate() {
                 let cnt = base.wrapping_add(p as u8 + 1);
                 flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
-                trace.record(ctx.core.sim().now(), &format!("rank{me}"), || {
-                    format!("pipeline get pkt{p} ({}B) slot{}", hi - lo, p % 2)
-                });
+                trace.instant(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "pipe_get",
+                    || format!("rank{me}"),
+                    || fields![pkt = p, bytes = hi - lo, slot = p % 2],
+                );
                 ctx.core.cl1invmb().await;
                 ctx.core.get(self.slot_addr(peer, p % PIPELINE_SLOTS), &mut buf[lo..hi]).await;
                 ctx.core.flag_write(layout::ready_flag(peer, me), cnt).await;

@@ -11,8 +11,10 @@ use std::cell::{Cell, RefCell};
 use std::future::Future;
 use std::rc::Rc;
 
+use des::obs::Registry;
+use des::stats::{Counter, Log2Histogram};
 use des::sync::SimMutex;
-use des::trace::Trace;
+use des::trace::{Category, Trace};
 use des::{JoinHandle, Sim};
 use scc::device::SccDevice;
 use scc::geometry::{DeviceId, GlobalCore};
@@ -31,6 +33,44 @@ pub struct SessionInner {
     traffic: RefCell<Vec<u64>>,
     messages: RefCell<Vec<u64>>,
     trace: Trace,
+    metrics: Registry,
+    rcce_metrics: RcceMetrics,
+}
+
+/// Message-size classes for the per-call latency histograms
+/// (`rcce.send.lat_cycles.le64` …). Bounds follow the paper's sweep:
+/// small (≤64 B), up to the pipelined threshold (≤1 KiB), up to the MPB
+/// payload area (≤8 KiB), and beyond.
+pub const SIZE_CLASSES: [(&str, usize); 4] =
+    [("le64", 64), ("le1k", 1024), ("le8k", 8192), ("gt8k", usize::MAX)];
+
+/// Pre-resolved registry handles for the hot send/recv paths.
+pub(crate) struct RcceMetrics {
+    pub send_lat: Vec<Log2Histogram>,
+    pub recv_lat: Vec<Log2Histogram>,
+    pub send_lock_wait: Counter,
+}
+
+impl RcceMetrics {
+    fn new(registry: &Registry) -> Self {
+        let rcce = registry.scoped("rcce");
+        RcceMetrics {
+            send_lat: SIZE_CLASSES
+                .iter()
+                .map(|(label, _)| rcce.histogram(&format!("send.lat_cycles.{label}")))
+                .collect(),
+            recv_lat: SIZE_CLASSES
+                .iter()
+                .map(|(label, _)| rcce.histogram(&format!("recv.lat_cycles.{label}")))
+                .collect(),
+            send_lock_wait: rcce.counter("send.lock_wait_cycles"),
+        }
+    }
+}
+
+/// Index into [`SIZE_CLASSES`] for a message of `len` bytes.
+pub fn size_class(len: usize) -> usize {
+    SIZE_CLASSES.iter().position(|(_, cap)| len <= *cap).unwrap()
 }
 
 impl SessionInner {
@@ -90,6 +130,15 @@ impl SessionInner {
     /// The protocol trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The metrics registry this session reports into.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    pub(crate) fn rcce_metrics(&self) -> &RcceMetrics {
+        &self.rcce_metrics
     }
 
     /// Dense traffic matrix snapshot: `matrix[src][dest]` payload bytes.
@@ -179,6 +228,7 @@ pub struct SessionBuilder {
     onchip: Rc<dyn PointToPoint>,
     inter: Option<Rc<dyn PointToPoint>>,
     trace: Trace,
+    metrics: Option<Registry>,
 }
 
 impl SessionBuilder {
@@ -195,6 +245,7 @@ impl SessionBuilder {
             onchip: Rc::new(BlockingProtocol::default()),
             inter: None,
             trace: Trace::disabled(),
+            metrics: None,
         }
     }
 
@@ -233,19 +284,36 @@ impl SessionBuilder {
         self
     }
 
-    /// Enable protocol tracing (Fig. 2 regeneration).
+    /// Enable protocol tracing (Fig. 2 regeneration), all categories.
     pub fn with_trace(mut self) -> Self {
         self.trace = Trace::enabled();
+        self
+    }
+
+    /// Enable tracing for selected categories only.
+    pub fn with_trace_categories(mut self, cats: &[Category]) -> Self {
+        self.trace = Trace::with_categories(cats);
+        self
+    }
+
+    /// Use an externally-shared trace (e.g. the vSCC system trace, so
+    /// protocol and host events interleave on one timeline).
+    pub fn with_shared_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Report metrics into an externally-shared registry instead of a
+    /// private one.
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(registry.clone());
         self
     }
 
     fn default_participants(&self) -> Vec<GlobalCore> {
         // Linear extension of RCCE ranks over alive cores, device by
         // device (paper §2.1/§4).
-        self.devices
-            .iter()
-            .flat_map(|d| d.alive_cores().into_iter().map(|c| d.global(c)))
-            .collect()
+        self.devices.iter().flat_map(|d| d.alive_cores().into_iter().map(|c| d.global(c))).collect()
     }
 
     /// Finish the builder.
@@ -262,6 +330,8 @@ impl SessionBuilder {
         }
         let n = ranks.len();
         let inter = self.inter.unwrap_or_else(|| self.onchip.clone());
+        let metrics = self.metrics.unwrap_or_default();
+        let rcce_metrics = RcceMetrics::new(&metrics);
         Session {
             inner: Rc::new(SessionInner {
                 sim: self.sim,
@@ -272,6 +342,8 @@ impl SessionBuilder {
                 traffic: RefCell::new(vec![0; n * n]),
                 messages: RefCell::new(vec![0; n * n]),
                 trace: self.trace,
+                metrics,
+                rcce_metrics,
             }),
         }
     }
@@ -336,6 +408,11 @@ impl Session {
     /// The protocol trace (empty unless built `with_trace`).
     pub fn trace(&self) -> Trace {
         self.inner.trace().clone()
+    }
+
+    /// The metrics registry this session reports into.
+    pub fn metrics(&self) -> Registry {
+        self.inner.metrics().clone()
     }
 }
 

@@ -94,7 +94,8 @@ impl CoreHandle {
         // controller port (queueing under contention).
         let mc_done = self.device.mc_port(self.who.core).reserve(&self.sim, data.len() as u64);
         if self.is_local_device(addr) {
-            let cycles = cost.copy_cost(data.len(), self.who.core.tile(), addr.owner.core.tile(), true);
+            let cycles =
+                cost.copy_cost(data.len(), self.who.core.tile(), addr.owner.core.tile(), true);
             let end = (self.sim.now() + cycles).max(mc_done);
             self.sim.delay_until(end).await;
             self.write_region_local(addr, data);
@@ -137,7 +138,8 @@ impl CoreHandle {
     pub async fn mpb_write(&self, addr: MpbAddr, data: &[u8]) {
         let cost = &self.device.cost;
         if self.is_local_device(addr) {
-            let cycles = cost.mpb_only_cost(data.len(), self.who.core.tile(), addr.owner.core.tile(), true);
+            let cycles =
+                cost.mpb_only_cost(data.len(), self.who.core.tile(), addr.owner.core.tile(), true);
             self.sim.delay(cycles).await;
             self.write_region_local(addr, data);
         } else {
@@ -180,9 +182,7 @@ impl CoreHandle {
             let span = (fetch_last - fetch_first + 1) * LINE_BYTES;
             let mut truth = vec![0u8; span];
             if self.is_local_device(addr) {
-                self.device
-                    .mpb(addr.owner.core)
-                    .read(fetch_first * LINE_BYTES, &mut truth);
+                self.device.mpb(addr.owner.core).read(fetch_first * LINE_BYTES, &mut truth);
             } else {
                 let fetched = self
                     .device
@@ -237,6 +237,7 @@ impl CoreHandle {
     /// Invalidate MPBT lines (`CL1INVMB`).
     pub async fn cl1invmb(&self) {
         self.l1.invalidate_all();
+        self.device.stats().cl1inv.inc();
         self.sim.delay(self.device.cost.cl1invmb).await;
     }
 
@@ -250,8 +251,11 @@ impl CoreHandle {
                 + cost.op_overhead;
             self.sim.delay(c).await;
             self.device.mpb(addr.owner.core).write_byte(addr.offset as usize, value);
-            self.l1
-                .write_through((addr.owner, addr.line()), addr.offset as usize % LINE_BYTES, &[value]);
+            self.l1.write_through(
+                (addr.owner, addr.line()),
+                addr.offset as usize % LINE_BYTES,
+                &[value],
+            );
         } else {
             self.sim.delay(cost.op_overhead).await;
             self.device.fabric().write(self.who, addr, vec![value]).await;
@@ -278,8 +282,8 @@ impl CoreHandle {
         );
         let region = self.device.mpb(addr.owner.core).clone();
         let cost = &self.device.cost;
-        let poll_cost = cost.cl1invmb
-            + cost.mpb_line_cost(self.who.core.tile(), addr.owner.core.tile(), false);
+        let poll_cost =
+            cost.cl1invmb + cost.mpb_line_cost(self.who.core.tile(), addr.owner.core.tile(), false);
         loop {
             self.l1.invalidate_range(addr.owner, addr.offset, 1);
             self.sim.delay(poll_cost).await;
@@ -315,10 +319,7 @@ impl CoreHandle {
         self.wcb.store((self.who, line));
         self.wcb.flush();
         self.sim.delay(self.device.cost.mpb_local_write + self.device.cost.op_overhead).await;
-        self.device
-            .fabric()
-            .mmio_write(RegisterLine { src: self.who, line, data })
-            .await;
+        self.device.fabric().mmio_write(RegisterLine { src: self.who, line, data }).await;
     }
 
     /// Program the same registers with three *separate* stores (the naive

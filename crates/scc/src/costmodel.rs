@@ -85,7 +85,13 @@ impl CostModel {
 
     /// Cost of an MPB-to-MPB move of `bytes` (no DRAM involved), e.g.
     /// flag-line reads or on-chip MPB-relay copies.
-    pub fn mpb_only_cost(&self, bytes: usize, from: TileCoord, to: TileCoord, write: bool) -> Cycles {
+    pub fn mpb_only_cost(
+        &self,
+        bytes: usize,
+        from: TileCoord,
+        to: TileCoord,
+        write: bool,
+    ) -> Cycles {
         let n = lines(bytes);
         self.op_overhead + n * self.mpb_line_cost(from, to, write)
     }

@@ -6,7 +6,9 @@ use std::rc::Rc;
 
 use des::event::Notify;
 use des::link::{Bandwidth, Link};
+use des::obs::Registry;
 use des::rng::DetRng;
+use des::stats::Counter;
 use des::Sim;
 
 use crate::costmodel::CostModel;
@@ -34,6 +36,22 @@ impl Default for BootConfig {
 /// Number of memory controllers per device.
 pub const MEMORY_CONTROLLERS: usize = 4;
 
+/// Device-wide access counters, aggregated across all 48 cores.
+///
+/// The MPB counters are *shared* with every [`MpbRegion`] of the device,
+/// so functional accesses from any path (core, host, fabric) are counted
+/// exactly once. [`SccDevice::register_metrics`] surfaces them in a
+/// [`Registry`] under `scc.dN.*`.
+#[derive(Clone, Default)]
+pub struct DeviceStats {
+    /// Functional MPB read accesses (any size), device-wide.
+    pub mpb_reads: Counter,
+    /// Functional MPB write accesses (any size), device-wide.
+    pub mpb_writes: Counter,
+    /// `CL1INVMB` instructions executed by this device's cores.
+    pub cl1inv: Counter,
+}
+
 /// One SCC chip.
 pub struct SccDevice {
     /// Device id (the z coordinate).
@@ -47,6 +65,7 @@ pub struct SccDevice {
     mc_ports: Vec<Link>,
     fabric: RefCell<Option<Rc<dyn RemoteFabric>>>,
     alive: RefCell<Vec<bool>>,
+    stats: DeviceStats,
 }
 
 impl SccDevice {
@@ -62,22 +81,45 @@ impl SccDevice {
         // latency is already inside CostModel::dram_line; the port link only
         // adds queueing when many cores stream at once.
         let mc_bw = Bandwidth::bytes_per_cycle(12);
+        let stats = DeviceStats::default();
         Rc::new(SccDevice {
             id,
             cost,
             sim: sim.clone(),
-            mpbs: (0..n).map(|_| MpbRegion::shared()).collect(),
+            mpbs: (0..n)
+                .map(|_| {
+                    Rc::new(MpbRegion::with_counters(
+                        stats.mpb_reads.clone(),
+                        stats.mpb_writes.clone(),
+                    ))
+                })
+                .collect(),
             tas: (0..n).map(|_| Cell::new(false)).collect(),
             tas_notify: (0..n).map(|_| Notify::new()).collect(),
             mc_ports: (0..MEMORY_CONTROLLERS).map(|_| Link::new(mc_bw, 0, 0)).collect(),
             fabric: RefCell::new(None),
             alive: RefCell::new(vec![true; n]),
+            stats,
         })
     }
 
     /// The simulation this device lives in.
     pub fn sim(&self) -> &Sim {
         &self.sim
+    }
+
+    /// Device-wide access counters.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Surface this device's counters in `registry` under
+    /// `scc.dN.{mpb.reads, mpb.writes, cl1inv}`.
+    pub fn register_metrics(&self, registry: &Registry) {
+        let scope = registry.scoped("scc").scoped(&format!("d{}", self.id.0));
+        scope.adopt_counter("mpb.reads", &self.stats.mpb_reads);
+        scope.adopt_counter("mpb.writes", &self.stats.mpb_writes);
+        scope.adopt_counter("cl1inv", &self.stats.cl1inv);
     }
 
     /// Boot the device, silently failing cores per `cfg`; returns the cores
@@ -91,12 +133,7 @@ impl SccDevice {
         if !alive.iter().any(|&a| a) {
             alive[0] = true;
         }
-        alive
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| a)
-            .map(|(i, _)| CoreId(i as u8))
-            .collect()
+        alive.iter().enumerate().filter(|(_, &a)| a).map(|(i, _)| CoreId(i as u8)).collect()
     }
 
     /// Cores currently booted.
@@ -243,6 +280,30 @@ mod tests {
         let dev = SccDevice::new(&sim, DeviceId(0));
         dev.mpb(CoreId(0)).write_byte(0, 1);
         assert_eq!(dev.mpb(CoreId(1)).read_byte(0), 0);
+    }
+
+    #[test]
+    fn mpb_access_counters_aggregate_across_regions() {
+        let sim = Sim::new();
+        let dev = SccDevice::new(&sim, DeviceId(0));
+        dev.mpb(CoreId(0)).write_byte(0, 1);
+        dev.mpb(CoreId(7)).write(64, &[1, 2, 3]);
+        let mut buf = [0u8; 2];
+        dev.mpb(CoreId(7)).read(64, &mut buf);
+        assert_eq!(dev.stats().mpb_writes.get(), 2);
+        assert_eq!(dev.stats().mpb_reads.get(), 1);
+    }
+
+    #[test]
+    fn register_metrics_surfaces_device_counters() {
+        let sim = Sim::new();
+        let dev = SccDevice::new(&sim, DeviceId(3));
+        let reg = Registry::new();
+        dev.register_metrics(&reg);
+        dev.mpb(CoreId(0)).write_byte(0, 9);
+        assert_eq!(reg.counter("scc.d3.mpb.writes").get(), 1);
+        assert_eq!(reg.counter("scc.d3.cl1inv").get(), 0);
+        assert!(reg.names().contains(&"scc.d3.mpb.reads".to_string()));
     }
 
     #[test]

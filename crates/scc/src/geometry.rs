@@ -165,14 +165,12 @@ pub struct MpbAddr {
 impl MpbAddr {
     /// Construct, panicking if the offset is outside the region.
     pub fn new(owner: GlobalCore, offset: u16) -> Self {
-        assert!(
-            (offset as usize) < crate::MPB_BYTES,
-            "MPB offset {offset} out of 8 KiB region"
-        );
+        assert!((offset as usize) < crate::MPB_BYTES, "MPB offset {offset} out of 8 KiB region");
         MpbAddr { owner, offset }
     }
 
     /// Address `delta` bytes further into the same region.
+    #[allow(clippy::should_implement_trait)] // not an `Add` impl: panics on overflow past the region
     pub fn add(self, delta: u16) -> Self {
         MpbAddr::new(self.owner, self.offset + delta)
     }

@@ -17,8 +17,8 @@
 //! PCIe/host layers.
 
 pub mod cache;
-pub mod costmodel;
 pub mod core;
+pub mod costmodel;
 pub mod device;
 pub mod geometry;
 pub mod mpb;

@@ -8,6 +8,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use des::event::Notify;
+use des::stats::Counter;
 
 use crate::MPB_BYTES;
 
@@ -19,6 +20,10 @@ pub struct MpbRegion {
     data: RefCell<Box<[u8]>>,
     notify: Notify,
     version: std::cell::Cell<u64>,
+    /// Functional read accesses (shared with the owning device's stats).
+    reads: Counter,
+    /// Functional write accesses (shared with the owning device's stats).
+    writes: Counter,
 }
 
 impl Default for MpbRegion {
@@ -28,12 +33,20 @@ impl Default for MpbRegion {
 }
 
 impl MpbRegion {
-    /// A zeroed region.
+    /// A zeroed region with private access counters.
     pub fn new() -> Self {
+        Self::with_counters(Counter::new(), Counter::new())
+    }
+
+    /// A zeroed region whose accesses increment the given (typically
+    /// device-wide, shared) counters.
+    pub fn with_counters(reads: Counter, writes: Counter) -> Self {
         MpbRegion {
             data: RefCell::new(vec![0u8; MPB_BYTES].into_boxed_slice()),
             notify: Notify::new(),
             version: std::cell::Cell::new(0),
+            reads,
+            writes,
         }
     }
 
@@ -53,6 +66,7 @@ impl MpbRegion {
             "MPB read [{offset}, {}) out of bounds",
             offset + buf.len()
         );
+        self.reads.inc();
         buf.copy_from_slice(&data[offset..offset + buf.len()]);
     }
 
@@ -67,18 +81,21 @@ impl MpbRegion {
             );
             data[offset..offset + buf.len()].copy_from_slice(buf);
         }
+        self.writes.inc();
         self.version.set(self.version.get() + 1);
         self.notify.notify_all();
     }
 
     /// Read a single byte (flag polling).
     pub fn read_byte(&self, offset: usize) -> u8 {
+        self.reads.inc();
         self.data.borrow()[offset]
     }
 
     /// Write a single byte and wake watchers.
     pub fn write_byte(&self, offset: usize, value: u8) {
         self.data.borrow_mut()[offset] = value;
+        self.writes.inc();
         self.version.set(self.version.get() + 1);
         self.notify.notify_all();
     }

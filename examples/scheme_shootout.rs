@@ -9,10 +9,7 @@ use vscc::CommScheme;
 use vscc_apps::pingpong;
 
 fn main() {
-    let size: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(32 * 1024);
+    let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(32 * 1024);
     let reps = 3;
 
     println!("inter-device ping-pong, {size} B messages, {reps} round trips\n");

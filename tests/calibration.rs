@@ -40,7 +40,10 @@ fn scheme_ordering_matches_figure_6b() {
     let wcb = t(CommScheme::RemotePutWcb);
     let lprg = t(CommScheme::LocalPutRemoteGet);
     let vdma = t(CommScheme::LocalPutLocalGet);
-    assert!(routed < lprg && lprg < wcb && wcb < bound, "ordering broken: {routed} {lprg} {wcb} {bound}");
+    assert!(
+        routed < lprg && lprg < wcb && wcb < bound,
+        "ordering broken: {routed} {lprg} {wcb} {bound}"
+    );
     assert!(vdma <= bound && vdma > wcb, "vDMA ({vdma}) must sit just below the bound ({bound})");
 }
 

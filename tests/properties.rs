@@ -23,7 +23,7 @@ fn scheme_strategy() -> impl Strategy<Value = CommScheme> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     /// Messages of arbitrary sizes and contents cross the tunnel intact
     /// and in order, under every scheme.

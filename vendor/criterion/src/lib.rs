@@ -1,0 +1,114 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so the real criterion
+//! cannot be fetched. This crate provides the minimal surface the
+//! `engine_micro` bench target uses — `Criterion::default()`,
+//! `sample_size`, `bench_function`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!` — timing each sample with `std::time::Instant` and
+//! printing mean/min per-iteration wall time. Wall-clock here measures the
+//! *host* performance of the simulator binary; the simulation itself
+//! remains purely virtual-clock.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // One untimed warmup sample, then the configured number of
+        // measured samples.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mean = b.samples.iter().sum::<f64>() / b.samples.len().max(1) as f64;
+        let min = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        println!("{id:<44} mean {:>12} min {:>12}", fmt_ns(mean), fmt_ns(min));
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Run the routine once per sample and record its wall time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed().as_nanos() as f64);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 1 warmup + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}
