@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks of the simulation engine itself: how fast
 //! the reproduction executes on the host machine (not simulated time).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use des::Sim;
 use rcce::SessionBuilder;
 use scc::device::SccDevice;
@@ -84,4 +84,15 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_executor, bench_onchip, bench_vscc
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+
+    if vscc_bench::observability_requested() {
+        // The micro-bench runs themselves are host-time measurements; for
+        // the export, trace one simulated vDMA ping-pong.
+        let (_, trace, reg) =
+            vscc_apps::pingpong::interdevice_observed(CommScheme::LocalPutLocalGet, 65_536, 1);
+        vscc_bench::export_observability(&reg, &[("vdma-64K", &trace)]);
+    }
+}

@@ -66,4 +66,16 @@ fn main() {
         run_cg(&s, &CgConfig::new(CgClass::A, 16)).expect("CG");
         structure("CG (strided reduce/transpose)", &TrafficMatrix::capture(&s));
     }
+
+    if vscc_bench::observability_requested() {
+        // A fully-traced 16-rank CG run for export.
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 2)
+            .scheme(CommScheme::LocalPutLocalGet)
+            .trace_categories(&des::trace::Category::ALL)
+            .build();
+        let s = v.session_builder().cores_per_device(8).build();
+        run_cg(&s, &CgConfig::new(CgClass::A, 16)).expect("CG");
+        vscc_bench::export_observability(v.metrics(), &[("cg-16", v.trace())]);
+    }
 }

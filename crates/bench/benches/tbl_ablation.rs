@@ -127,4 +127,21 @@ fn main() {
         );
         assert!(fused * 2 < discrete, "fusing must save at least half the transactions");
     }
+
+    if vscc_bench::observability_requested() {
+        // Export the two ends of the vDMA-chunk ablation, fully traced.
+        let traced = |chunk: usize| {
+            let sim = Sim::new();
+            let v = VsccBuilder::new(&sim, 2)
+                .scheme(CommScheme::LocalPutLocalGet)
+                .dma_chunk(chunk)
+                .trace_categories(&des::trace::Category::ALL)
+                .build();
+            pair_throughput(&v, None);
+            (v.trace().clone(), v.metrics().clone())
+        };
+        let (small, _) = traced(256);
+        let (large, reg) = traced(1920);
+        vscc_bench::export_observability(&reg, &[("chunk-256", &small), ("chunk-1920", &large)]);
+    }
 }

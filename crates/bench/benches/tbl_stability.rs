@@ -70,4 +70,28 @@ fn main() {
         failures_at[3] + failures_at[4] + failures_at[5] > 0,
         ">=3 coupled devices must show instability under heavy traffic"
     );
+
+    if vscc_bench::observability_requested() {
+        // Export one traced 4-device stream so the lost-ack recovery
+        // stalls are visible on the timeline.
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 4)
+            .scheme(CommScheme::RemotePutHwAck)
+            .host_config(HostConfig { seed: 41, ..HostConfig::default() })
+            .trace_categories(&des::trace::Category::ALL)
+            .build();
+        let a = v.devices[0].global(scc::geometry::CoreId(0));
+        let b = v.devices[1].global(scc::geometry::CoreId(0));
+        let s = v.session_builder().participants(vec![a, b]).build();
+        s.run_app(|r| async move {
+            if r.id() == 0 {
+                r.send(&vec![3u8; 7680], 1).await;
+            } else {
+                let mut buf = vec![0u8; 7680];
+                r.recv(&mut buf, 0).await;
+            }
+        })
+        .expect("traced stream");
+        vscc_bench::export_observability(v.metrics(), &[("hwack-4dev", v.trace())]);
+    }
 }

@@ -68,4 +68,17 @@ fn main() {
         let off = latency(scheme, 0, 64);
         assert!(on < off, "{}: direct path must cut small-message latency", scheme.name());
     }
+
+    if vscc_bench::observability_requested() {
+        // Export one traced sub-threshold message (the direct path) next
+        // to one over-threshold message (the controller path).
+        let (_, direct, reg) =
+            vscc_apps::pingpong::interdevice_observed(CommScheme::LocalPutLocalGet, 64, 1);
+        let (_, controller, _) =
+            vscc_apps::pingpong::interdevice_observed(CommScheme::LocalPutLocalGet, 512, 1);
+        vscc_bench::export_observability(
+            &reg,
+            &[("direct-64B", &direct), ("vdma-512B", &controller)],
+        );
+    }
 }

@@ -71,6 +71,24 @@ pub fn export_observability(registry: &Registry, traces: &[(&str, &Trace)]) {
     }
 }
 
+/// Whether `VSCC_CRITPATH=1` asks the benches to print critical-path
+/// phase-attribution tables (see `des::critpath`).
+pub fn critpath_requested() -> bool {
+    des::obs::critpath_requested()
+}
+
+/// Render per-run phase attribution: each row is one traced run
+/// (label, trace, measured completion cycles). Attribution covers
+/// `[0, cycles]`, so the printed phases sum to the measured time exactly
+/// (integer cycles, no rounding).
+pub fn critpath_table(label_header: &str, rows: &[(String, Trace, u64)]) -> String {
+    let attributed: Vec<(String, des::critpath::Attribution)> = rows
+        .iter()
+        .map(|(label, trace, end)| (label.clone(), des::critpath::run_attribution(trace, 0, *end)))
+        .collect();
+    des::critpath::render_table(label_header, &attributed)
+}
+
 /// Run `f` over `items` on a small pool of OS threads (each simulation is
 /// an independent single-threaded world, so sweeps parallelize across
 /// cores); results come back in input order.

@@ -98,6 +98,7 @@ impl AsyncVdma {
                     arrival_seq,
                     r.id() as u8,
                     gseq,
+                    None,
                 ),
             )
             .await;

@@ -211,8 +211,8 @@ impl HostSide {
     async fn worker_loop(self: Rc<Self>, _device: DeviceId, rx: Receiver<HostCmd>) {
         while let Some(cmd) = rx.recv().await {
             match cmd {
-                HostCmd::CacheUpdate { owner, offset, len } => {
-                    self.do_cache_update(owner, offset, len).await;
+                HostCmd::CacheUpdate { owner, offset, len, flow } => {
+                    self.do_cache_update(owner, offset, len, flow).await;
                 }
                 HostCmd::VdmaStart {
                     src,
@@ -223,8 +223,10 @@ impl HostSide {
                     seq,
                     src_rank,
                     drain_seq,
+                    flow,
                 } => {
-                    self.do_vdma(src, src_off, dst, dst_off, len, seq, src_rank, drain_seq).await;
+                    self.do_vdma(src, src_off, dst, dst_off, len, seq, src_rank, drain_seq, flow)
+                        .await;
                 }
                 // Handled synchronously at MMIO arrival; never queued.
                 HostCmd::CacheInvalidate { .. } | HostCmd::RegisterBuffer { .. } => {}
@@ -232,30 +234,46 @@ impl HostSide {
         }
     }
 
+    fn monitor_of(&self, id: DeviceId) -> Option<Rc<dyn scc::device::MpbWriteMonitor>> {
+        self.device(id).monitor()
+    }
+
     /// Prefetch `owner`'s MPB range into the software cache (DMA
     /// device → host), streaming chunk by chunk so overlapping reads can
     /// be answered "in parallel after a warmup phase" (§3.2).
-    async fn do_cache_update(&self, owner: GlobalCore, offset: u16, len: usize) {
+    async fn do_cache_update(&self, owner: GlobalCore, offset: u16, len: usize, flow: Option<u64>) {
         let sim = &self.sim;
-        self.trace.begin(
+        self.trace.begin_f(
             sim.now(),
             Category::Pcie,
             "prefetch",
+            flow,
             || format!("commtask-d{}", owner.device.0),
             || fields![core = owner.core.0 as u64, offset = offset as u64, bytes = len as u64],
         );
         let port = self.fabric.port(owner.device);
+        let mut installed = vec![0u8; len];
         for (lo, hi) in rcce::protocol::chunk_ranges(len, self.cfg.dma_chunk) {
             port.egress.transfer(sim, self.cfg.model.host_dma_bytes((hi - lo) as u64)).await;
             self.fabric.host_mem.reserve(sim, (hi - lo) as u64);
-            let mut buf = vec![0u8; hi - lo];
-            self.device(owner.device).mpb(owner.core).read(offset as usize + lo, &mut buf);
-            self.cache.install(owner, offset + lo as u16, &buf);
+            let buf = &mut installed[lo..hi];
+            self.device(owner.device).mpb(owner.core).read(offset as usize + lo, buf);
+            self.cache.install(owner, offset + lo as u16, buf);
+        }
+        // Consistency audit at the only point the cache promises it: right
+        // as the update completes, the installed range must equal the
+        // device's MPB (a divergence means the owner overwrote the buffer
+        // mid-prefetch — torn data under relaxed consistency).
+        if let Some(m) = self.monitor_of(owner.device) {
+            let mut actual = vec![0u8; len];
+            self.device(owner.device).mpb(owner.core).read(offset as usize, &mut actual);
+            m.cache_read_check(owner, offset, &installed, &actual, flow);
         }
         self.cache.finish_update(owner);
         self.stats.cache_updates.inc();
-        self.trace
-            .end(sim.now(), Category::Pcie, "prefetch", || format!("commtask-d{}", owner.device.0));
+        self.trace.end_f(sim.now(), Category::Pcie, "prefetch", flow, || {
+            format!("commtask-d{}", owner.device.0)
+        });
     }
 
     /// Execute one vDMA copy: `src` MPB → host → `dst` MPB, pipelined at
@@ -272,13 +290,15 @@ impl HostSide {
         seq: u8,
         src_rank: u8,
         drain_seq: u8,
+        flow: Option<u64>,
     ) {
         assert_ne!(src.device, dst.device, "vDMA serves inter-device copies only");
         let sim = &self.sim;
-        self.trace.begin(
+        self.trace.begin_f(
             sim.now(),
             Category::Vdma,
             "vdma",
+            flow,
             || format!("commtask-d{}", src.device.0),
             || {
                 fields![
@@ -300,6 +320,7 @@ impl HostSide {
         // communication task's pipelining effect (§4.1).
         let mut data = vec![0u8; len];
         self.device(src.device).mpb(src.core).read(src_off as usize, &mut data);
+        let wire_start = sim.now();
         let mut drain_arrival = sim.now();
         let mut last_arrival = sim.now();
         for (lo, hi) in rcce::protocol::chunk_ranges(len, self.cfg.dma_chunk) {
@@ -318,40 +339,73 @@ impl HostSide {
                 sim2.delay_until(drain_arrival).await;
                 let arr = host.fabric.port(src.device).ingress.reserve(&sim2, LINE_BYTES as u64);
                 sim2.delay_until(arr).await;
+                if let Some(m) = host.monitor_of(src.device) {
+                    let a = MpbAddr::new(src, layout::OFF_VDMA_DONE);
+                    m.host_write(src, a, &[drain_seq], flow);
+                }
                 host.device(src.device)
                     .mpb(src.core)
                     .write_byte(layout::OFF_VDMA_DONE as usize, drain_seq);
-                host.trace.instant(
+                host.trace.instant_f(
                     sim2.now(),
                     Category::Vdma,
                     "drain_flag",
+                    flow,
                     || format!("commtask-d{}", src.device.0),
                     || fields![seq = drain_seq as u64],
                 );
             });
         }
+        // The stretch between programming and the last chunk's arrival is
+        // wire occupancy (queueing included): the critical-path profiler
+        // attributes it to the PCIe wire, not the enclosing vDMA span.
+        self.trace.begin_f(
+            wire_start,
+            Category::Pcie,
+            "pcie_wire",
+            flow,
+            || format!("commtask-d{}", src.device.0),
+            || fields![bytes = len as u64],
+        );
         sim.delay_until(last_arrival.max(drain_arrival)).await;
+        self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, || {
+            format!("commtask-d{}", src.device.0)
+        });
+        if let Some(m) = self.monitor_of(dst.device) {
+            m.host_write(src, MpbAddr::new(dst, dst_off), &data, flow);
+        }
         self.device(dst.device).mpb(dst.core).write(dst_off as usize, &data);
         // Completion flag travels as one more line on the same port.
         let flag_arrival = dport.ingress.reserve(sim, LINE_BYTES as u64);
         sim.delay_until(flag_arrival).await;
-        self.device(dst.device)
-            .mpb(dst.core)
-            .write_byte(layout::sent_flag(dst, src_rank as usize).offset as usize, seq);
+        let flag_addr = layout::sent_flag(dst, src_rank as usize);
+        if let Some(m) = self.monitor_of(dst.device) {
+            m.host_write(src, flag_addr, &[seq], flow);
+        }
+        self.device(dst.device).mpb(dst.core).write_byte(flag_addr.offset as usize, seq);
         self.stats.vdma_ops.inc();
-        self.trace.end(sim.now(), Category::Vdma, "vdma", || format!("commtask-d{}", src.device.0));
+        self.trace.end_f(sim.now(), Category::Vdma, "vdma", flow, || {
+            format!("commtask-d{}", src.device.0)
+        });
     }
 
     /// Forward a classified flag write to its device, preserving order
     /// behind any buffered WCB data for the same destination.
-    fn forward_flag(self: &Rc<Self>, addr: MpbAddr, data: Vec<u8>) {
+    fn forward_flag(
+        self: &Rc<Self>,
+        src: GlobalCore,
+        addr: MpbAddr,
+        data: Vec<u8>,
+        flow: Option<u64>,
+    ) {
         let sim = self.sim.clone();
         let host = self.clone();
         self.stats.flag_forwards.inc();
-        self.trace.instant(
+        self.trace.instant_f(
             sim.now(),
             Category::Pcie,
             "flag_forward",
+            flow,
             || format!("commtask-d{}", addr.owner.device.0),
             || fields![core = addr.owner.core.0 as u64, offset = addr.offset as u64],
         );
@@ -371,30 +425,46 @@ impl HostSide {
         let flag_arrival = port.ingress.reserve(&sim, data.len().max(1) as u64);
         self.sim.spawn_named("flag-forward", async move {
             let dev = host.device(addr.owner.device);
+            let monitor = host.monitor_of(addr.owner.device);
             for (run, arr) in runs.into_iter().zip(run_arrivals) {
                 sim.delay_until(arr).await;
+                if let Some(m) = &monitor {
+                    m.host_write(src, MpbAddr::new(addr.owner, run.offset), &run.data, flow);
+                }
                 dev.mpb(addr.owner.core).write(run.offset as usize, &run.data);
             }
             sim.delay_until(flag_arrival).await;
+            if let Some(m) = &monitor {
+                m.host_write(src, addr, &data, flow);
+            }
             dev.mpb(addr.owner.core).write(addr.offset as usize, &data);
         });
     }
 
     /// Deliver a payload write (posted fast path): reserve the target
     /// ingress now, install the bytes at arrival.
-    fn deliver_payload(self: &Rc<Self>, addr: MpbAddr, data: Vec<u8>) {
+    fn deliver_payload(
+        self: &Rc<Self>,
+        src: GlobalCore,
+        addr: MpbAddr,
+        data: Vec<u8>,
+        flow: Option<u64>,
+    ) {
         let sim = self.sim.clone();
         let host = self.clone();
         self.fabric.host_mem.reserve(&sim, data.len() as u64);
         let arrival = self.fabric.port(addr.owner.device).ingress.reserve(&sim, data.len() as u64);
         self.sim.spawn_named("payload-forward", async move {
             sim.delay_until(arrival).await;
+            if let Some(m) = host.monitor_of(addr.owner.device) {
+                m.host_write(src, addr, &data, flow);
+            }
             host.device(addr.owner.device).mpb(addr.owner.core).write(addr.offset as usize, &data);
         });
     }
 
     /// One fully transparent routed line round trip (the 2012 baseline).
-    async fn routed_round_trip(&self, requester: DeviceId, target: DeviceId) {
+    async fn routed_round_trip(&self, requester: DeviceId, target: DeviceId, flow: Option<u64>) {
         let sim = &self.sim;
         let m = &self.cfg.model;
         let rport = self.fabric.port(requester);
@@ -408,10 +478,11 @@ impl HostSide {
         sim.delay(m.sw_forward_cycles).await;
         rport.ingress.transfer(sim, LINE_BYTES as u64).await;
         self.stats.routed_lines.inc();
-        self.trace.instant(
+        self.trace.instant_f(
             sim.now(),
             Category::Pcie,
             "routed_line",
+            flow,
             || format!("commtask-d{}", requester.0),
             || fields![target_dev = target.0 as u64],
         );
@@ -420,8 +491,19 @@ impl HostSide {
 
 impl RemoteFabric for HostSide {
     fn read(&self, src: GlobalCore, addr: MpbAddr, len: usize) -> LocalBoxFuture<'_, Vec<u8>> {
+        self.read_f(src, addr, len, None)
+    }
+
+    fn read_f(
+        &self,
+        src: GlobalCore,
+        addr: MpbAddr,
+        len: usize,
+        flow: Option<u64>,
+    ) -> LocalBoxFuture<'_, Vec<u8>> {
         Box::pin(async move {
             let sim = self.sim.clone();
+            let actor = move || format!("commtask-d{}", src.device.0);
             let cached_mode =
                 self.scheme == CommScheme::LocalPutRemoteGet && Self::is_payload(addr);
             if cached_mode {
@@ -431,18 +513,32 @@ impl RemoteFabric for HostSide {
                 // prefetch of the same range.
                 let rport = self.fabric.port(src.device);
                 rport.egress.transfer(&sim, LINE_BYTES as u64).await;
+                self.trace.begin_f(sim.now(), Category::Pcie, "classify", flow, actor, || {
+                    fields![bytes = len as u64]
+                });
                 sim.delay(self.cfg.model.sw_answer_cycles).await;
+                self.trace.end_f(sim.now(), Category::Pcie, "classify", flow, actor);
                 let mut out = vec![0u8; len];
+                let wire_start = sim.now();
                 let mut last_arrival = sim.now();
                 for (lo, hi) in rcce::protocol::chunk_ranges(len, self.cfg.dma_chunk) {
                     let off = addr.offset + lo as u16;
+                    self.trace.begin_f(
+                        sim.now(),
+                        Category::Pcie,
+                        "cache_wait",
+                        flow,
+                        actor,
+                        || fields![offset = off as u64, bytes = (hi - lo) as u64],
+                    );
                     self.cache.wait_range_or_settled(addr.owner, off, hi - lo).await;
+                    self.trace.end_f(sim.now(), Category::Pcie, "cache_wait", flow, actor);
                     let data = match self.cache.read(addr.owner, off, hi - lo) {
                         Some(d) => d,
                         None => {
                             // Cold miss: fetch from the owning device.
                             self.cache.begin_update(addr.owner);
-                            self.do_cache_update(addr.owner, off, hi - lo).await;
+                            self.do_cache_update(addr.owner, off, hi - lo, flow).await;
                             self.cache
                                 .read(addr.owner, off, hi - lo)
                                 .expect("range valid right after update")
@@ -453,14 +549,22 @@ impl RemoteFabric for HostSide {
                     // packet path (no host-DMA penalty).
                     last_arrival = rport.ingress.reserve(&sim, (hi - lo) as u64);
                 }
+                self.trace.begin_f(wire_start, Category::Pcie, "pcie_wire", flow, actor, || {
+                    fields![bytes = len as u64]
+                });
                 sim.delay_until(last_arrival).await;
+                self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor);
                 out
             } else {
                 // Transparent routing: one blocking round trip per line.
                 let n_lines = len.div_ceil(LINE_BYTES).max(1);
+                self.trace.begin_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor, || {
+                    fields![bytes = len as u64, lines = n_lines as u64]
+                });
                 for _ in 0..n_lines {
-                    self.routed_round_trip(src.device, addr.owner.device).await;
+                    self.routed_round_trip(src.device, addr.owner.device, flow).await;
                 }
+                self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor);
                 let mut buf = vec![0u8; len];
                 self.device(addr.owner.device)
                     .mpb(addr.owner.core)
@@ -471,26 +575,48 @@ impl RemoteFabric for HostSide {
     }
 
     fn write(&self, src: GlobalCore, addr: MpbAddr, data: Vec<u8>) -> LocalBoxFuture<'_, ()> {
+        self.write_f(src, addr, data, None)
+    }
+
+    fn write_f(
+        &self,
+        src: GlobalCore,
+        addr: MpbAddr,
+        data: Vec<u8>,
+        flow: Option<u64>,
+    ) -> LocalBoxFuture<'_, ()> {
         // The borrow-checker friendly clone: `self` methods that spawn need
         // an Rc; fabricate one from the registry.
         Box::pin(async move {
             let this = self.rc_self();
             let sim = self.sim.clone();
+            let actor = move || format!("commtask-d{}", src.device.0);
             if !Self::is_payload(addr) {
                 // Synchronization class: host acks immediately (§3.1),
                 // then forwards.
                 let sport = self.fabric.port(src.device);
                 sport.egress.transfer(&sim, LINE_BYTES as u64).await;
+                self.trace.begin_f(sim.now(), Category::Pcie, "classify", flow, actor, || {
+                    fields![offset = addr.offset as u64]
+                });
                 sim.delay(self.cfg.model.sw_answer_cycles).await;
-                this.forward_flag(addr, data);
+                self.trace.end_f(sim.now(), Category::Pcie, "classify", flow, actor);
+                this.forward_flag(src, addr, data, flow);
                 return;
             }
             match self.scheme {
                 CommScheme::SimpleRouting => {
                     // Write-with-acknowledge per line: full round trips.
                     let n_lines = data.len().div_ceil(LINE_BYTES).max(1);
+                    self.trace.begin_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor, || {
+                        fields![bytes = data.len() as u64, lines = n_lines as u64]
+                    });
                     for _ in 0..n_lines {
-                        self.routed_round_trip(src.device, addr.owner.device).await;
+                        self.routed_round_trip(src.device, addr.owner.device, flow).await;
+                    }
+                    self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor);
+                    if let Some(m) = self.monitor_of(addr.owner.device) {
+                        m.host_write(src, addr, &data, flow);
                     }
                     self.device(addr.owner.device)
                         .mpb(addr.owner.core)
@@ -507,17 +633,24 @@ impl RemoteFabric for HostSide {
                             lost += 1;
                         }
                     }
+                    self.trace.begin_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor, || {
+                        fields![bytes = data.len() as u64, lost_acks = lost as u64]
+                    });
                     let r = sport.egress.reserve_timed(&sim, data.len() as u64);
-                    this.deliver_payload(addr, data);
+                    this.deliver_payload(src, addr, data, flow);
                     // A lost ack stalls the SIF for a recovery round trip.
                     let penalty = lost as u64 * self.cfg.model.routed_line_round_trip();
                     sim.delay_until(r.wire_free + penalty).await;
+                    self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor);
                 }
                 CommScheme::RemotePutWcb => {
                     // Posted into the host write-combining buffer; the
                     // task flushes each complete granule as it fills, so
                     // granule delivery pipelines with the sender's stream.
                     let sport = self.fabric.port(src.device);
+                    self.trace.begin_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor, || {
+                        fields![bytes = data.len() as u64]
+                    });
                     let mut wire_free = sim.now();
                     for (lo, hi) in rcce::protocol::chunk_ranges(data.len(), self.wcb.granularity())
                     {
@@ -527,26 +660,36 @@ impl RemoteFabric for HostSide {
                             self.wcb.append(addr.owner, addr.offset + lo as u16, &data[lo..hi]);
                         for run in ready {
                             let a = MpbAddr::new(addr.owner, run.offset);
-                            this.deliver_payload(a, run.data);
+                            this.deliver_payload(src, a, run.data, flow);
                         }
                     }
                     sim.delay_until(wire_free).await;
+                    self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor);
                 }
                 CommScheme::LocalPutRemoteGet | CommScheme::LocalPutLocalGet => {
                     // Only the small-message direct path writes payload
                     // remotely under these schemes: host-acked forward.
                     let sport = self.fabric.port(src.device);
+                    self.trace.begin_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor, || {
+                        fields![bytes = data.len() as u64]
+                    });
                     sport.egress.transfer(&sim, data.len() as u64).await;
+                    self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor);
+                    self.trace.begin_f(sim.now(), Category::Pcie, "classify", flow, actor, || {
+                        fields![bytes = data.len() as u64]
+                    });
                     sim.delay(self.cfg.model.sw_answer_cycles).await;
+                    self.trace.end_f(sim.now(), Category::Pcie, "classify", flow, actor);
                     self.stats.direct_writes.inc();
-                    self.trace.instant(
+                    self.trace.instant_f(
                         sim.now(),
                         Category::Pcie,
                         "direct_write",
+                        flow,
                         || format!("commtask-d{}", addr.owner.device.0),
                         || fields![bytes = data.len() as u64],
                     );
-                    this.deliver_payload(addr, data);
+                    this.deliver_payload(src, addr, data, flow);
                 }
             }
         })
@@ -569,10 +712,15 @@ impl RemoteFabric for HostSide {
                 HostCmd::CacheInvalidate { .. } => "mmio_cache_invalidate",
                 HostCmd::RegisterBuffer { .. } => "mmio_register_buffer",
             };
-            self.trace.instant(
+            let flow = match &cmd {
+                HostCmd::VdmaStart { flow, .. } | HostCmd::CacheUpdate { flow, .. } => *flow,
+                _ => None,
+            };
+            self.trace.instant_f(
                 sim.now(),
                 Category::Vdma,
                 kind,
+                flow,
                 || format!("commtask-d{}", line.src.device.0),
                 || fields![core = line.src.core.0 as u64],
             );

@@ -27,6 +27,7 @@ pub mod async_ext;
 pub mod host;
 pub mod hostwcb;
 pub mod mmio;
+pub mod monitor;
 pub mod schemes;
 pub mod swcache;
 pub mod system;

@@ -52,6 +52,10 @@ pub enum HostCmd {
         /// flag once the source slot has been drained to the host, so the
         /// core knows when it may reuse the slot (§3.3 busy-wait).
         drain_seq: u8,
+        /// Provenance flow id of the message this transfer belongs to
+        /// (rides in the free upper half of the control word; `None` when
+        /// the encoder had no flow or it overflowed 32 bits).
+        flow: Option<u64>,
     },
     /// Update the host copy of the issuing core's MPB range (prefetch
     /// trigger; §3.2).
@@ -62,6 +66,8 @@ pub enum HostCmd {
         offset: u16,
         /// Length in bytes.
         len: usize,
+        /// Provenance flow id of the triggering message, if any.
+        flow: Option<u64>,
     },
     /// Invalidate the host copy of the issuing core's MPB range.
     CacheInvalidate {
@@ -84,6 +90,23 @@ pub enum HostCmd {
     },
 }
 
+/// Pack a provenance flow id into the free upper half of a control word.
+/// Ids above 32 bits don't fit in the register line and are dropped.
+fn pack_flow(flow: Option<u64>) -> u64 {
+    match flow {
+        Some(f) if f <= u32::MAX as u64 => f << 32,
+        _ => 0,
+    }
+}
+
+/// Inverse of [`pack_flow`]: zero means "no flow" (real ids start at 1).
+fn unpack_flow(control: u64) -> Option<u64> {
+    match control >> 32 {
+        0 => None,
+        f => Some(f),
+    }
+}
+
 /// Encode a vDMA programming command into a fused register line.
 #[allow(clippy::too_many_arguments)]
 pub fn encode_vdma(
@@ -94,22 +117,24 @@ pub fn encode_vdma(
     seq: u8,
     src_rank: u8,
     drain_seq: u8,
+    flow: Option<u64>,
 ) -> [u8; LINE_BYTES] {
     let address = src_off as u64 | ((dst_off as u64) << 16);
     let count = len as u64;
     let control = OP_VDMA_START
         | ((seq as u64) << 8)
         | ((src_rank as u64) << 16)
-        | ((drain_seq as u64) << 24);
+        | ((drain_seq as u64) << 24)
+        | pack_flow(flow);
     let arg = dst.linear() as u64;
     pack_vdma_line(address, count, control, arg)
 }
 
 /// Encode a cache-control command (`update == true` for update, else
 /// invalidate).
-pub fn encode_cache(offset: u16, len: usize, update: bool) -> [u8; LINE_BYTES] {
+pub fn encode_cache(offset: u16, len: usize, update: bool, flow: Option<u64>) -> [u8; LINE_BYTES] {
     let op = if update { OP_CACHE_UPDATE } else { OP_CACHE_INVALIDATE };
-    pack_vdma_line(offset as u64, len as u64, op, 0)
+    pack_vdma_line(offset as u64, len as u64, op | pack_flow(flow), 0)
 }
 
 /// Encode a buffer registration.
@@ -132,11 +157,13 @@ pub fn decode(line: &RegisterLine) -> Option<HostCmd> {
             seq: ((control >> 8) & 0xFF) as u8,
             src_rank: ((control >> 16) & 0xFF) as u8,
             drain_seq: ((control >> 24) & 0xFF) as u8,
+            flow: unpack_flow(control),
         }),
         (REG_CACHE, OP_CACHE_UPDATE) => Some(HostCmd::CacheUpdate {
             owner: line.src,
             offset: address as u16,
             len: count as usize,
+            flow: unpack_flow(control),
         }),
         (REG_CACHE, OP_CACHE_INVALIDATE) => Some(HostCmd::CacheInvalidate {
             owner: line.src,
@@ -164,7 +191,7 @@ mod tests {
     fn vdma_roundtrip() {
         let src = GlobalCore::new(0, 5);
         let dst = GlobalCore::new(2, 17);
-        let enc = encode_vdma(512, dst, 4352, 3840, 9, 5, 77);
+        let enc = encode_vdma(512, dst, 4352, 3840, 9, 5, 77, Some(123_456));
         let cmd = decode(&line(src, REG_VDMA, enc)).unwrap();
         assert_eq!(
             cmd,
@@ -176,22 +203,42 @@ mod tests {
                 len: 3840,
                 seq: 9,
                 src_rank: 5,
-                drain_seq: 77
+                drain_seq: 77,
+                flow: Some(123_456),
             }
         );
     }
 
     #[test]
+    fn flow_id_rides_control_word() {
+        let src = GlobalCore::new(0, 0);
+        let dst = GlobalCore::new(1, 1);
+        // No flow → decodes to None.
+        let enc = encode_vdma(0, dst, 0, 64, 1, 0, 1, None);
+        match decode(&line(src, REG_VDMA, enc)).unwrap() {
+            HostCmd::VdmaStart { flow, .. } => assert_eq!(flow, None),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // Oversized flow ids don't fit the line and are dropped, not
+        // truncated to a wrong id.
+        let enc = encode_vdma(0, dst, 0, 64, 1, 0, 1, Some(1 << 40));
+        match decode(&line(src, REG_VDMA, enc)).unwrap() {
+            HostCmd::VdmaStart { flow, .. } => assert_eq!(flow, None),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
     fn cache_update_roundtrip() {
         let src = GlobalCore::new(1, 0);
-        let cmd = decode(&line(src, REG_CACHE, encode_cache(512, 7680, true))).unwrap();
-        assert_eq!(cmd, HostCmd::CacheUpdate { owner: src, offset: 512, len: 7680 });
+        let cmd = decode(&line(src, REG_CACHE, encode_cache(512, 7680, true, Some(7)))).unwrap();
+        assert_eq!(cmd, HostCmd::CacheUpdate { owner: src, offset: 512, len: 7680, flow: Some(7) });
     }
 
     #[test]
     fn cache_invalidate_roundtrip() {
         let src = GlobalCore::new(1, 0);
-        let cmd = decode(&line(src, REG_CACHE, encode_cache(600, 100, false))).unwrap();
+        let cmd = decode(&line(src, REG_CACHE, encode_cache(600, 100, false, None))).unwrap();
         assert_eq!(cmd, HostCmd::CacheInvalidate { owner: src, offset: 600, len: 100 });
     }
 
@@ -215,7 +262,8 @@ mod tests {
     fn vdma_extreme_field_values() {
         let src = GlobalCore::new(0, 0);
         let dst = GlobalCore::new(4, 47);
-        let enc = encode_vdma(8191, dst, 8191, scc::MPB_BYTES, 255, 239, 255);
+        let enc =
+            encode_vdma(8191, dst, 8191, scc::MPB_BYTES, 255, 239, 255, Some(u32::MAX as u64));
         match decode(&line(src, REG_VDMA, enc)).unwrap() {
             HostCmd::VdmaStart { src_off, dst_off, len, seq, src_rank, dst: d, .. } => {
                 assert_eq!((src_off, dst_off), (8191, 8191));

@@ -116,14 +116,17 @@ fn direct_slot(who: scc::GlobalCore) -> MpbAddr {
 // schemes: grant → host-acked remote write → flag → local get.
 // ---------------------------------------------------------------------
 
-async fn direct_send(ctx: &RankCtx, dest: usize, data: &[u8]) {
+async fn direct_send(ctx: &RankCtx, dest: usize, data: &[u8], flow: u64) {
     let me = ctx.rank;
     let my = ctx.who();
     let peer = ctx.session.who(dest);
-    ctx.session.trace().instant(
+    let trace = ctx.session.trace().clone();
+    let f = Some(flow);
+    trace.instant_f(
         ctx.core.sim().now(),
         Category::Protocol,
         "direct_send",
+        f,
         || format!("rank{me}"),
         || fields![bytes = data.len() as u64, dest = dest as u64],
     );
@@ -133,30 +136,69 @@ async fn direct_send(ctx: &RankCtx, dest: usize, data: &[u8]) {
         sc[dest]
     };
     // b1: wait for the receiver's grant before touching its MPB.
+    trace.begin_f(
+        ctx.core.sim().now(),
+        Category::Protocol,
+        "mpb_wait",
+        f,
+        || format!("rank{me}"),
+        || fields![flag = "grant", target = cnt],
+    );
     flag_wait_reached(ctx, layout::ready_flag(my, dest), cnt).await;
-    ctx.core.put(direct_slot(peer), data).await;
+    trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || format!("rank{me}"));
+    trace.begin_f(
+        ctx.core.sim().now(),
+        Category::Protocol,
+        "sender_put",
+        f,
+        || format!("rank{me}"),
+        || fields![bytes = data.len() as u64, target = "direct_slot"],
+    );
+    ctx.core.put_f(direct_slot(peer), data, f).await;
+    trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || format!("rank{me}"));
     // b2: data-available signal.
-    ctx.core.flag_write(layout::sent_flag(peer, me), cnt).await;
+    ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
 }
 
-async fn direct_recv(ctx: &RankCtx, src: usize, buf: &mut [u8]) {
+async fn direct_recv(ctx: &RankCtx, src: usize, buf: &mut [u8], flow: u64) {
     let me = ctx.rank;
     let my = ctx.who();
     let peer = ctx.session.who(src);
-    ctx.session.trace().instant(
+    let trace = ctx.session.trace().clone();
+    let f = Some(flow);
+    trace.instant_f(
         ctx.core.sim().now(),
         Category::Protocol,
         "direct_recv",
+        f,
         || format!("rank{me}"),
         || fields![bytes = buf.len() as u64, src = src as u64],
     );
     ctx.inbound_lock.lock().await;
     let cnt = ctx.recv_count.borrow()[src].wrapping_add(1);
     // b1: grant the buffer.
-    ctx.core.flag_write(layout::ready_flag(peer, me), cnt).await;
+    ctx.core.flag_write_f(layout::ready_flag(peer, me), cnt, f).await;
+    trace.begin_f(
+        ctx.core.sim().now(),
+        Category::Protocol,
+        "recv_poll",
+        f,
+        || format!("rank{me}"),
+        || fields![flag = "sent", target = cnt],
+    );
     flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
+    trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || format!("rank{me}"));
+    trace.begin_f(
+        ctx.core.sim().now(),
+        Category::Protocol,
+        "recv_get",
+        f,
+        || format!("rank{me}"),
+        || fields![bytes = buf.len() as u64],
+    );
     ctx.core.cl1invmb().await;
-    ctx.core.get(direct_slot(my), buf).await;
+    ctx.core.get_f(direct_slot(my), buf, f).await;
+    trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || format!("rank{me}"));
     ctx.recv_count.borrow_mut()[src] = cnt;
     ctx.inbound_lock.unlock();
 }
@@ -171,16 +213,24 @@ async fn direct_recv(ctx: &RankCtx, src: usize, buf: &mut [u8]) {
 pub struct RemotePutProtocol;
 
 impl PointToPoint for RemotePutProtocol {
-    fn send<'a>(&'a self, ctx: &'a RankCtx, dest: usize, data: &'a [u8]) -> LocalBoxFuture<'a, ()> {
+    fn send<'a>(
+        &'a self,
+        ctx: &'a RankCtx,
+        dest: usize,
+        data: &'a [u8],
+        flow: u64,
+    ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(dest);
             let trace = ctx.session.trace().clone();
-            trace.begin(
+            let f = Some(flow);
+            trace.begin_f(
                 ctx.core.sim().now(),
                 Category::Protocol,
                 "rput_send",
+                f,
                 || format!("rank{me}"),
                 || fields![bytes = data.len() as u64, dest = dest as u64],
             );
@@ -191,15 +241,38 @@ impl PointToPoint for RemotePutProtocol {
                     sc[dest]
                 };
                 // b1: the receiver's buffer grant.
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "mpb_wait",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![flag = "grant", target = cnt],
+                );
                 flag_wait_reached(ctx, layout::ready_flag(my, dest), cnt).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
+                    format!("rank{me}")
+                });
                 // Remote put: stream the chunk into the receiver's MPB
                 // receive window.
-                ctx.core.put(layout::payload(peer, REMOTE_PUT_OFF), &data[lo..hi]).await;
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "sender_put",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![bytes = hi - lo, target = "remote_mpb"],
+                );
+                ctx.core.put_f(layout::payload(peer, REMOTE_PUT_OFF), &data[lo..hi], f).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
+                    format!("rank{me}")
+                });
                 // b2: data available.
-                ctx.core.flag_write(layout::sent_flag(peer, me), cnt).await;
+                ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
             }
-            trace
-                .end(ctx.core.sim().now(), Category::Protocol, "rput_send", || format!("rank{me}"));
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "rput_send", f, || {
+                format!("rank{me}")
+            });
         })
     }
 
@@ -208,16 +281,19 @@ impl PointToPoint for RemotePutProtocol {
         ctx: &'a RankCtx,
         src: usize,
         buf: &'a mut [u8],
+        flow: u64,
     ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(src);
             let trace = ctx.session.trace().clone();
-            trace.begin(
+            let f = Some(flow);
+            trace.begin_f(
                 ctx.core.sim().now(),
                 Category::Protocol,
                 "rput_recv",
+                f,
                 || format!("rank{me}"),
                 || fields![bytes = buf.len() as u64, src = src as u64],
             );
@@ -225,16 +301,39 @@ impl PointToPoint for RemotePutProtocol {
             for (lo, hi) in chunk_ranges(buf.len(), REMOTE_PUT_CHUNK) {
                 let cnt = ctx.recv_count.borrow()[src].wrapping_add(1);
                 // b1: grant my receive window to this sender.
-                ctx.core.flag_write(layout::ready_flag(peer, me), cnt).await;
+                ctx.core.flag_write_f(layout::ready_flag(peer, me), cnt, f).await;
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "recv_poll",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![flag = "sent", target = cnt],
+                );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
+                    format!("rank{me}")
+                });
                 // Local get out of my own MPB.
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "recv_get",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![bytes = hi - lo],
+                );
                 ctx.core.cl1invmb().await;
-                ctx.core.get(layout::payload(my, REMOTE_PUT_OFF), &mut buf[lo..hi]).await;
+                ctx.core.get_f(layout::payload(my, REMOTE_PUT_OFF), &mut buf[lo..hi], f).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
+                    format!("rank{me}")
+                });
                 ctx.recv_count.borrow_mut()[src] = cnt;
             }
             ctx.inbound_lock.unlock();
-            trace
-                .end(ctx.core.sim().now(), Category::Protocol, "rput_recv", || format!("rank{me}"));
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "rput_recv", f, || {
+                format!("rank{me}")
+            });
         })
     }
 
@@ -266,19 +365,27 @@ impl Default for CachedGetProtocol {
 }
 
 impl PointToPoint for CachedGetProtocol {
-    fn send<'a>(&'a self, ctx: &'a RankCtx, dest: usize, data: &'a [u8]) -> LocalBoxFuture<'a, ()> {
+    fn send<'a>(
+        &'a self,
+        ctx: &'a RankCtx,
+        dest: usize,
+        data: &'a [u8],
+        flow: u64,
+    ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             if data.len() <= self.direct_threshold {
-                return direct_send(ctx, dest, data).await;
+                return direct_send(ctx, dest, data, flow).await;
             }
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(dest);
             let trace = ctx.session.trace().clone();
-            trace.begin(
+            let f = Some(flow);
+            trace.begin_f(
                 ctx.core.sim().now(),
                 Category::Protocol,
                 "lprg_send",
+                f,
                 || format!("rank{me}"),
                 || fields![bytes = data.len() as u64, dest = dest as u64],
             );
@@ -291,31 +398,65 @@ impl PointToPoint for CachedGetProtocol {
                 };
                 // Wait until the receiver consumed the previous chunk
                 // before overwriting the local buffer (sync point a).
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "mpb_wait",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![flag = "consumed", target = cnt.wrapping_sub(1)],
+                );
                 flag_wait_reached(ctx, layout::ready_flag(my, dest), cnt.wrapping_sub(1)).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
+                    format!("rank{me}")
+                });
                 // Invalidate the outdated part of the host copy (§3.1)...
                 ctx.core
                     .mmio_write_fused(
                         mmio::REG_CACHE,
-                        mmio::encode_cache(layout::OFF_PAYLOAD, hi - lo, false),
+                        mmio::encode_cache(layout::OFF_PAYLOAD, hi - lo, false, f),
                     )
                     .await;
                 // ... local put ...
-                ctx.core.put(layout::payload(my, 0), &data[lo..hi]).await;
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "sender_put",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![bytes = hi - lo, target = "local_mpb"],
+                );
+                ctx.core.put_f(layout::payload(my, 0), &data[lo..hi], f).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
+                    format!("rank{me}")
+                });
                 // ... and trigger the prefetch into the host cache.
                 if self.prefetch {
                     ctx.core
                         .mmio_write_fused(
                             mmio::REG_CACHE,
-                            mmio::encode_cache(layout::OFF_PAYLOAD, hi - lo, true),
+                            mmio::encode_cache(layout::OFF_PAYLOAD, hi - lo, true, f),
                         )
                         .await;
                 }
-                ctx.core.flag_write(layout::sent_flag(peer, me), cnt).await;
+                ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
                 last = cnt;
             }
+            trace.begin_f(
+                ctx.core.sim().now(),
+                Category::Protocol,
+                "mpb_wait",
+                f,
+                || format!("rank{me}"),
+                || fields![flag = "consumed", target = last],
+            );
             flag_wait_reached(ctx, layout::ready_flag(my, dest), last).await;
-            trace
-                .end(ctx.core.sim().now(), Category::Protocol, "lprg_send", || format!("rank{me}"));
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
+                format!("rank{me}")
+            });
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "lprg_send", f, || {
+                format!("rank{me}")
+            });
         })
     }
 
@@ -324,33 +465,59 @@ impl PointToPoint for CachedGetProtocol {
         ctx: &'a RankCtx,
         src: usize,
         buf: &'a mut [u8],
+        flow: u64,
     ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             if buf.len() <= self.direct_threshold {
-                return direct_recv(ctx, src, buf).await;
+                return direct_recv(ctx, src, buf, flow).await;
             }
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(src);
             let trace = ctx.session.trace().clone();
-            trace.begin(
+            let f = Some(flow);
+            trace.begin_f(
                 ctx.core.sim().now(),
                 Category::Protocol,
                 "lprg_recv",
+                f,
                 || format!("rank{me}"),
                 || fields![bytes = buf.len() as u64, src = src as u64],
             );
             for (lo, hi) in chunk_ranges(buf.len(), LPRG_CHUNK) {
                 let cnt = ctx.recv_count.borrow()[src].wrapping_add(1);
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "recv_poll",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![flag = "sent", target = cnt],
+                );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
+                    format!("rank{me}")
+                });
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "recv_get",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![bytes = hi - lo, via = "sw_cache"],
+                );
                 ctx.core.cl1invmb().await;
                 // Remote get, served by the host software cache.
-                ctx.core.get(layout::payload(peer, 0), &mut buf[lo..hi]).await;
+                ctx.core.get_f(layout::payload(peer, 0), &mut buf[lo..hi], f).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
+                    format!("rank{me}")
+                });
                 ctx.recv_count.borrow_mut()[src] = cnt;
-                ctx.core.flag_write(layout::ready_flag(peer, me), cnt).await;
+                ctx.core.flag_write_f(layout::ready_flag(peer, me), cnt, f).await;
             }
-            trace
-                .end(ctx.core.sim().now(), Category::Protocol, "lprg_recv", || format!("rank{me}"));
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "lprg_recv", f, || {
+                format!("rank{me}")
+            });
         })
     }
 
@@ -395,19 +562,27 @@ impl VdmaProtocol {
 }
 
 impl PointToPoint for VdmaProtocol {
-    fn send<'a>(&'a self, ctx: &'a RankCtx, dest: usize, data: &'a [u8]) -> LocalBoxFuture<'a, ()> {
+    fn send<'a>(
+        &'a self,
+        ctx: &'a RankCtx,
+        dest: usize,
+        data: &'a [u8],
+        flow: u64,
+    ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             if data.len() <= self.direct_threshold {
-                return direct_send(ctx, dest, data).await;
+                return direct_send(ctx, dest, data, flow).await;
             }
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(dest);
             let trace = ctx.session.trace().clone();
-            trace.begin(
+            let f = Some(flow);
+            trace.begin_f(
                 ctx.core.sim().now(),
                 Category::Protocol,
                 "vdma_send",
+                f,
                 || format!("rank{me}"),
                 || fields![bytes = data.len() as u64, dest = dest as u64],
             );
@@ -417,11 +592,19 @@ impl PointToPoint for VdmaProtocol {
             let mut last_gseq = 0u8;
             for (p0, (lo, hi)) in packets.into_iter().enumerate() {
                 let seq = base.wrapping_add(p0 as u8 + 1);
-                // Wait for the receiver's slot grant (double-buffered).
-                flag_wait_reached(ctx, layout::ready_flag(my, dest), seq).await;
-                // Spin until the controller drained the slot we are about
+                // Wait for the receiver's slot grant (double-buffered),
+                // then until the controller drained the slot we are about
                 // to overwrite (§3.3: "a core spins on a flag which is
                 // located in its on-chip memory").
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "mpb_wait",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![flag = "grant+drain", pkt = p0],
+                );
+                flag_wait_reached(ctx, layout::ready_flag(my, dest), seq).await;
                 let gseq = {
                     let mut issued = self.drain_issued.borrow_mut();
                     let e = issued.entry(ctx.rank).or_insert(0);
@@ -431,13 +614,29 @@ impl PointToPoint for VdmaProtocol {
                 // (The wrap-safe comparison makes the first two packets
                 // pass immediately against the zero-initialized flag.)
                 flag_wait_reached(ctx, layout::vdma_done_flag(my), gseq.wrapping_sub(2)).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
+                    format!("rank{me}")
+                });
                 // Local put into my send slot (slot parity follows the
                 // global drain sequence, since the slots are shared by
                 // all of this rank's outgoing messages)...
                 let sslot = send_slot(my, (gseq % 2) as usize);
-                ctx.core.put(sslot, &data[lo..hi]).await;
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "sender_put",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![bytes = hi - lo, slot = (gseq % 2) as u64],
+                );
+                ctx.core.put_f(sslot, &data[lo..hi], f).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
+                    format!("rank{me}")
+                });
                 // ... then program the vDMA controller: address, count,
-                // control in one fused 32 B register write (Fig. 5).
+                // control in one fused 32 B register write (Fig. 5). The
+                // flow id rides the free half of the control word, so the
+                // host tags the transfer with the same provenance.
                 ctx.core
                     .mmio_write_fused(
                         mmio::REG_VDMA,
@@ -449,6 +648,7 @@ impl PointToPoint for VdmaProtocol {
                             seq,
                             me as u8,
                             gseq,
+                            f,
                         ),
                     )
                     .await;
@@ -460,12 +660,24 @@ impl PointToPoint for VdmaProtocol {
             // copy operation completed). Without this, a later send — even
             // an on-chip one — could overwrite a slot before the vDMA
             // captured it.
+            trace.begin_f(
+                ctx.core.sim().now(),
+                Category::Protocol,
+                "mpb_wait",
+                f,
+                || format!("rank{me}"),
+                || fields![flag = "drain+consumed", target = last_gseq],
+            );
             flag_wait_reached(ctx, layout::vdma_done_flag(my), last_gseq).await;
             // And until the receiver's grants confirm the tail packets
             // were consumed (blocking RCCE semantics).
             flag_wait_reached(ctx, layout::ready_flag(my, dest), base.wrapping_add(n as u8)).await;
-            trace
-                .end(ctx.core.sim().now(), Category::Protocol, "vdma_send", || format!("rank{me}"));
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
+                format!("rank{me}")
+            });
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "vdma_send", f, || {
+                format!("rank{me}")
+            });
         })
     }
 
@@ -474,19 +686,22 @@ impl PointToPoint for VdmaProtocol {
         ctx: &'a RankCtx,
         src: usize,
         buf: &'a mut [u8],
+        flow: u64,
     ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             if buf.len() <= self.direct_threshold {
-                return direct_recv(ctx, src, buf).await;
+                return direct_recv(ctx, src, buf, flow).await;
             }
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(src);
             let trace = ctx.session.trace().clone();
-            trace.begin(
+            let f = Some(flow);
+            trace.begin_f(
                 ctx.core.sim().now(),
                 Category::Protocol,
                 "vdma_recv",
+                f,
                 || format!("rank{me}"),
                 || fields![bytes = buf.len() as u64, src = src as u64],
             );
@@ -496,26 +711,53 @@ impl PointToPoint for VdmaProtocol {
             let n = packets.len();
             // Grant two slots up front (pipeline depth 2).
             ctx.core
-                .flag_write(layout::ready_flag(peer, me), base.wrapping_add(n.min(2) as u8))
+                .flag_write_f(layout::ready_flag(peer, me), base.wrapping_add(n.min(2) as u8), f)
                 .await;
             for (p0, (lo, hi)) in packets.into_iter().enumerate() {
                 let seq = base.wrapping_add(p0 as u8 + 1);
                 // The vDMA controller raises my sent flag on delivery.
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "recv_poll",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![flag = "sent", pkt = p0],
+                );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), seq).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
+                    format!("rank{me}")
+                });
                 // Local get out of my receive slot.
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "recv_get",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![bytes = hi - lo, slot = (p0 % 2) as u64],
+                );
                 ctx.core.cl1invmb().await;
-                ctx.core.get(recv_slot(my, p0 % 2), &mut buf[lo..hi]).await;
+                ctx.core.get_f(recv_slot(my, p0 % 2), &mut buf[lo..hi], f).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
+                    format!("rank{me}")
+                });
                 if p0 + 3 <= n {
                     // Re-grant the slot just freed.
                     ctx.core
-                        .flag_write(layout::ready_flag(peer, me), base.wrapping_add(p0 as u8 + 3))
+                        .flag_write_f(
+                            layout::ready_flag(peer, me),
+                            base.wrapping_add(p0 as u8 + 3),
+                            f,
+                        )
                         .await;
                 }
             }
             ctx.recv_count.borrow_mut()[src] = base.wrapping_add(n as u8);
             ctx.inbound_lock.unlock();
-            trace
-                .end(ctx.core.sim().now(), Category::Protocol, "vdma_recv", || format!("rank{me}"));
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "vdma_recv", f, || {
+                format!("rank{me}")
+            });
         })
     }
 

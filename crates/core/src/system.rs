@@ -11,6 +11,7 @@ use scc::device::{BootConfig, SccDevice};
 use scc::geometry::DeviceId;
 
 use crate::host::{HostConfig, HostSide};
+use crate::monitor::Monitors;
 use crate::schemes::CommScheme;
 
 /// Which protocol same-device pairs use.
@@ -32,6 +33,8 @@ pub struct VsccBuilder {
     host_cfg: HostConfig,
     metrics: Option<Registry>,
     trace: Trace,
+    monitors: bool,
+    monitor_fail_fast: bool,
 }
 
 impl VsccBuilder {
@@ -47,6 +50,8 @@ impl VsccBuilder {
             host_cfg: HostConfig::default(),
             metrics: None,
             trace: Trace::disabled(),
+            monitors: true,
+            monitor_fail_fast: true,
         }
     }
 
@@ -95,9 +100,26 @@ impl VsccBuilder {
 
     /// Enable structured tracing for `cats` across every layer (host,
     /// PCIe, vDMA, and the RCCE protocols of sessions built from this
-    /// system).
+    /// system). With `VSCC_FLIGHT=N` in the environment the trace becomes
+    /// a flight recorder bounded to the last `N` events.
     pub fn trace_categories(mut self, cats: &[Category]) -> Self {
-        self.trace = Trace::with_categories(cats);
+        self.trace = match des::obs::flight_capacity_from_env() {
+            Some(n) => Trace::with_categories_ring(cats, n),
+            None => Trace::with_categories(cats),
+        };
+        self
+    }
+
+    /// Enable or disable the protocol invariant monitors (default: on).
+    pub fn monitors(mut self, on: bool) -> Self {
+        self.monitors = on;
+        self
+    }
+
+    /// Choose whether a monitor violation panics immediately (default) or
+    /// is only recorded for later inspection via [`Vscc::violations`].
+    pub fn monitor_fail_fast(mut self, fail_fast: bool) -> Self {
+        self.monitor_fail_fast = fail_fast;
         self
     }
 
@@ -126,6 +148,19 @@ impl VsccBuilder {
             self.trace.clone(),
         );
         host.attach(&devices);
+        let monitors = self.monitors.then(|| {
+            let m = Rc::new(Monitors::new(
+                &self.sim,
+                self.trace.clone(),
+                self.scheme,
+                self.n_devices,
+                self.monitor_fail_fast,
+            ));
+            for dev in &devices {
+                dev.set_monitor(m.clone());
+            }
+            m
+        });
         Vscc {
             sim: self.sim,
             devices,
@@ -134,6 +169,7 @@ impl VsccBuilder {
             onchip: self.onchip,
             metrics,
             trace: self.trace,
+            monitors,
         }
     }
 }
@@ -151,6 +187,7 @@ pub struct Vscc {
     onchip: OnchipProtocol,
     metrics: Registry,
     trace: Trace,
+    monitors: Option<Rc<Monitors>>,
 }
 
 impl Vscc {
@@ -168,6 +205,17 @@ impl Vscc {
     /// The system-wide structured trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The installed invariant monitors ([`None`] if disabled).
+    pub fn monitors(&self) -> Option<&Rc<Monitors>> {
+        self.monitors.as_ref()
+    }
+
+    /// Invariant violations recorded so far (always empty when
+    /// `monitor_fail_fast` is on — those panic instead).
+    pub fn violations(&self) -> Vec<crate::monitor::Violation> {
+        self.monitors.as_ref().map(|m| m.violations()).unwrap_or_default()
     }
 
     /// A pre-wired session builder (on-chip protocol and inter-device

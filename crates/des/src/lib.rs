@@ -28,6 +28,7 @@
 //! ```
 
 pub mod channel;
+pub mod critpath;
 pub mod event;
 mod executor;
 pub mod link;

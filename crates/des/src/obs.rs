@@ -27,6 +27,22 @@ use crate::trace::{SpanPhase, Trace};
 pub const TRACE_ENV: &str = "VSCC_TRACE";
 /// Environment variable naming the metrics-snapshot output file.
 pub const METRICS_ENV: &str = "VSCC_METRICS";
+/// Environment variable enabling the critical-path attribution tables
+/// (see [`crate::critpath`]); any non-empty value turns them on.
+pub const CRITPATH_ENV: &str = "VSCC_CRITPATH";
+/// Environment variable bounding the trace as a flight recorder:
+/// `VSCC_FLIGHT=N` keeps only the last N events.
+pub const FLIGHT_ENV: &str = "VSCC_FLIGHT";
+
+/// Whether `VSCC_CRITPATH` asks for critical-path tables.
+pub fn critpath_requested() -> bool {
+    std::env::var(CRITPATH_ENV).map(|v| !v.is_empty()).unwrap_or(false)
+}
+
+/// The `VSCC_FLIGHT=N` flight-recorder bound, if set to a positive count.
+pub fn flight_capacity_from_env() -> Option<usize> {
+    std::env::var(FLIGHT_ENV).ok()?.parse::<usize>().ok().filter(|&n| n > 0)
+}
 
 /// One registered instrument.
 #[derive(Clone)]
@@ -254,6 +270,89 @@ impl Snapshot {
         out.push_str("\n  }\n}\n");
         out
     }
+
+    /// Compare two snapshots; `self` is the old side, `other` the new.
+    ///
+    /// The result is name-sorted, so rendering it is the "diff two metrics
+    /// exports to bisect a determinism bug" workflow in one call.
+    pub fn diff(&self, other: &Snapshot) -> SnapshotDiff {
+        let mut diff = SnapshotDiff::default();
+        let (a, b) = (&self.entries, &other.entries);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            match (a.get(i), b.get(j)) {
+                (Some((an, av)), Some((bn, bv))) if an == bn => {
+                    if av != bv {
+                        diff.changed.push((an.clone(), av.clone(), bv.clone()));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some((an, av)), Some((bn, _))) if an < bn => {
+                    diff.removed.push((an.clone(), av.clone()));
+                    i += 1;
+                }
+                (Some(_), Some((bn, bv))) => {
+                    diff.added.push((bn.clone(), bv.clone()));
+                    j += 1;
+                }
+                (Some((an, av)), None) => {
+                    diff.removed.push((an.clone(), av.clone()));
+                    i += 1;
+                }
+                (None, Some((bn, bv))) => {
+                    diff.added.push((bn.clone(), bv.clone()));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        diff
+    }
+}
+
+/// The delta between two [`Snapshot`]s, each section name-sorted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotDiff {
+    /// Metrics present in both with different values: `(name, old, new)`.
+    pub changed: Vec<(String, MetricValue, MetricValue)>,
+    /// Metrics only in the new snapshot.
+    pub added: Vec<(String, MetricValue)>,
+    /// Metrics only in the old snapshot.
+    pub removed: Vec<(String, MetricValue)>,
+}
+
+impl SnapshotDiff {
+    /// True when the snapshots were identical.
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty() && self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Render as an aligned delta table (empty string when identical).
+    pub fn render_table(&self) -> String {
+        fn brief(v: &MetricValue) -> String {
+            match v {
+                MetricValue::Counter { value } => value.to_string(),
+                MetricValue::Gauge { value, high_watermark } => {
+                    format!("{value} (max {high_watermark})")
+                }
+                MetricValue::Histogram { count, p50, p99, max, .. } => {
+                    format!("count={count} p50={p50} p99={p99} max={max}")
+                }
+            }
+        }
+        let mut out = String::new();
+        for (name, old, new) in &self.changed {
+            let _ = writeln!(out, "~ {name:<48} {} -> {}", brief(old), brief(new));
+        }
+        for (name, new) in &self.added {
+            let _ = writeln!(out, "+ {name:<48} {}", brief(new));
+        }
+        for (name, old) in &self.removed {
+            let _ = writeln!(out, "- {name:<48} {}", brief(old));
+        }
+        out
+    }
 }
 
 /// Escape a string for inclusion in a JSON string literal.
@@ -283,6 +382,12 @@ pub fn json_escape(s: &str) -> String {
 /// `thread_name` metadata events so the Perfetto UI shows real names.
 /// `ts` is the virtual clock in cycles (exported as microseconds purely
 /// so the UI's time axis is readable).
+///
+/// Events carrying a flow id additionally emit Chrome flow events
+/// (`ph:"s"` at the flow's first hop, `ph:"t"` at intermediate hops,
+/// `ph:"f"` at the last) so Perfetto draws cross-actor arrows along each
+/// message's path. Flows with a single recorded hop are skipped — an
+/// arrow needs two ends.
 pub fn chrome_trace_json(processes: &[(&str, &Trace)]) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     let mut first = true;
@@ -301,66 +406,103 @@ pub fn chrome_trace_json(processes: &[(&str, &Trace)]) -> String {
                 json_escape(pname)
             ),
         );
-        let mut tids: HashMap<String, usize> = HashMap::new();
-        for event in trace.events() {
-            let next_tid = tids.len();
-            let tid = match tids.get(&event.actor) {
-                Some(&t) => t,
-                None => {
-                    tids.insert(event.actor.clone(), next_tid);
-                    push_line(
-                        &mut out,
-                        format!(
-                            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{next_tid},\"args\":{{\"name\":\"{}\"}}}}",
-                            json_escape(&event.actor)
-                        ),
-                    );
-                    next_tid
+        trace.with_events(|events| {
+            // First/last event index per flow id, so each hop knows
+            // whether it starts ("s"), continues ("t"), or finishes
+            // ("f") its flow's arrow chain.
+            let mut flow_bounds: HashMap<u64, (usize, usize)> = HashMap::new();
+            for (idx, event) in events.iter().enumerate() {
+                if let Some(flow) = event.flow {
+                    flow_bounds
+                        .entry(flow)
+                        .and_modify(|(_, last)| *last = idx)
+                        .or_insert((idx, idx));
                 }
-            };
-            let ph = match event.phase {
-                SpanPhase::Instant => "i",
-                SpanPhase::Begin => "B",
-                SpanPhase::End => "E",
-            };
-            let mut line = format!(
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{pid},\"tid\":{tid}",
-                json_escape(event.kind),
-                event.cat.name(),
-                event.time,
-            );
-            if event.phase == SpanPhase::Instant {
-                line.push_str(",\"s\":\"t\"");
             }
-            if !event.fields.is_empty() {
-                line.push_str(",\"args\":{");
-                for (i, (name, value)) in event.fields.iter().enumerate() {
-                    if i > 0 {
-                        line.push(',');
+            let mut tids: HashMap<String, usize> = HashMap::new();
+            for (idx, event) in events.iter().enumerate() {
+                let next_tid = tids.len();
+                let tid = match tids.get(&event.actor) {
+                    Some(&t) => t,
+                    None => {
+                        tids.insert(event.actor.clone(), next_tid);
+                        push_line(
+                            &mut out,
+                            format!(
+                                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{next_tid},\"args\":{{\"name\":\"{}\"}}}}",
+                                json_escape(&event.actor)
+                            ),
+                        );
+                        next_tid
                     }
+                };
+                let ph = match event.phase {
+                    SpanPhase::Instant => "i",
+                    SpanPhase::Begin => "B",
+                    SpanPhase::End => "E",
+                };
+                let mut line = format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{pid},\"tid\":{tid}",
+                    json_escape(event.kind),
+                    event.cat.name(),
+                    event.time,
+                );
+                if event.phase == SpanPhase::Instant {
+                    line.push_str(",\"s\":\"t\"");
+                }
+                let mut args: Vec<(&str, String)> = Vec::new();
+                if let Some(flow) = event.flow {
+                    args.push(("flow", flow.to_string()));
+                }
+                for (name, value) in &event.fields {
                     use crate::trace::FieldValue;
-                    match value {
-                        FieldValue::U64(v) => {
-                            let _ = write!(line, "\"{}\":{v}", json_escape(name));
+                    let rendered = match value {
+                        FieldValue::U64(v) => v.to_string(),
+                        FieldValue::I64(v) => v.to_string(),
+                        FieldValue::Str(s) => format!("\"{}\"", json_escape(s)),
+                        FieldValue::Text(s) => format!("\"{}\"", json_escape(s)),
+                    };
+                    args.push((name, rendered));
+                }
+                if !args.is_empty() {
+                    line.push_str(",\"args\":{");
+                    for (i, (name, rendered)) in args.iter().enumerate() {
+                        if i > 0 {
+                            line.push(',');
                         }
-                        FieldValue::I64(v) => {
-                            let _ = write!(line, "\"{}\":{v}", json_escape(name));
-                        }
-                        FieldValue::Str(s) => {
-                            let _ =
-                                write!(line, "\"{}\":\"{}\"", json_escape(name), json_escape(s));
-                        }
-                        FieldValue::Text(s) => {
-                            let _ =
-                                write!(line, "\"{}\":\"{}\"", json_escape(name), json_escape(s));
-                        }
+                        let _ = write!(line, "\"{}\":{rendered}", json_escape(name));
                     }
+                    line.push('}');
                 }
                 line.push('}');
+                push_line(&mut out, line);
+                if let Some(flow) = event.flow {
+                    let (first_idx, last_idx) = flow_bounds[&flow];
+                    if first_idx != last_idx {
+                        let fph = if idx == first_idx {
+                            "s"
+                        } else if idx == last_idx {
+                            "f"
+                        } else {
+                            "t"
+                        };
+                        // Chrome flow ids are global to the export, but each
+                        // (process_name, trace) pair allocates flows from 1 —
+                        // namespace by pid so arrows never cross sub-traces.
+                        let arrow_id = ((pid as u64) << 56) | flow;
+                        let mut fline = format!(
+                            "{{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"{fph}\",\"id\":{arrow_id},\"ts\":{},\"pid\":{pid},\"tid\":{tid}",
+                            event.time,
+                        );
+                        if fph == "f" {
+                            fline.push_str(",\"bp\":\"e\"");
+                        }
+                        fline.push('}');
+                        push_line(&mut out, fline);
+                    }
+                }
             }
-            line.push('}');
-            push_line(&mut out, line);
-        }
+        });
     }
     out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
     out
@@ -495,6 +637,61 @@ mod tests {
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_trace_flow_events_pair_up() {
+        let t = Trace::enabled();
+        t.instant_f(1, Category::Protocol, "put", Some(7), || "rank0".into(), Vec::new);
+        t.instant_f(5, Category::Vdma, "vdma", Some(7), || "host".into(), Vec::new);
+        t.instant_f(9, Category::Protocol, "get", Some(7), || "rank1".into(), Vec::new);
+        // A single-hop flow must not emit an unpaired "s".
+        t.instant_f(11, Category::Protocol, "lonely", Some(8), || "rank0".into(), Vec::new);
+        let json = chrome_trace_json(&[("run", &t)]);
+        assert!(json.contains("\"ph\":\"s\",\"id\":7,\"ts\":1"));
+        assert!(json.contains("\"ph\":\"t\",\"id\":7,\"ts\":5"));
+        assert!(json.contains("\"ph\":\"f\",\"id\":7,\"ts\":9,"));
+        assert!(json.contains("\"bp\":\"e\""));
+        assert!(!json.contains("\"id\":8"));
+        assert!(json.contains("\"args\":{\"flow\":7}"));
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), json.matches("\"ph\":\"f\"").count());
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+    }
+
+    #[test]
+    fn snapshot_diff_classifies_and_renders() {
+        let old = Registry::new();
+        old.counter("same").add(1);
+        old.counter("bumped").add(2);
+        old.counter("gone").add(9);
+        let new = Registry::new();
+        new.counter("same").add(1);
+        new.counter("bumped").add(5);
+        new.gauge("fresh").set(3);
+        let d = old.snapshot().diff(&new.snapshot());
+        assert!(!d.is_empty());
+        assert_eq!(d.changed.len(), 1);
+        assert_eq!(d.changed[0].0, "bumped");
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].0, "fresh");
+        assert_eq!(d.removed.len(), 1);
+        assert_eq!(d.removed[0].0, "gone");
+        let table = d.render_table();
+        assert!(table.contains("~ bumped"));
+        assert!(table.contains("2 -> 5"));
+        assert!(table.contains("+ fresh"));
+        assert!(table.contains("- gone"));
+        let identical = old.snapshot().diff(&old.snapshot());
+        assert!(identical.is_empty());
+        assert_eq!(identical.render_table(), "");
+    }
+
+    #[test]
+    fn flight_env_parses_positive_counts() {
+        // Not set in the test environment: both helpers take the default.
+        assert!(!critpath_requested() || std::env::var(CRITPATH_ENV).is_ok());
+        assert!(flight_capacity_from_env().is_none() || std::env::var(FLIGHT_ENV).is_ok());
     }
 
     #[test]

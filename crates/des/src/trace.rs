@@ -10,8 +10,16 @@
 //! Categories can be enabled selectively; a disabled category (or a fully
 //! disabled trace) costs one branch per call site — the actor and field
 //! closures are never evaluated.
+//!
+//! Events may carry a *flow id* (see [`Trace::instant_f`]) tying the hops
+//! of one logical message together across actors; the Chrome exporter in
+//! [`crate::obs`] turns these into flow arrows and
+//! [`crate::critpath`] reconstructs per-message timelines from them.
+//! A trace can also run as a bounded *flight recorder*
+//! ([`Trace::ring`]): only the last N events are kept, for dumping on
+//! failure without unbounded memory growth.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
 
@@ -135,6 +143,8 @@ pub struct TraceEvent {
     pub kind: &'static str,
     /// Point event or span delimiter.
     pub phase: SpanPhase,
+    /// Flow id of the message this hop belongs to, if any.
+    pub flow: Option<u64>,
     /// Named payload fields.
     pub fields: Fields,
 }
@@ -155,6 +165,9 @@ impl fmt::Display for TraceEvent {
             marker,
             self.kind
         )?;
+        if let Some(flow) = self.flow {
+            write!(f, " flow={flow}")?;
+        }
         for (name, value) in &self.fields {
             write!(f, " {name}={value}")?;
         }
@@ -165,6 +178,10 @@ impl fmt::Display for TraceEvent {
 struct TraceInner {
     events: RefCell<Vec<TraceEvent>>,
     mask: u8,
+    /// Flight-recorder bound: keep only the last N events.
+    capacity: Option<usize>,
+    /// Events evicted by the flight-recorder bound.
+    dropped: Cell<u64>,
 }
 
 /// A shared, optionally-enabled structured trace.
@@ -190,8 +207,42 @@ impl Trace {
 
     /// An enabled trace collecting only the given categories.
     pub fn with_categories(cats: &[Category]) -> Self {
+        Self::build(cats, None)
+    }
+
+    /// A flight recorder: all categories, keeping only the last `capacity`
+    /// events. Meant to stay enabled during long runs so a failure can
+    /// dump the recent protocol history.
+    pub fn ring(capacity: usize) -> Self {
+        Self::with_categories_ring(&Category::ALL, capacity)
+    }
+
+    /// A flight recorder restricted to the given categories.
+    pub fn with_categories_ring(cats: &[Category], capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder needs a non-zero capacity");
+        Self::build(cats, Some(capacity))
+    }
+
+    fn build(cats: &[Category], capacity: Option<usize>) -> Self {
         let mask = cats.iter().fold(0u8, |m, c| m | c.bit());
-        Trace { inner: Some(Rc::new(TraceInner { events: RefCell::new(Vec::new()), mask })) }
+        Trace {
+            inner: Some(Rc::new(TraceInner {
+                events: RefCell::new(Vec::new()),
+                mask,
+                capacity,
+                dropped: Cell::new(0),
+            })),
+        }
+    }
+
+    /// The flight-recorder bound, if this trace is a ring.
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.as_ref().and_then(|i| i.capacity)
+    }
+
+    /// Events evicted by the flight-recorder bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map(|i| i.dropped.get()).unwrap_or(0)
     }
 
     /// Whether any category is being collected.
@@ -207,23 +258,35 @@ impl Trace {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // internal funnel for every emit path
     fn push(
         &self,
         time: Cycles,
         cat: Category,
         phase: SpanPhase,
         kind: &'static str,
+        flow: Option<u64>,
         actor: impl FnOnce() -> String,
         fields: impl FnOnce() -> Fields,
     ) {
         if let Some(inner) = &self.inner {
             if inner.mask & cat.bit() != 0 {
-                inner.events.borrow_mut().push(TraceEvent {
+                let mut events = inner.events.borrow_mut();
+                if let Some(cap) = inner.capacity {
+                    if events.len() >= cap {
+                        // The ring is small by construction; shifting once
+                        // per push beats a deque for the common read path.
+                        events.remove(0);
+                        inner.dropped.set(inner.dropped.get() + 1);
+                    }
+                }
+                events.push(TraceEvent {
                     time,
                     actor: actor(),
                     cat,
                     kind,
                     phase,
+                    flow,
                     fields: fields(),
                 });
             }
@@ -240,7 +303,20 @@ impl Trace {
         actor: impl FnOnce() -> String,
         fields: impl FnOnce() -> Fields,
     ) {
-        self.push(time, cat, SpanPhase::Instant, kind, actor, fields);
+        self.push(time, cat, SpanPhase::Instant, kind, None, actor, fields);
+    }
+
+    /// Record a point event carrying a flow id.
+    pub fn instant_f(
+        &self,
+        time: Cycles,
+        cat: Category,
+        kind: &'static str,
+        flow: Option<u64>,
+        actor: impl FnOnce() -> String,
+        fields: impl FnOnce() -> Fields,
+    ) {
+        self.push(time, cat, SpanPhase::Instant, kind, flow, actor, fields);
     }
 
     /// Open a span. Must be closed by [`Trace::end`] with the same actor
@@ -253,7 +329,20 @@ impl Trace {
         actor: impl FnOnce() -> String,
         fields: impl FnOnce() -> Fields,
     ) {
-        self.push(time, cat, SpanPhase::Begin, kind, actor, fields);
+        self.push(time, cat, SpanPhase::Begin, kind, None, actor, fields);
+    }
+
+    /// Open a span carrying a flow id.
+    pub fn begin_f(
+        &self,
+        time: Cycles,
+        cat: Category,
+        kind: &'static str,
+        flow: Option<u64>,
+        actor: impl FnOnce() -> String,
+        fields: impl FnOnce() -> Fields,
+    ) {
+        self.push(time, cat, SpanPhase::Begin, kind, flow, actor, fields);
     }
 
     /// Close the innermost open span of `actor` with this `kind`.
@@ -264,34 +353,61 @@ impl Trace {
         kind: &'static str,
         actor: impl FnOnce() -> String,
     ) {
-        self.push(time, cat, SpanPhase::End, kind, actor, Vec::new);
+        self.push(time, cat, SpanPhase::End, kind, None, actor, Vec::new);
+    }
+
+    /// Close a span, tagging the end event with the flow id.
+    pub fn end_f(
+        &self,
+        time: Cycles,
+        cat: Category,
+        kind: &'static str,
+        flow: Option<u64>,
+        actor: impl FnOnce() -> String,
+    ) {
+        self.push(time, cat, SpanPhase::End, kind, flow, actor, Vec::new);
+    }
+
+    /// Run `f` over the recorded events without cloning them.
+    pub fn with_events<R>(&self, f: impl FnOnce(&[TraceEvent]) -> R) -> R {
+        match &self.inner {
+            Some(inner) => f(&inner.events.borrow()),
+            None => f(&[]),
+        }
     }
 
     /// Snapshot of all events in record order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        match &self.inner {
-            Some(inner) => inner.events.borrow().clone(),
-            None => Vec::new(),
-        }
+        self.with_events(|ev| ev.to_vec())
     }
 
-    /// Events whose actor matches `actor`.
+    /// Events whose actor matches `actor` (only matches are cloned).
     pub fn events_of(&self, actor: &str) -> Vec<TraceEvent> {
-        self.events().into_iter().filter(|e| e.actor == actor).collect()
+        self.with_events(|ev| ev.iter().filter(|e| e.actor == actor).cloned().collect())
     }
 
-    /// Events of one category.
+    /// Events of one category (only matches are cloned).
     pub fn events_in(&self, cat: Category) -> Vec<TraceEvent> {
-        self.events().into_iter().filter(|e| e.cat == cat).collect()
+        self.with_events(|ev| ev.iter().filter(|e| e.cat == cat).cloned().collect())
     }
 
-    /// Render as an aligned text timeline (the Figure 2 view).
+    /// Render as an aligned text timeline (the Figure 2 view). For a
+    /// flight recorder a header states how many earlier events were
+    /// evicted, so a dump is honest about what it no longer shows.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for e in self.events() {
-            out.push_str(&e.to_string());
-            out.push('\n');
+        if self.dropped() > 0 {
+            out.push_str(&format!(
+                "... {} earlier event(s) evicted by the flight recorder ...\n",
+                self.dropped()
+            ));
         }
+        self.with_events(|events| {
+            for e in events {
+                out.push_str(&e.to_string());
+                out.push('\n');
+            }
+        });
         out
     }
 }
@@ -375,5 +491,46 @@ mod tests {
         assert!(s.contains("one") && s.contains("two"));
         assert!(s.contains("n=7"));
         assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn flow_ids_recorded_and_rendered() {
+        let t = Trace::enabled();
+        t.instant_f(1, Category::Protocol, "put", Some(42), || "rank0".into(), Vec::new);
+        t.begin_f(2, Category::Vdma, "dma", Some(42), || "host".into(), Vec::new);
+        t.end_f(3, Category::Vdma, "dma", Some(42), || "host".into());
+        t.instant(4, Category::Protocol, "idle", || "rank1".into(), Vec::new);
+        let ev = t.events();
+        assert_eq!(ev[0].flow, Some(42));
+        assert_eq!(ev[1].flow, Some(42));
+        assert_eq!(ev[2].flow, Some(42));
+        assert_eq!(ev[3].flow, None);
+        assert!(t.render().contains("flow=42"));
+    }
+
+    #[test]
+    fn ring_keeps_only_last_n() {
+        let t = Trace::ring(3);
+        for i in 0..10u64 {
+            t.instant(i, Category::App, "tick", || "a".into(), || fields![i = i]);
+        }
+        let ev = t.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].time, 7);
+        assert_eq!(ev[2].time, 9);
+        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.capacity(), Some(3));
+        assert!(t.render().starts_with("... 7 earlier event(s) evicted"));
+    }
+
+    #[test]
+    fn with_events_avoids_clone_and_filters_match() {
+        let t = Trace::enabled();
+        t.instant(1, Category::App, "x", || "a".into(), Vec::new);
+        t.instant(2, Category::Pcie, "y", || "b".into(), Vec::new);
+        let n = t.with_events(|ev| ev.len());
+        assert_eq!(n, 2);
+        assert_eq!(t.events_in(Category::Pcie).len(), 1);
+        assert_eq!(Trace::disabled().with_events(|ev| ev.len()), 0);
     }
 }

@@ -75,12 +75,30 @@ impl Rcce {
         assert_ne!(dest, self.id(), "RCCE forbids self-sends");
         self.ctx.session.record_traffic(self.id(), dest, data.len() as u64);
         let metrics = self.ctx.session.rcce_metrics();
+        let me = self.id();
         let start = self.now();
+        let trace = self.ctx.session.trace().clone();
         let lock = self.ctx.send_lock(dest).clone();
+        // Flow allocation order matches lock-holder order because the
+        // send lock is a FIFO semaphore (determinism invariant #1).
+        let flow = self.ctx.session.next_send_flow(me, dest);
+        trace.begin_f(
+            self.now(),
+            des::trace::Category::Protocol,
+            "send_lock",
+            Some(flow),
+            || format!("rank{me}"),
+            || des::fields![dest = dest, bytes = data.len()],
+        );
         lock.lock().await;
+        trace.end_f(self.now(), des::trace::Category::Protocol, "send_lock", Some(flow), || {
+            format!("rank{me}")
+        });
         metrics.send_lock_wait.add(self.now() - start);
-        let proto = self.ctx.session.proto(self.id(), dest);
-        proto.send(&self.ctx, dest, data).await;
+        self.ctx.enter_send(flow);
+        let proto = self.ctx.session.proto(me, dest);
+        proto.send(&self.ctx, dest, data, flow).await;
+        self.ctx.exit_send();
         lock.unlock();
         metrics.send_lat[size_class(data.len())].record(self.now() - start);
     }
@@ -92,8 +110,9 @@ impl Rcce {
         let start = self.now();
         let lock = self.ctx.recv_lock(src).clone();
         lock.lock().await;
+        let flow = self.ctx.session.next_recv_flow(src, self.id());
         let proto = self.ctx.session.proto(src, self.id());
-        proto.recv(&self.ctx, src, buf).await;
+        proto.recv(&self.ctx, src, buf, flow).await;
         lock.unlock();
         self.ctx.session.rcce_metrics().recv_lat[size_class(buf.len())].record(self.now() - start);
     }

@@ -56,10 +56,15 @@ impl Rcce {
             let start = ctx.session.sim().now();
             let lock = ctx.send_lock(dest).clone();
             lock.lock().await;
+            // nth lock holder gets the nth flow id, matching the
+            // receiver's per-pair FIFO allocation.
+            let flow = ctx.session.next_send_flow(me, dest);
             let metrics = ctx.session.rcce_metrics();
             metrics.send_lock_wait.add(ctx.session.sim().now() - start);
+            ctx.enter_send(flow);
             let proto = ctx.session.proto(me, dest);
-            proto.send(&ctx, dest, &data).await;
+            proto.send(&ctx, dest, &data, flow).await;
+            ctx.exit_send();
             lock.unlock();
             metrics.send_lat[crate::session::size_class(data.len())]
                 .record(ctx.session.sim().now() - start);
@@ -78,8 +83,9 @@ impl Rcce {
             let mut buf = vec![0u8; len];
             let lock = ctx.recv_lock(src).clone();
             lock.lock().await;
+            let flow = ctx.session.next_recv_flow(src, me);
             let proto = ctx.session.proto(src, me);
-            proto.recv(&ctx, src, &mut buf).await;
+            proto.recv(&ctx, src, &mut buf, flow).await;
             lock.unlock();
             ctx.session.rcce_metrics().recv_lat[crate::session::size_class(len)]
                 .record(ctx.session.sim().now() - start);

@@ -23,10 +23,21 @@ use crate::session::RankCtx;
 pub type LocalBoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
 
 /// A point-to-point transport between two ranks.
+///
+/// `flow` is the message's provenance id (allocated by the session, see
+/// [`crate::session::SessionInner::next_send_flow`]); implementations
+/// stamp it on every traced hop so the whole path of one message can be
+/// reconstructed.
 pub trait PointToPoint {
     /// Blocking send of `data` from `ctx`'s rank to `dest`. Returns when
     /// the receiver has consumed the message (RCCE semantics, Fig. 2a).
-    fn send<'a>(&'a self, ctx: &'a RankCtx, dest: usize, data: &'a [u8]) -> LocalBoxFuture<'a, ()>;
+    fn send<'a>(
+        &'a self,
+        ctx: &'a RankCtx,
+        dest: usize,
+        data: &'a [u8],
+        flow: u64,
+    ) -> LocalBoxFuture<'a, ()>;
 
     /// Blocking receive of `buf.len()` bytes from `src`.
     fn recv<'a>(
@@ -34,6 +45,7 @@ pub trait PointToPoint {
         ctx: &'a RankCtx,
         src: usize,
         buf: &'a mut [u8],
+        flow: u64,
     ) -> LocalBoxFuture<'a, ()>;
 
     /// Human-readable protocol name (used in experiment output).
@@ -107,44 +119,69 @@ impl BlockingProtocol {
 }
 
 impl PointToPoint for BlockingProtocol {
-    fn send<'a>(&'a self, ctx: &'a RankCtx, dest: usize, data: &'a [u8]) -> LocalBoxFuture<'a, ()> {
+    fn send<'a>(
+        &'a self,
+        ctx: &'a RankCtx,
+        dest: usize,
+        data: &'a [u8],
+        flow: u64,
+    ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(dest);
             let trace = ctx.session.trace().clone();
+            let f = Some(flow);
             for (lo, hi) in chunk_ranges(data.len(), self.chunk) {
-                trace.begin(
+                trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
                     "chunk",
+                    f,
                     || format!("rank{me}"),
                     || fields![bytes = hi - lo, dest = dest],
                 );
-                trace.instant(
+                trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
-                    "put",
+                    "sender_put",
+                    f,
                     || format!("rank{me}"),
                     || fields![bytes = hi - lo, target = "local_mpb"],
                 );
-                ctx.core.put(layout::payload(my, self.window_off), &data[lo..hi]).await;
+                ctx.core.put_f(layout::payload(my, self.window_off), &data[lo..hi], f).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
+                    format!("rank{me}")
+                });
                 let cnt = {
                     let mut sc = ctx.sent_count.borrow_mut();
                     sc[dest] = sc[dest].wrapping_add(1);
                     sc[dest]
                 };
-                trace.instant(
+                trace.instant_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
                     "flag_set",
+                    f,
                     || format!("rank{me}"),
                     || fields![flag = "sent", src = me, value = cnt, at_rank = dest],
                 );
-                ctx.core.flag_write(layout::sent_flag(peer, me), cnt).await;
+                ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "mpb_wait",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![flag = "ready", target = cnt],
+                );
                 flag_wait_reached(ctx, layout::ready_flag(my, dest), cnt).await;
-                trace
-                    .end(ctx.core.sim().now(), Category::Protocol, "chunk", || format!("rank{me}"));
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
+                    format!("rank{me}")
+                });
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "chunk", f, || {
+                    format!("rank{me}")
+                });
             }
         })
     }
@@ -154,31 +191,49 @@ impl PointToPoint for BlockingProtocol {
         ctx: &'a RankCtx,
         src: usize,
         buf: &'a mut [u8],
+        flow: u64,
     ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             let me = ctx.rank;
             let my = ctx.who();
             let peer = ctx.session.who(src);
             let trace = ctx.session.trace().clone();
+            let f = Some(flow);
             for (lo, hi) in chunk_ranges(buf.len(), self.chunk) {
                 let cnt = ctx.recv_count.borrow()[src].wrapping_add(1);
-                flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
-                trace.instant(
+                trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
-                    "get",
+                    "recv_poll",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![flag = "sent", target = cnt],
+                );
+                flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
+                    format!("rank{me}")
+                });
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "recv_get",
+                    f,
                     || format!("rank{me}"),
                     || fields![bytes = hi - lo, src = src, sent_count = cnt],
                 );
                 // The payload lines may be cached from the previous chunk.
                 ctx.core.cl1invmb().await;
-                ctx.core.get(layout::payload(peer, self.window_off), &mut buf[lo..hi]).await;
+                ctx.core.get_f(layout::payload(peer, self.window_off), &mut buf[lo..hi], f).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
+                    format!("rank{me}")
+                });
                 ctx.recv_count.borrow_mut()[src] = cnt;
-                ctx.core.flag_write(layout::ready_flag(peer, me), cnt).await;
-                trace.instant(
+                ctx.core.flag_write_f(layout::ready_flag(peer, me), cnt, f).await;
+                trace.instant_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
                     "flag_set",
+                    f,
                     || format!("rank{me}"),
                     || fields![flag = "ready", src = me, value = cnt, at_rank = src],
                 );
@@ -235,7 +290,13 @@ impl PipelinedProtocol {
 }
 
 impl PointToPoint for PipelinedProtocol {
-    fn send<'a>(&'a self, ctx: &'a RankCtx, dest: usize, data: &'a [u8]) -> LocalBoxFuture<'a, ()> {
+    fn send<'a>(
+        &'a self,
+        ctx: &'a RankCtx,
+        dest: usize,
+        data: &'a [u8],
+        flow: u64,
+    ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             let me = ctx.rank;
             let my = ctx.who();
@@ -243,35 +304,63 @@ impl PointToPoint for PipelinedProtocol {
             let base = ctx.sent_count.borrow()[dest];
             let ranges = chunk_ranges(data.len(), self.packet);
             let trace = ctx.session.trace().clone();
+            let f = Some(flow);
             for (p, (lo, hi)) in ranges.iter().copied().enumerate() {
                 // Flow control: slot p%2 is free once packet p-2 was
                 // consumed, i.e. ready has reached base + p - 1.
                 if p >= PIPELINE_SLOTS {
+                    trace.begin_f(
+                        ctx.core.sim().now(),
+                        Category::Protocol,
+                        "mpb_wait",
+                        f,
+                        || format!("rank{me}"),
+                        || fields![flag = "ready", pkt = p],
+                    );
                     flag_wait_reached(
                         ctx,
                         layout::ready_flag(my, dest),
                         base.wrapping_add((p - 1) as u8),
                     )
                     .await;
+                    trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
+                        format!("rank{me}")
+                    });
                 }
-                trace.instant(
+                trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
-                    "pipe_put",
+                    "sender_put",
+                    f,
                     || format!("rank{me}"),
                     || fields![pkt = p, bytes = hi - lo, slot = p % 2],
                 );
-                ctx.core.put(self.slot_addr(my, p % PIPELINE_SLOTS), &data[lo..hi]).await;
+                ctx.core.put_f(self.slot_addr(my, p % PIPELINE_SLOTS), &data[lo..hi], f).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
+                    format!("rank{me}")
+                });
                 let cnt = base.wrapping_add(p as u8 + 1);
-                ctx.core.flag_write(layout::sent_flag(peer, me), cnt).await;
+                ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
             }
             let total = base.wrapping_add(ranges.len() as u8);
             ctx.sent_count.borrow_mut()[dest] = total;
+            trace.begin_f(
+                ctx.core.sim().now(),
+                Category::Protocol,
+                "mpb_wait",
+                f,
+                || format!("rank{me}"),
+                || fields![flag = "ready", target = total],
+            );
             flag_wait_reached(ctx, layout::ready_flag(my, dest), total).await;
-            trace.instant(
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
+                format!("rank{me}")
+            });
+            trace.instant_f(
                 ctx.core.sim().now(),
                 Category::Protocol,
                 "pipe_send_done",
+                f,
                 || format!("rank{me}"),
                 || fields![packets = ranges.len()],
             );
@@ -283,6 +372,7 @@ impl PointToPoint for PipelinedProtocol {
         ctx: &'a RankCtx,
         src: usize,
         buf: &'a mut [u8],
+        flow: u64,
     ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             let me = ctx.rank;
@@ -291,19 +381,35 @@ impl PointToPoint for PipelinedProtocol {
             let base = ctx.recv_count.borrow()[src];
             let ranges = chunk_ranges(buf.len(), self.packet);
             let trace = ctx.session.trace().clone();
+            let f = Some(flow);
             for (p, (lo, hi)) in ranges.iter().copied().enumerate() {
                 let cnt = base.wrapping_add(p as u8 + 1);
-                flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
-                trace.instant(
+                trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
-                    "pipe_get",
+                    "recv_poll",
+                    f,
+                    || format!("rank{me}"),
+                    || fields![flag = "sent", pkt = p],
+                );
+                flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
+                    format!("rank{me}")
+                });
+                trace.begin_f(
+                    ctx.core.sim().now(),
+                    Category::Protocol,
+                    "recv_get",
+                    f,
                     || format!("rank{me}"),
                     || fields![pkt = p, bytes = hi - lo, slot = p % 2],
                 );
                 ctx.core.cl1invmb().await;
-                ctx.core.get(self.slot_addr(peer, p % PIPELINE_SLOTS), &mut buf[lo..hi]).await;
-                ctx.core.flag_write(layout::ready_flag(peer, me), cnt).await;
+                ctx.core.get_f(self.slot_addr(peer, p % PIPELINE_SLOTS), &mut buf[lo..hi], f).await;
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
+                    format!("rank{me}")
+                });
+                ctx.core.flag_write_f(layout::ready_flag(peer, me), cnt, f).await;
             }
             ctx.recv_count.borrow_mut()[src] = base.wrapping_add(ranges.len() as u8);
         })

@@ -32,6 +32,10 @@ pub struct SessionInner {
     inter: Rc<dyn PointToPoint>,
     traffic: RefCell<Vec<u64>>,
     messages: RefCell<Vec<u64>>,
+    /// Per-(src,dest) count of flows allocated on the send side.
+    send_flow_seq: RefCell<Vec<u64>>,
+    /// Per-(src,dest) count of flows matched on the receive side.
+    recv_flow_seq: RefCell<Vec<u64>>,
     trace: Trace,
     metrics: Registry,
     rcce_metrics: RcceMetrics,
@@ -127,6 +131,36 @@ impl SessionInner {
         self.messages.borrow_mut()[src * n + dest] += 1;
     }
 
+    /// Encode the `seq`-th message of the pair `(src, dest)` as a flow id.
+    /// Ids are unique across pairs, monotonic per pair, and never zero.
+    fn flow_id(seq: u64, src: usize, dest: usize) -> u64 {
+        let pairs = (crate::layout::MAX_RANKS * crate::layout::MAX_RANKS) as u64;
+        seq * pairs + (src * crate::layout::MAX_RANKS + dest) as u64 + 1
+    }
+
+    /// Allocate the next send-side flow id for `src -> dest`. Because the
+    /// send lock serializes a rank's sends and the per-source receive
+    /// lock serializes the matching receives, the n-th send of a pair
+    /// always matches the n-th receive — both sides derive the same id
+    /// without any bytes on the wire.
+    pub fn next_send_flow(&self, src: usize, dest: usize) -> u64 {
+        let n = self.num_ranks();
+        let mut seqs = self.send_flow_seq.borrow_mut();
+        let seq = seqs[src * n + dest];
+        seqs[src * n + dest] += 1;
+        Self::flow_id(seq, src, dest)
+    }
+
+    /// Allocate the next receive-side flow id for `src -> dest` (the
+    /// mirror of [`SessionInner::next_send_flow`]).
+    pub fn next_recv_flow(&self, src: usize, dest: usize) -> u64 {
+        let n = self.num_ranks();
+        let mut seqs = self.recv_flow_seq.borrow_mut();
+        let seq = seqs[src * n + dest];
+        seqs[src * n + dest] += 1;
+        Self::flow_id(seq, src, dest)
+    }
+
     /// The protocol trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
@@ -176,6 +210,8 @@ pub struct RankCtx {
     pub inbound_lock: SimMutex,
     send_lock: SimMutex,
     recv_locks: Vec<SimMutex>,
+    /// Send-lock exclusivity monitor: true while a send is in flight.
+    in_send: Cell<bool>,
 }
 
 impl RankCtx {
@@ -192,6 +228,7 @@ impl RankCtx {
             inbound_lock: SimMutex::new(),
             send_lock: SimMutex::new(),
             recv_locks: (0..n).map(|_| SimMutex::new()).collect(),
+            in_send: Cell::new(false),
         })
     }
 
@@ -217,6 +254,33 @@ impl RankCtx {
     /// Serializes concurrent receives from the same source.
     pub fn recv_lock(&self, src: usize) -> &SimMutex {
         &self.recv_locks[src]
+    }
+
+    /// Send-lock exclusivity monitor: mark a send in flight. Two
+    /// overlapping sends of one UE would interleave chunks through the
+    /// single MPB send buffer; that is a protocol bug, so it traces an
+    /// `App` violation event (with the offending flow) and fails fast.
+    pub fn enter_send(&self, flow: u64) {
+        if self.in_send.replace(true) {
+            let me = self.rank;
+            self.session.trace().instant_f(
+                self.session.sim().now(),
+                Category::App,
+                "monitor_violation",
+                Some(flow),
+                || format!("rank{me}"),
+                || des::fields![check = "send_lock_exclusivity", rank = me],
+            );
+            panic!(
+                "send-lock exclusivity violated: rank {me} started a send \
+                 (flow {flow}) while another send was in flight"
+            );
+        }
+    }
+
+    /// Mark the in-flight send finished.
+    pub fn exit_send(&self) {
+        self.in_send.set(false);
     }
 }
 
@@ -341,6 +405,8 @@ impl SessionBuilder {
                 inter,
                 traffic: RefCell::new(vec![0; n * n]),
                 messages: RefCell::new(vec![0; n * n]),
+                send_flow_seq: RefCell::new(vec![0; n * n]),
+                recv_flow_seq: RefCell::new(vec![0; n * n]),
                 trace: self.trace,
                 metrics,
                 rcce_metrics,
@@ -459,6 +525,23 @@ mod tests {
         let sim = Sim::new();
         let s = SessionBuilder::new(&sim, one_device(&sim)).max_ranks(9).build();
         assert_eq!(s.num_ranks(), 9);
+    }
+
+    #[test]
+    fn flow_ids_match_across_sides_and_stay_unique() {
+        let sim = Sim::new();
+        let s = SessionBuilder::new(&sim, one_device(&sim)).max_ranks(3).build();
+        // Both sides derive the same id for the nth message of a pair.
+        let f1 = s.inner.next_send_flow(0, 1);
+        let f2 = s.inner.next_send_flow(0, 1);
+        assert_eq!(s.inner.next_recv_flow(0, 1), f1);
+        assert_eq!(s.inner.next_recv_flow(0, 1), f2);
+        assert_ne!(f1, f2);
+        // Distinct pairs never collide, and ids are never zero.
+        let g1 = s.inner.next_send_flow(1, 0);
+        let g2 = s.inner.next_send_flow(1, 2);
+        assert!(f1 != g1 && f1 != g2 && g1 != g2);
+        assert!(f1 > 0 && g1 > 0);
     }
 
     #[test]

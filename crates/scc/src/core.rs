@@ -87,6 +87,12 @@ impl CoreHandle {
     /// Stream `data` from private DRAM into the MPB at `addr` (the *put*
     /// of the gory API). Cross-device targets go through the fabric.
     pub async fn put(&self, addr: MpbAddr, data: &[u8]) {
+        self.put_f(addr, data, None).await;
+    }
+
+    /// [`CoreHandle::put`] tagged with the message's flow id (provenance
+    /// for the fabric and the store monitor; no timing difference).
+    pub async fn put_f(&self, addr: MpbAddr, data: &[u8], flow: Option<u64>) {
         assert!(addr.offset as usize + data.len() <= MPB_BYTES, "put overruns MPB region");
         let cost = &self.device.cost;
         let n = lines(data.len());
@@ -98,7 +104,7 @@ impl CoreHandle {
                 cost.copy_cost(data.len(), self.who.core.tile(), addr.owner.core.tile(), true);
             let end = (self.sim.now() + cycles).max(mc_done);
             self.sim.delay_until(end).await;
-            self.write_region_local(addr, data);
+            self.write_region_local(addr, data, flow);
         } else {
             // Off-chip posted stream: the DRAM reads overlap with the
             // (much slower) SIF emission; the core is released at
@@ -106,7 +112,7 @@ impl CoreHandle {
             let dram = cost.op_overhead + n * cost.dram_line;
             let start = self.sim.now();
             let fabric = self.device.fabric();
-            fabric.write(self.who, addr, data.to_vec()).await;
+            fabric.write_f(self.who, addr, data.to_vec(), flow).await;
             let end = (start + dram).max(mc_done).max(self.sim.now());
             self.sim.delay_until(end).await;
         }
@@ -115,11 +121,16 @@ impl CoreHandle {
     /// Stream from the MPB at `addr` into private DRAM (the *get* of the
     /// gory API). Reads pass through L1: cached lines are served stale.
     pub async fn get(&self, addr: MpbAddr, buf: &mut [u8]) {
+        self.get_f(addr, buf, None).await;
+    }
+
+    /// [`CoreHandle::get`] tagged with the message's flow id.
+    pub async fn get_f(&self, addr: MpbAddr, buf: &mut [u8], flow: Option<u64>) {
         assert!(addr.offset as usize + buf.len() <= MPB_BYTES, "get overruns MPB region");
         let n = lines(buf.len());
         let dram = n * self.device.cost.dram_line;
         let mc_done = self.device.mc_port(self.who.core).reserve(&self.sim, buf.len() as u64);
-        let read_cycles = self.read_through_l1(addr, buf).await;
+        let read_cycles = self.read_through_l1(addr, buf, flow).await;
         let end = (self.sim.now() + read_cycles + dram).max(mc_done);
         self.sim.delay_until(end).await;
     }
@@ -130,7 +141,7 @@ impl CoreHandle {
 
     /// Read `buf.len()` bytes at `addr` into registers, through L1.
     pub async fn mpb_read(&self, addr: MpbAddr, buf: &mut [u8]) {
-        let cycles = self.read_through_l1(addr, buf).await;
+        let cycles = self.read_through_l1(addr, buf, None).await;
         self.sim.delay(cycles).await;
     }
 
@@ -141,7 +152,7 @@ impl CoreHandle {
             let cycles =
                 cost.mpb_only_cost(data.len(), self.who.core.tile(), addr.owner.core.tile(), true);
             self.sim.delay(cycles).await;
-            self.write_region_local(addr, data);
+            self.write_region_local(addr, data, None);
         } else {
             self.sim.delay(cost.op_overhead).await;
             self.device.fabric().write(self.who, addr, data.to_vec()).await;
@@ -150,7 +161,7 @@ impl CoreHandle {
 
     /// Resolve reads through the L1 model; returns the core-side cycle
     /// cost. Fills `buf` with a mix of stale cached lines and fresh fills.
-    async fn read_through_l1(&self, addr: MpbAddr, buf: &mut [u8]) -> Cycles {
+    async fn read_through_l1(&self, addr: MpbAddr, buf: &mut [u8], flow: Option<u64>) -> Cycles {
         let cost = &self.device.cost;
         let len = buf.len();
         if len == 0 {
@@ -187,10 +198,11 @@ impl CoreHandle {
                 let fetched = self
                     .device
                     .fabric()
-                    .read(
+                    .read_f(
                         self.who,
                         MpbAddr::new(addr.owner, (fetch_first * LINE_BYTES) as u16),
                         span,
+                        flow,
                     )
                     .await;
                 truth.copy_from_slice(&fetched);
@@ -220,7 +232,10 @@ impl CoreHandle {
 
     /// Functionally store to a local-device region and keep the *own* L1
     /// write-through coherent with the store (no allocate).
-    fn write_region_local(&self, addr: MpbAddr, data: &[u8]) {
+    fn write_region_local(&self, addr: MpbAddr, data: &[u8], flow: Option<u64>) {
+        if let Some(monitor) = self.device.monitor() {
+            monitor.core_write(self.who, addr, data, flow);
+        }
         self.device.mpb(addr.owner.core).write(addr.offset as usize, data);
         let mut off = addr.offset as usize;
         for chunk in data.chunks(LINE_BYTES - off % LINE_BYTES) {
@@ -244,12 +259,20 @@ impl CoreHandle {
     /// Write a one-byte synchronization flag at `addr`. Flushes the WCB
     /// first (a flag write must not linger in the combine buffer).
     pub async fn flag_write(&self, addr: MpbAddr, value: u8) {
+        self.flag_write_f(addr, value, None).await;
+    }
+
+    /// [`CoreHandle::flag_write`] tagged with the message's flow id.
+    pub async fn flag_write_f(&self, addr: MpbAddr, value: u8, flow: Option<u64>) {
         self.wcb.flush();
         let cost = &self.device.cost;
         if self.is_local_device(addr) {
             let c = cost.mpb_line_cost(self.who.core.tile(), addr.owner.core.tile(), true)
                 + cost.op_overhead;
             self.sim.delay(c).await;
+            if let Some(monitor) = self.device.monitor() {
+                monitor.core_write(self.who, addr, &[value], flow);
+            }
             self.device.mpb(addr.owner.core).write_byte(addr.offset as usize, value);
             self.l1.write_through(
                 (addr.owner, addr.line()),
@@ -258,7 +281,7 @@ impl CoreHandle {
             );
         } else {
             self.sim.delay(cost.op_overhead).await;
-            self.device.fabric().write(self.who, addr, vec![value]).await;
+            self.device.fabric().write_f(self.who, addr, vec![value], flow).await;
         }
     }
 

@@ -12,9 +12,38 @@ use des::stats::Counter;
 use des::Sim;
 
 use crate::costmodel::CostModel;
-use crate::geometry::{CoreId, DeviceId, GlobalCore, CORES_PER_DEVICE};
+use crate::geometry::{CoreId, DeviceId, GlobalCore, MpbAddr, CORES_PER_DEVICE};
 use crate::mpb::MpbRegion;
 use crate::remote::RemoteFabric;
+
+/// Observer of functional MPB stores issued by *cores of this device*
+/// (cross-device stores are observed at the fabric instead). Installed by
+/// the system layer to run protocol invariant monitors; implementations
+/// must be passive — no simulated time, no writes — so that enabling a
+/// monitor never perturbs the virtual clock.
+pub trait MpbWriteMonitor {
+    /// `writer` stored `data` at `addr` on its own device. `flow` is the
+    /// provenance id of the message the store belongs to, if known.
+    fn core_write(&self, writer: GlobalCore, addr: MpbAddr, data: &[u8], flow: Option<u64>);
+
+    /// The host fabric delivered `data` to `addr` on behalf of `writer`
+    /// (routed line, WCB granule, vDMA packet, forwarded flag). Defaults
+    /// to unmonitored.
+    fn host_write(&self, _writer: GlobalCore, _addr: MpbAddr, _data: &[u8], _flow: Option<u64>) {}
+
+    /// A host software-cache hit served `cached` for `owner`'s MPB range
+    /// at `offset` while the device actually holds `device_bytes`.
+    /// Defaults to unmonitored.
+    fn cache_read_check(
+        &self,
+        _owner: GlobalCore,
+        _offset: u16,
+        _cached: &[u8],
+        _device_bytes: &[u8],
+        _flow: Option<u64>,
+    ) {
+    }
+}
 
 /// Startup configuration; models the paper's observation (§4) that on a
 /// multi-device installation "the situation occurs frequently that not all
@@ -64,6 +93,7 @@ pub struct SccDevice {
     tas_notify: Vec<Notify>,
     mc_ports: Vec<Link>,
     fabric: RefCell<Option<Rc<dyn RemoteFabric>>>,
+    monitor: RefCell<Option<Rc<dyn MpbWriteMonitor>>>,
     alive: RefCell<Vec<bool>>,
     stats: DeviceStats,
 }
@@ -98,6 +128,7 @@ impl SccDevice {
             tas_notify: (0..n).map(|_| Notify::new()).collect(),
             mc_ports: (0..MEMORY_CONTROLLERS).map(|_| Link::new(mc_bw, 0, 0)).collect(),
             fabric: RefCell::new(None),
+            monitor: RefCell::new(None),
             alive: RefCell::new(vec![true; n]),
             stats,
         })
@@ -178,6 +209,16 @@ impl SccDevice {
     /// Whether an off-chip fabric is installed.
     pub fn has_fabric(&self) -> bool {
         self.fabric.borrow().is_some()
+    }
+
+    /// Install an MPB-store observer (protocol invariant monitors).
+    pub fn set_monitor(&self, monitor: Rc<dyn MpbWriteMonitor>) {
+        *self.monitor.borrow_mut() = Some(monitor);
+    }
+
+    /// The installed store observer, if any.
+    pub fn monitor(&self) -> Option<Rc<dyn MpbWriteMonitor>> {
+        self.monitor.borrow().clone()
     }
 
     /// Atomically test-and-set `core`'s lock register; true if acquired.

@@ -43,6 +43,30 @@ pub trait RemoteFabric {
     /// perspective* (i.e. when the fabric's ack policy says so).
     fn write(&self, src: GlobalCore, addr: MpbAddr, data: Vec<u8>) -> LocalBoxFuture<'_, ()>;
 
+    /// [`RemoteFabric::read`] carrying the message-provenance flow id, so
+    /// an instrumenting fabric can tag the hop. Defaults to ignoring it.
+    fn read_f(
+        &self,
+        src: GlobalCore,
+        addr: MpbAddr,
+        len: usize,
+        _flow: Option<u64>,
+    ) -> LocalBoxFuture<'_, Vec<u8>> {
+        self.read(src, addr, len)
+    }
+
+    /// [`RemoteFabric::write`] carrying the flow id; defaults to ignoring
+    /// it.
+    fn write_f(
+        &self,
+        src: GlobalCore,
+        addr: MpbAddr,
+        data: Vec<u8>,
+        _flow: Option<u64>,
+    ) -> LocalBoxFuture<'_, ()> {
+        self.write(src, addr, data)
+    }
+
     /// Deliver one fused register-line write to the host register window.
     fn mmio_write(&self, line: RegisterLine) -> LocalBoxFuture<'_, ()>;
 

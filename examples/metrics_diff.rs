@@ -1,0 +1,129 @@
+//! Diff two metrics exports to bisect a determinism bug.
+//!
+//! ```sh
+//! VSCC_METRICS=a.json cargo bench -p vscc-bench --bench fig6b_interdevice
+//! # ... change something ...
+//! VSCC_METRICS=b.json cargo bench -p vscc-bench --bench fig6b_interdevice
+//! cargo run --example metrics_diff -- a.json b.json
+//! ```
+//!
+//! With no arguments the example demos the workflow on two in-process
+//! runs (vDMA vs software-cache ping-pong) and prints their delta.
+//!
+//! Both sides must be `VSCC_METRICS` exports ([`des::obs::Snapshot`]'s
+//! own deterministic JSON); the parser below reads exactly that format
+//! line by line — it is not a general JSON parser.
+
+use des::obs::{MetricValue, Snapshot};
+use des::Sim;
+use scc::geometry::CoreId;
+use vscc::{CommScheme, VsccBuilder};
+
+/// Parse one `"name": {"type": ..., ...}` metric line of the export.
+fn parse_line(line: &str) -> Option<(String, MetricValue)> {
+    let line = line.trim().trim_end_matches(',');
+    let rest = line.strip_prefix('"')?;
+    let (name, rest) = rest.split_once("\": ")?;
+    let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let field = |key: &str| -> Option<&str> {
+        let (_, tail) = body.split_once(&format!("\"{key}\": "))?;
+        Some(tail.split([',', ']']).next().unwrap_or(tail).trim())
+    };
+    let int = |key: &str| field(key).and_then(|v| v.parse::<u64>().ok());
+    let value = match field("type")? {
+        "\"counter\"" => MetricValue::Counter { value: int("value")? },
+        "\"gauge\"" => MetricValue::Gauge {
+            value: field("value")?.parse().ok()?,
+            high_watermark: field("high_watermark")?.parse().ok()?,
+        },
+        "\"histogram\"" => {
+            let (_, tail) = body.split_once("\"buckets\": [")?;
+            let list = tail.split(']').next()?;
+            let buckets = if list.trim().is_empty() {
+                Vec::new()
+            } else {
+                list.split(", ").map(|b| b.trim().parse::<u64>()).collect::<Result<_, _>>().ok()?
+            };
+            MetricValue::Histogram {
+                count: int("count")?,
+                sum: field("sum")?.parse().ok()?,
+                max: int("max")?,
+                p50: int("p50")?,
+                p99: int("p99")?,
+                buckets,
+            }
+        }
+        _ => return None,
+    };
+    Some((name.to_string(), value))
+}
+
+/// Read a whole `VSCC_METRICS` export back into a [`Snapshot`].
+fn parse_snapshot(json: &str) -> Snapshot {
+    let entries = json.lines().filter_map(parse_line).collect();
+    Snapshot { entries }
+}
+
+/// In-process fallback: one traced ping-pong per scheme.
+fn demo_snapshot(scheme: CommScheme) -> Snapshot {
+    let sim = Sim::new();
+    let v = VsccBuilder::new(&sim, 2).scheme(scheme).build();
+    let a = v.devices[0].global(CoreId(0));
+    let b = v.devices[1].global(CoreId(0));
+    let s = v.session_builder().participants(vec![a, b]).build();
+    s.run_app(|r| async move {
+        if r.id() == 0 {
+            r.send(&vec![1u8; 8192], 1).await;
+        } else {
+            let mut buf = vec![0u8; 8192];
+            r.recv(&mut buf, 0).await;
+        }
+    })
+    .expect("demo run");
+    v.metrics().snapshot()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (label_a, a, label_b, b) = match args.as_slice() {
+        [pa, pb] => {
+            let read = |p: &str| {
+                let json =
+                    std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"));
+                let snap = parse_snapshot(&json);
+                assert!(
+                    !snap.entries.is_empty(),
+                    "{p} holds no metrics (not a VSCC_METRICS export?)"
+                );
+                snap
+            };
+            (pa.clone(), read(pa), pb.clone(), read(pb))
+        }
+        [] => {
+            println!("(no files given; demoing on vDMA vs sw-cache ping-pong)\n");
+            (
+                "local put / local get".into(),
+                demo_snapshot(CommScheme::LocalPutLocalGet),
+                "local put / remote get".into(),
+                demo_snapshot(CommScheme::LocalPutRemoteGet),
+            )
+        }
+        _ => {
+            eprintln!("usage: metrics_diff [old.json new.json]");
+            std::process::exit(2);
+        }
+    };
+
+    let diff = a.diff(&b);
+    if diff.is_empty() {
+        println!("snapshots are identical ({} metrics)", a.entries.len());
+        return;
+    }
+    println!(
+        "{} changed, {} added, {} removed ({label_a} -> {label_b}):\n",
+        diff.changed.len(),
+        diff.added.len(),
+        diff.removed.len()
+    );
+    print!("{}", diff.render_table());
+}

@@ -6,9 +6,15 @@ cd "$(dirname "$0")/.."
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
+# Belt and braces: the bench targets are harness=false binaries and easy
+# to leave out of a fmt pass when editing them standalone.
+rustfmt --edition 2021 --check crates/bench/benches/*.rs
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo bench --no-run (figure/table harnesses must keep building) =="
+cargo bench --workspace --no-run
 
 echo "== cargo test =="
 cargo test --workspace -q

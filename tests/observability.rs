@@ -68,6 +68,126 @@ fn disabled_trace_never_evaluates_closures() {
 }
 
 #[test]
+fn flow_ids_survive_the_chrome_export_and_pair_up() {
+    let (_, trace, _) = pingpong::interdevice_observed(CommScheme::LocalPutLocalGet, 6000, 2);
+    let flows: std::collections::BTreeSet<u64> =
+        trace.events().iter().filter_map(|e| e.flow).collect();
+    assert!(!flows.is_empty(), "provenance must stamp flow ids on the hops");
+    let json = des::obs::chrome_trace_json(&[("pingpong", &trace)]);
+    // The export opens exactly one arrow chain per multi-hop flow ("s")
+    // and closes every one of them ("f").
+    let count = |needle: &str| json.matches(needle).count();
+    let starts = count("\"cat\":\"flow\",\"ph\":\"s\"");
+    let finishes = count("\"cat\":\"flow\",\"ph\":\"f\"");
+    assert!(starts > 0, "multi-hop messages must draw arrows");
+    assert_eq!(starts, finishes, "every flow arrow must start and finish exactly once");
+    for flow in &flows {
+        assert!(json.contains(&format!("\"flow\":{flow}")), "flow {flow} lost in the export");
+    }
+}
+
+#[test]
+fn critpath_attribution_sums_to_measured_latency() {
+    for scheme in [CommScheme::LocalPutRemoteGet, CommScheme::LocalPutLocalGet] {
+        let (p, trace, _) = pingpong::interdevice_observed(scheme, 8192, 1);
+        let attr = des::critpath::run_attribution(&trace, 0, p.cycles);
+        assert_eq!(
+            attr.total(),
+            p.cycles,
+            "{scheme:?}: phases must sum to the measured end-to-end time"
+        );
+        // Per-message timelines also account fully for their own windows.
+        let timelines = des::critpath::flow_timelines(&trace);
+        assert!(!timelines.is_empty(), "{scheme:?}: no flow timelines reconstructed");
+        for t in &timelines {
+            assert_eq!(t.attribution.total(), t.end - t.start, "flow {} leaks cycles", t.flow);
+        }
+    }
+}
+
+#[test]
+fn clean_runs_record_no_monitor_violations() {
+    let sim = des::Sim::new();
+    let v = vscc::VsccBuilder::new(&sim, 2)
+        .scheme(CommScheme::LocalPutLocalGet)
+        .monitor_fail_fast(false)
+        .build();
+    let a = v.devices[0].global(scc::geometry::CoreId(0));
+    let b = v.devices[1].global(scc::geometry::CoreId(0));
+    let s = v.session_builder().participants(vec![a, b]).build();
+    s.run_app(|r| async move {
+        if r.id() == 0 {
+            r.send(&[7u8; 6000], 1).await;
+        } else {
+            let mut buf = [0u8; 6000];
+            r.recv(&mut buf, 0).await;
+        }
+    })
+    .expect("clean run");
+    assert!(v.monitors().is_some(), "monitors are on by default");
+    assert!(v.violations().is_empty(), "a correct run must not trip any invariant");
+}
+
+#[test]
+fn seeded_window_violation_is_caught_by_the_monitor() {
+    // A stray put into the receive half of the payload area — the window
+    // the inter-device schemes deliver into — must be caught by the
+    // window-discipline monitor directly, not (much later and much more
+    // obscurely) by an application's payload verification.
+    let sim = des::Sim::new();
+    let v = vscc::VsccBuilder::new(&sim, 2)
+        .scheme(CommScheme::LocalPutLocalGet)
+        .monitor_fail_fast(false)
+        .build();
+    let a = v.devices[0].global(scc::geometry::CoreId(0));
+    let b = v.devices[1].global(scc::geometry::CoreId(0));
+    let s = v.session_builder().participants(vec![a, b]).build();
+    s.run_app(|r| async move {
+        if r.id() == 0 {
+            let who = r.who();
+            let bad = rcce::layout::payload(who, vscc::schemes::SEND_AREA_BYTES);
+            r.ctx().core.put(bad, &[0xEE; 64]).await;
+        }
+    })
+    .expect("seeded run");
+    let violations = v.violations();
+    assert!(
+        violations.iter().any(|viol| viol.check == "window_discipline"),
+        "expected a window_discipline violation, got {violations:?}"
+    );
+}
+
+#[test]
+fn flight_recorder_is_bounded_and_deterministic() {
+    let run = || {
+        let sim = des::Sim::new();
+        let v = vscc::VsccBuilder::new(&sim, 2)
+            .scheme(CommScheme::LocalPutLocalGet)
+            .trace(des::trace::Trace::with_categories_ring(&Category::ALL, 64))
+            .build();
+        let a = v.devices[0].global(scc::geometry::CoreId(0));
+        let b = v.devices[1].global(scc::geometry::CoreId(0));
+        let s = v.session_builder().participants(vec![a, b]).build();
+        s.run_app(|r| async move {
+            if r.id() == 0 {
+                r.send(&[9u8; 16_000], 1).await;
+            } else {
+                let mut buf = vec![0u8; 16_000];
+                r.recv(&mut buf, 0).await;
+            }
+        })
+        .expect("recorded run");
+        (v.trace().events().len(), v.trace().render())
+    };
+    let (len_a, dump_a) = run();
+    let (_, dump_b) = run();
+    assert!(len_a <= 64, "ring must keep at most its capacity ({len_a} kept)");
+    assert_eq!(len_a, 64, "a 16 KB transfer records far more than 64 events");
+    assert_eq!(dump_a, dump_b, "flight-recorder dumps must be byte-identical");
+    assert!(dump_a.contains("evicted by the flight recorder"), "the dump must flag the eviction");
+}
+
+#[test]
 fn category_filter_is_selective() {
     // A Protocol-only trace over the same run records protocol spans but
     // drops host-layer Vdma/Pcie events.
