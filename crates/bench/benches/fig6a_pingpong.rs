@@ -42,7 +42,9 @@ fn main() {
         );
     }
     println!("\nmax on-chip throughput: {max_onchip:.1} MB/s (paper: 'about 150 MB/s')");
-    assert!((110.0..200.0).contains(&max_onchip), "on-chip ceiling out of the calibrated band");
+    if vscc_bench::headline_asserts() {
+        assert!((110.0..200.0).contains(&max_onchip), "on-chip ceiling out of the calibrated band");
+    }
 
     if vscc_bench::observability_requested() {
         let (_, onchip_trace, _) = pingpong::onchip_observed(true, 64 * 1024, 1);

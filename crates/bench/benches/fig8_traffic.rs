@@ -24,7 +24,9 @@ fn main() {
     let mut cfg = BtConfig::new(BtClass::C, ranks);
     cfg.measured = 2;
     let res = run_bt(&s, &cfg).expect("BT run");
-    assert!(res.verified);
+    if vscc_bench::headline_asserts() {
+        assert!(res.verified);
+    }
 
     // Scale the recorded (warmup + measured) iterations to the full run.
     let simulated_iters = (cfg.warmup + cfg.measured) as u64;
@@ -44,11 +46,13 @@ fn main() {
         full.total() as f64 / 1e9,
         full.neighbour_fraction(9) * 100.0
     );
-    assert!(
-        (50.0..400.0).contains(&(bytes as f64 / 1e6)),
-        "max pairwise traffic must be in the paper's order of magnitude"
-    );
-    assert!(full.neighbour_fraction(9) > 0.5, "the pattern must be neighbourhood-based");
+    if vscc_bench::headline_asserts() {
+        assert!(
+            (50.0..400.0).contains(&(bytes as f64 / 1e6)),
+            "max pairwise traffic must be in the paper's order of magnitude"
+        );
+        assert!(full.neighbour_fraction(9) > 0.5, "the pattern must be neighbourhood-based");
+    }
 
     vscc_bench::export_observability(v.metrics(), &[("bt-class-c-64", v.trace())]);
 }

@@ -18,14 +18,16 @@
 //!   with one daemon worker per device processing MMIO commands in order.
 
 use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::rc::{Rc, Weak};
 
 use des::channel::{unbounded, Receiver, Sender};
+use des::faultplan::{checksum, FaultPlan, FaultSpec, MmioFault, TlpFault};
 use des::fields;
 use des::obs::Registry;
 use des::stats::Counter;
 use des::trace::{Category, Trace};
-use des::Sim;
+use des::{Cycles, Sim};
 use pcie::{FastAck, HostFabric, PcieModel};
 use rcce::layout::{self, OFF_PAYLOAD};
 use scc::device::SccDevice;
@@ -51,6 +53,11 @@ pub struct HostConfig {
     pub fast_ack: bool,
     /// Seed for fault injection.
     pub seed: u64,
+    /// Injected-fault plan specification. [`FaultSpec::none`] (the
+    /// default) builds no plan at all: the zero-perturbation path.
+    pub faults: FaultSpec,
+    /// Host recovery layer (off by default, like the 2012 prototype).
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for HostConfig {
@@ -61,7 +68,110 @@ impl Default for HostConfig {
             wcb_granularity: 1024,
             fast_ack: false,
             seed: 0,
+            faults: FaultSpec::none(),
+            recovery: RecoveryConfig::default(),
         }
+    }
+}
+
+/// Configuration of the host recovery layer. Disabled by default — the
+/// 2012 prototype had no recovery and the baseline figures must stay
+/// byte-identical. Zero timing fields mean "derive from the PCIe model"
+/// when the host is built (see `retry_timeout_cycles` /
+/// `retry_backoff_base` on [`PcieModel`] for the rationale).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Master switch: tunnel checksums, retries, idempotent vDMA
+    /// re-programming, and fast-ack fallback demotion.
+    pub enabled: bool,
+    /// Per-attempt timeout before a lost tunnel transfer is retried.
+    pub timeout_cycles: Cycles,
+    /// First-retry backoff; doubles per attempt.
+    pub backoff_base: Cycles,
+    /// Backoff cap.
+    pub backoff_max: Cycles,
+    /// Retry attempts before a transfer is abandoned (the loss is then
+    /// surfaced, not silently dropped).
+    pub max_retries: u32,
+    /// Consecutive lossy posted-write bursts on one device pair before
+    /// the commtask demotes the pair from remote-put to the host-acked
+    /// path.
+    pub fallback_threshold: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            enabled: false,
+            timeout_cycles: 0,
+            backoff_base: 0,
+            backoff_max: 0,
+            max_retries: 6,
+            fallback_threshold: 3,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Fill derived timing fields from the PCIe model and honor a
+    /// `recovery=on` override riding the fault spec.
+    fn resolve(mut self, model: &PcieModel, spec: &FaultSpec) -> Self {
+        self.enabled |= spec.recovery;
+        if self.timeout_cycles == 0 {
+            self.timeout_cycles = model.retry_timeout_cycles();
+        }
+        if self.backoff_base == 0 {
+            self.backoff_base = model.retry_backoff_base();
+        }
+        if self.backoff_max == 0 {
+            self.backoff_max = 16 * self.backoff_base;
+        }
+        self
+    }
+}
+
+/// Recovery-activity counters (`host.retry.*`, `host.fallback.*`).
+#[derive(Clone, Default)]
+pub struct RecoveryStats {
+    /// Payload tunnel transfers retried.
+    pub payload_retries: Counter,
+    /// vDMA tunnel transfers retried.
+    pub vdma_retries: Counter,
+    /// Prefetch tunnel transfers retried.
+    pub prefetch_retries: Counter,
+    /// MMIO register lines re-issued after stuck or garbled programming.
+    pub mmio_retries: Counter,
+    /// Payload lines retransmitted after lost fast acks.
+    pub fastack_retransmits: Counter,
+    /// Corruptions caught by the tunnel checksum.
+    pub checksum_detected: Counter,
+    /// Transfers abandoned after exhausting retries.
+    pub giveups: Counter,
+    /// Duplicate vDMA programming writes suppressed (idempotent
+    /// re-issue).
+    pub vdma_dedup: Counter,
+    /// Device pairs demoted from remote-put to the host-acked path.
+    pub demotions: Counter,
+    /// Writes served through the fallback path after a demotion.
+    pub fallback_writes: Counter,
+}
+
+impl RecoveryStats {
+    /// Surface the counters in `registry` under `host.retry.*` and
+    /// `host.fallback.*`.
+    pub fn register(&self, registry: &Registry) {
+        let retry = registry.scoped("host").scoped("retry");
+        retry.adopt_counter("payload", &self.payload_retries);
+        retry.adopt_counter("vdma", &self.vdma_retries);
+        retry.adopt_counter("prefetch", &self.prefetch_retries);
+        retry.adopt_counter("mmio", &self.mmio_retries);
+        retry.adopt_counter("fastack_lines", &self.fastack_retransmits);
+        retry.adopt_counter("checksum_detected", &self.checksum_detected);
+        retry.adopt_counter("giveups", &self.giveups);
+        retry.adopt_counter("vdma_dedup", &self.vdma_dedup);
+        let fallback = registry.scoped("host").scoped("fallback");
+        fallback.adopt_counter("demotions", &self.demotions);
+        fallback.adopt_counter("writes", &self.fallback_writes);
     }
 }
 
@@ -109,6 +219,21 @@ pub struct HostSide {
     pub fastack: FastAck,
     /// Operation counters.
     pub stats: HostStats,
+    /// Recovery-activity counters.
+    pub rstats: RecoveryStats,
+    /// Resolved recovery configuration.
+    pub recovery: RecoveryConfig,
+    /// The installed fault plan (`None` on the zero-perturbation path).
+    faults: Option<Rc<FaultPlan>>,
+    /// Device pairs demoted from remote-put to the host-acked path.
+    demoted: RefCell<HashSet<(u8, u8)>>,
+    /// Consecutive lossy posted-write bursts per device pair.
+    ack_streak: RefCell<HashMap<(u8, u8), u32>>,
+    /// Per-destination-device delivery chain: each posted delivery
+    /// (payload forward or flag forward) swaps in a fresh latch and waits
+    /// on its predecessor's, so installs happen in issue order even when
+    /// recovery retries delay one of them mid-flight.
+    delivery_chain: Vec<RefCell<Rc<des::sync::Latch>>>,
     trace: Trace,
     cfg: HostConfig,
     me: Weak<HostSide>,
@@ -141,14 +266,37 @@ impl HostSide {
         let fast = cfg.fast_ack || scheme == CommScheme::RemotePutHwAck;
         let stats = HostStats::default();
         stats.register(registry);
+        let rstats = RecoveryStats::default();
+        rstats.register(registry);
+        let recovery = cfg.recovery.clone().resolve(&cfg.model, &cfg.faults);
+        // An inactive spec builds no plan: every fault hook stays on its
+        // zero-cost `None` path and no RNG stream is ever created.
+        let faults = cfg.faults.is_active().then(|| {
+            let plan = Rc::new(FaultPlan::new(cfg.faults.clone(), trace.clone()));
+            plan.register_metrics(registry);
+            fabric.set_faults(&plan);
+            plan
+        });
+        let fastack = FastAck::new(fast, n_devices as usize, cfg.seed);
+        if let Some(plan) = &faults {
+            fastack.attach_plan(plan.clone());
+        }
         Rc::new_cyclic(|me| HostSide {
             sim: sim.clone(),
             fabric,
             scheme,
             cache: SwCache::with_registry(registry),
             wcb: HostWcb::with_registry(cfg.wcb_granularity, registry),
-            fastack: FastAck::new(fast, n_devices as usize, cfg.seed),
+            fastack,
             stats,
+            rstats,
+            recovery,
+            faults,
+            demoted: RefCell::new(HashSet::new()),
+            ack_streak: RefCell::new(HashMap::new()),
+            delivery_chain: (0..n_devices)
+                .map(|_| RefCell::new(Rc::new(des::sync::Latch::new(0))))
+                .collect(),
             trace,
             cfg,
             me: me.clone(),
@@ -209,7 +357,26 @@ impl HostSide {
     // ------------------------------------------------------------------
 
     async fn worker_loop(self: Rc<Self>, _device: DeviceId, rx: Receiver<HostCmd>) {
+        let mut last_vdma: Option<HostCmd> = None;
         while let Some(cmd) = rx.recv().await {
+            // Injected commtask stall: the daemon thread is descheduled for
+            // the rest of the window before it touches the command.
+            if let Some(plan) = &self.faults {
+                if let Some(until) = plan.stall_until(self.sim.now()) {
+                    self.sim.delay_until(until).await;
+                }
+            }
+            if matches!(cmd, HostCmd::VdmaStart { .. }) {
+                // Idempotent re-programming: a retried register write whose
+                // original did land shows up as two identical consecutive
+                // commands (seq/drain_seq make distinct transfers differ);
+                // execute once.
+                if self.recovery.enabled && last_vdma.as_ref() == Some(&cmd) {
+                    self.rstats.vdma_dedup.inc();
+                    continue;
+                }
+                last_vdma = Some(cmd.clone());
+            }
             match cmd {
                 HostCmd::CacheUpdate { owner, offset, len, flow } => {
                     self.do_cache_update(owner, offset, len, flow).await;
@@ -238,6 +405,94 @@ impl HostSide {
         self.device(id).monitor()
     }
 
+    /// Subject one tunnel transfer toward (`to_device`) or from `dev` to
+    /// the installed fault plan, and — when the recovery layer is on —
+    /// protect it with a checksum and bounded exponential-backoff
+    /// retries on deterministic virtual timers.
+    ///
+    /// Returns the bytes as delivered: the originals, a garbled copy (an
+    /// unprotected transfer delivers whatever the wire produced), or
+    /// `None` when the transfer is lost for good — dropped without
+    /// recovery, or retries exhausted. Without a plan this is a zero-cost
+    /// pass-through.
+    async fn tunnel_transfer(
+        &self,
+        dev: DeviceId,
+        to_device: bool,
+        data: &[u8],
+        flow: Option<u64>,
+        retries: &Counter,
+    ) -> Option<Vec<u8>> {
+        let Some(plan) = &self.faults else {
+            return Some(data.to_vec());
+        };
+        let sim = &self.sim;
+        let port = self.fabric.port(dev);
+        let want = checksum(data);
+        let mut attempt = 0u32;
+        loop {
+            port.fault_gate(sim).await;
+            match plan.tlp_fault(sim.now(), flow) {
+                None => return Some(data.to_vec()),
+                Some(TlpFault::Delay(extra)) => {
+                    sim.delay(extra).await;
+                    return Some(data.to_vec());
+                }
+                Some(TlpFault::Drop) => {
+                    if !self.recovery.enabled {
+                        // A vanished posted write: nobody notices here;
+                        // the receiver hangs on its flag (or the payload
+                        // check fails) downstream.
+                        return None;
+                    }
+                    // Nothing arrives; the per-request timer expires.
+                    sim.delay(self.recovery.timeout_cycles).await;
+                }
+                Some(TlpFault::Corrupt) => {
+                    let mut wire = data.to_vec();
+                    plan.garble(&mut wire);
+                    if !self.recovery.enabled || checksum(&wire) == want {
+                        // Unprotected transfers deliver the garbled bytes.
+                        return Some(wire);
+                    }
+                    self.rstats.checksum_detected.inc();
+                }
+            }
+            attempt += 1;
+            if attempt > self.recovery.max_retries {
+                self.rstats.giveups.inc();
+                self.trace.instant_f(
+                    sim.now(),
+                    Category::Fault,
+                    "retry_giveup",
+                    flow,
+                    || "host-recovery".into(),
+                    || fields![device = dev.0 as u64, bytes = data.len() as u64],
+                );
+                return None;
+            }
+            retries.inc();
+            self.trace.instant_f(
+                sim.now(),
+                Category::Fault,
+                "retry",
+                flow,
+                || "host-recovery".into(),
+                || fields![attempt = attempt as u64, bytes = data.len() as u64],
+            );
+            let backoff =
+                (self.recovery.backoff_base << (attempt - 1)).min(self.recovery.backoff_max);
+            sim.delay(backoff).await;
+            // The re-sent bytes occupy the wire again.
+            let arrival = if to_device {
+                port.ingress.reserve(sim, data.len() as u64)
+            } else {
+                port.egress.reserve(sim, data.len() as u64)
+            };
+            sim.delay_until(arrival).await;
+        }
+    }
+
     /// Prefetch `owner`'s MPB range into the software cache (DMA
     /// device → host), streaming chunk by chunk so overlapping reads can
     /// be answered "in parallel after a warmup phase" (§3.2).
@@ -258,6 +513,27 @@ impl HostSide {
             self.fabric.host_mem.reserve(sim, (hi - lo) as u64);
             let buf = &mut installed[lo..hi];
             self.device(owner.device).mpb(owner.core).read(offset as usize + lo, buf);
+            match self
+                .tunnel_transfer(owner.device, false, buf, flow, &self.rstats.prefetch_retries)
+                .await
+            {
+                Some(bytes) => buf.copy_from_slice(&bytes),
+                None if self.recovery.enabled => {
+                    // Retries exhausted: installing a hole would panic the
+                    // reader on "range valid right after update" — convert
+                    // the hang into a diagnosed abort instead.
+                    self.sim.abort(format!(
+                        "prefetch of {} bytes from d{}c{} lost (retries exhausted)",
+                        hi - lo,
+                        owner.device.0,
+                        owner.core.0
+                    ));
+                    std::future::pending::<()>().await;
+                }
+                // Honest loss: the DMA engine installs whatever its buffer
+                // held — zeros — and the divergence surfaces downstream.
+                None => buf.fill(0),
+            }
             self.cache.install(owner, offset + lo as u16, buf);
         }
         // Consistency audit at the only point the cache promises it: right
@@ -371,10 +647,26 @@ impl HostSide {
         self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, || {
             format!("commtask-d{}", src.device.0)
         });
-        if let Some(m) = self.monitor_of(dst.device) {
-            m.host_write(src, MpbAddr::new(dst, dst_off), &data, flow);
+        let delivered =
+            self.tunnel_transfer(dst.device, true, &data, flow, &self.rstats.vdma_retries).await;
+        if delivered.is_none() && self.recovery.enabled {
+            // Retries exhausted: deliver nothing — neither payload nor
+            // completion flag — so the receiver's poll watchdog turns the
+            // loss into a diagnosed timeout instead of a torn message.
+            self.trace.end_f(sim.now(), Category::Vdma, "vdma", flow, || {
+                format!("commtask-d{}", src.device.0)
+            });
+            return;
         }
-        self.device(dst.device).mpb(dst.core).write(dst_off as usize, &data);
+        if let Some(data) = &delivered {
+            if let Some(m) = self.monitor_of(dst.device) {
+                m.host_write(src, MpbAddr::new(dst, dst_off), data, flow);
+            }
+            self.device(dst.device).mpb(dst.core).write(dst_off as usize, data);
+        }
+        // `delivered == None` without recovery: the payload vanished but
+        // the posted completion flag below still lands — the silent
+        // corruption the paper's prototype could not rule out.
         // Completion flag travels as one more line on the same port.
         let flag_arrival = dport.ingress.reserve(sim, LINE_BYTES as u64);
         sim.delay_until(flag_arrival).await;
@@ -391,6 +683,22 @@ impl HostSide {
 
     /// Forward a classified flag write to its device, preserving order
     /// behind any buffered WCB data for the same destination.
+    /// Take a ticket on the destination device's delivery chain. The
+    /// returned `prev` latch opens once every earlier posted delivery to
+    /// `dev` has installed its bytes; `next` must be counted down after
+    /// this delivery installs its own. Clean runs never block on `prev`:
+    /// the ingress link is FIFO, so arrivals are strictly monotone in
+    /// issue order and the predecessor has always finished (the latch's
+    /// fast path returns without yielding — zero perturbation). Under
+    /// fault recovery the chain keeps a retried, delayed payload from
+    /// being overtaken by a later flag forward, which would hand the
+    /// receiver a valid flag over stale payload bytes.
+    fn delivery_ticket(&self, dev: DeviceId) -> (Rc<des::sync::Latch>, Rc<des::sync::Latch>) {
+        let next = Rc::new(des::sync::Latch::new(1));
+        let prev = self.delivery_chain[dev.0 as usize].replace(next.clone());
+        (prev, next)
+    }
+
     fn forward_flag(
         self: &Rc<Self>,
         src: GlobalCore,
@@ -423,7 +731,9 @@ impl HostSide {
             run_arrivals.push(port.ingress.reserve(&sim, run.data.len() as u64));
         }
         let flag_arrival = port.ingress.reserve(&sim, data.len().max(1) as u64);
+        let (prev, next) = self.delivery_ticket(addr.owner.device);
         self.sim.spawn_named("flag-forward", async move {
+            prev.wait().await;
             let dev = host.device(addr.owner.device);
             let monitor = host.monitor_of(addr.owner.device);
             for (run, arr) in runs.into_iter().zip(run_arrivals) {
@@ -438,6 +748,7 @@ impl HostSide {
                 m.host_write(src, addr, &data, flow);
             }
             dev.mpb(addr.owner.core).write(addr.offset as usize, &data);
+            next.count_down();
         });
     }
 
@@ -454,12 +765,26 @@ impl HostSide {
         let host = self.clone();
         self.fabric.host_mem.reserve(&sim, data.len() as u64);
         let arrival = self.fabric.port(addr.owner.device).ingress.reserve(&sim, data.len() as u64);
+        let (prev, next) = self.delivery_ticket(addr.owner.device);
         self.sim.spawn_named("payload-forward", async move {
+            prev.wait().await;
             sim.delay_until(arrival).await;
+            let Some(bytes) = host
+                .tunnel_transfer(addr.owner.device, true, &data, flow, &host.rstats.payload_retries)
+                .await
+            else {
+                // Lost for good. The chain latch is deliberately left
+                // closed: a later flag forward must never land over the
+                // missing payload (that would be silent corruption), so
+                // the receiver sees nothing and its poll watchdog — or
+                // the deadlock detector — diagnoses the loss.
+                return;
+            };
             if let Some(m) = host.monitor_of(addr.owner.device) {
-                m.host_write(src, addr, &data, flow);
+                m.host_write(src, addr, &bytes, flow);
             }
-            host.device(addr.owner.device).mpb(addr.owner.core).write(addr.offset as usize, &data);
+            host.device(addr.owner.device).mpb(addr.owner.core).write(addr.offset as usize, &bytes);
+            next.count_down();
         });
     }
 
@@ -623,13 +948,35 @@ impl RemoteFabric for HostSide {
                         .write(addr.offset as usize, &data);
                 }
                 CommScheme::RemotePutHwAck => {
+                    let pair = (src.device.0, addr.owner.device.0);
+                    if self.demoted.borrow().contains(&pair) {
+                        // Demoted pair: the unstable posted stream is
+                        // replaced by the safe host-acked forward (the
+                        // local-put delivery path). Slower, but every
+                        // byte is accounted for.
+                        self.rstats.fallback_writes.inc();
+                        let sport = self.fabric.port(src.device);
+                        self.trace.begin_f(
+                            sim.now(),
+                            Category::Pcie,
+                            "pcie_wire",
+                            flow,
+                            actor,
+                            || fields![bytes = data.len() as u64, fallback = 1u64],
+                        );
+                        sport.egress.transfer(&sim, data.len() as u64).await;
+                        self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor);
+                        sim.delay(self.cfg.model.sw_answer_cycles).await;
+                        this.deliver_payload(src, addr, data, flow);
+                        return;
+                    }
                     // Posted line writes with FPGA auto-acks: the sender
                     // only pays wire occupancy, and the bridge cuts the
                     // stream through to the target device line by line.
                     let sport = self.fabric.port(src.device);
                     let mut lost = 0u32;
                     for _ in 0..data.len().div_ceil(LINE_BYTES).max(1) {
-                        if self.fastack.on_posted_write() {
+                        if self.fastack.on_posted_write(sim.now(), flow) {
                             lost += 1;
                         }
                     }
@@ -641,7 +988,26 @@ impl RemoteFabric for HostSide {
                     // A lost ack stalls the SIF for a recovery round trip.
                     let penalty = lost as u64 * self.cfg.model.routed_line_round_trip();
                     sim.delay_until(r.wire_free + penalty).await;
+                    if self.recovery.enabled && lost > 0 {
+                        // Retransmit the lines whose acks were lost and
+                        // hold the sender for one backoff interval.
+                        self.rstats.fastack_retransmits.add(lost as u64);
+                        self.trace.instant_f(
+                            sim.now(),
+                            Category::Fault,
+                            "fastack_retransmit",
+                            flow,
+                            || "host-recovery".into(),
+                            || fields![lines = lost as u64],
+                        );
+                        let arr = sport.egress.reserve(&sim, lost as u64 * LINE_BYTES as u64);
+                        let resume = arr.max(sim.now() + self.recovery.backoff_base);
+                        sim.delay_until(resume).await;
+                    }
                     self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor);
+                    if self.recovery.enabled {
+                        this.note_ack_result(pair, lost > 0, flow);
+                    }
                 }
                 CommScheme::RemotePutWcb => {
                     // Posted into the host write-combining buffer; the
@@ -698,9 +1064,55 @@ impl RemoteFabric for HostSide {
     fn mmio_write(&self, line: RegisterLine) -> LocalBoxFuture<'_, ()> {
         Box::pin(async move {
             let sim = self.sim.clone();
+            let mut line = line;
             // One fused 32 B transaction to the host register window.
             let port = self.fabric.port(line.src.device);
             port.egress.transfer(&sim, LINE_BYTES as u64).await;
+            if let Some(plan) = &self.faults {
+                let pristine = line.clone();
+                let mut attempt = 0u32;
+                loop {
+                    match plan.mmio_fault(sim.now()) {
+                        None => break,
+                        Some(MmioFault::Stuck) => {
+                            if !self.recovery.enabled {
+                                // The register never latched; the command
+                                // is simply gone (and the issuing core's
+                                // transfer never completes).
+                                return;
+                            }
+                        }
+                        Some(MmioFault::Garble) => {
+                            plan.garble(&mut line.data);
+                            // A pre-recovery host executes whatever the
+                            // garbled line decodes to; the guard word only
+                            // matters once the recovery layer checks it.
+                            if !self.recovery.enabled || mmio::verify(&line) {
+                                break;
+                            }
+                        }
+                    }
+                    attempt += 1;
+                    if attempt > self.recovery.max_retries {
+                        self.rstats.giveups.inc();
+                        return;
+                    }
+                    // Detected by status-register readback: charge the
+                    // readback round trip plus the line re-issue.
+                    self.rstats.mmio_retries.inc();
+                    self.trace.instant_f(
+                        sim.now(),
+                        Category::Fault,
+                        "mmio_retry",
+                        None,
+                        || format!("commtask-d{}", line.src.device.0),
+                        || fields![line = line.line as u64, attempt = attempt as u64],
+                    );
+                    sim.delay(self.cfg.model.host_answered_round_trip()).await;
+                    port.egress.transfer(&sim, LINE_BYTES as u64).await;
+                    line = pristine.clone();
+                }
+            }
             let Some(cmd) = mmio::decode(&line) else {
                 // Writes to undefined register lines are absorbed like
                 // scratch MMIO space (and still cost the transaction).
@@ -771,5 +1183,37 @@ impl HostSide {
     /// spawn owning forwarder tasks.
     fn rc_self(&self) -> Rc<Self> {
         self.me.upgrade().expect("HostSide alive while its methods run")
+    }
+
+    /// Device pairs the commtask has demoted from remote-put to the
+    /// host-acked fallback path, as `(src_device, dst_device)` ids.
+    pub fn demoted_pairs(&self) -> Vec<(u8, u8)> {
+        let mut v: Vec<_> = self.demoted.borrow().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Track consecutive lossy posted-write bursts per device pair; at
+    /// the configured threshold the pair is demoted to the host-acked
+    /// fallback path and the transition recorded.
+    fn note_ack_result(self: &Rc<Self>, pair: (u8, u8), lossy: bool, flow: Option<u64>) {
+        let mut streaks = self.ack_streak.borrow_mut();
+        let streak = streaks.entry(pair).or_insert(0);
+        if !lossy {
+            *streak = 0;
+            return;
+        }
+        *streak += 1;
+        if *streak >= self.recovery.fallback_threshold && self.demoted.borrow_mut().insert(pair) {
+            self.rstats.demotions.inc();
+            self.trace.instant_f(
+                self.sim.now(),
+                Category::Fault,
+                "fallback_demote",
+                flow,
+                || "host-recovery".into(),
+                || fields![src_dev = pair.0 as u64, dst_dev = pair.1 as u64],
+            );
+        }
     }
 }

@@ -3,9 +3,10 @@
 
 use std::rc::Rc;
 
+use des::faultplan::FaultSpec;
 use des::obs::Registry;
 use des::trace::{Category, Trace};
-use des::Sim;
+use des::{Cycles, Sim};
 use rcce::{PipelinedProtocol, Session, SessionBuilder};
 use scc::device::{BootConfig, SccDevice};
 use scc::geometry::DeviceId;
@@ -35,6 +36,7 @@ pub struct VsccBuilder {
     trace: Trace,
     monitors: bool,
     monitor_fail_fast: bool,
+    poll_watchdog: Option<Cycles>,
 }
 
 impl VsccBuilder {
@@ -52,6 +54,7 @@ impl VsccBuilder {
             trace: Trace::disabled(),
             monitors: true,
             monitor_fail_fast: true,
+            poll_watchdog: None,
         }
     }
 
@@ -88,6 +91,30 @@ impl VsccBuilder {
     /// Set the host WCB flush granularity (ablation knob).
     pub fn wcb_granularity(mut self, bytes: usize) -> Self {
         self.host_cfg.wcb_granularity = bytes;
+        self
+    }
+
+    /// Install a deterministic fault-injection plan (see
+    /// [`FaultSpec::parse`] for the `VSCC_FAULTS` grammar). An inactive
+    /// spec builds no plan at all.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.host_cfg.faults = spec;
+        self
+    }
+
+    /// Enable (or disable) the host recovery layer: tunnel checksums with
+    /// retry/backoff, idempotent vDMA re-programming, and fast-ack
+    /// fallback demotion.
+    pub fn recovery(mut self, on: bool) -> Self {
+        self.host_cfg.recovery.enabled = on;
+        self
+    }
+
+    /// Abort any single RCCE flag wait exceeding `limit` cycles with a
+    /// diagnosed timeout (threads through to sessions built from this
+    /// system).
+    pub fn poll_watchdog(mut self, limit: Cycles) -> Self {
+        self.poll_watchdog = Some(limit);
         self
     }
 
@@ -131,7 +158,18 @@ impl VsccBuilder {
     }
 
     /// Build devices, boot them, start the communication task.
-    pub fn build(self) -> Vscc {
+    ///
+    /// If no fault plan was configured programmatically, `VSCC_FAULTS` in
+    /// the environment installs one (mirroring `VSCC_TRACE` /
+    /// `VSCC_CRITPATH`): any bench or test built through this builder can
+    /// be chaos-tested without code changes.
+    pub fn build(mut self) -> Vscc {
+        if !self.host_cfg.faults.is_active() {
+            if let Some(spec) = des::faultplan::spec_from_env() {
+                self.host_cfg.faults = spec;
+            }
+        }
+        let poll_watchdog = self.poll_watchdog.or(self.host_cfg.faults.watchdog);
         let metrics = self.metrics.unwrap_or_default();
         let devices: Vec<Rc<SccDevice>> =
             (0..self.n_devices).map(|d| SccDevice::new(&self.sim, DeviceId(d))).collect();
@@ -170,6 +208,7 @@ impl VsccBuilder {
             metrics,
             trace: self.trace,
             monitors,
+            poll_watchdog,
         }
     }
 }
@@ -188,6 +227,7 @@ pub struct Vscc {
     metrics: Registry,
     trace: Trace,
     monitors: Option<Rc<Monitors>>,
+    poll_watchdog: Option<Cycles>,
 }
 
 impl Vscc {
@@ -227,9 +267,12 @@ impl Vscc {
     /// into the receive half, and a rank may be sending on-chip while such
     /// a delivery is in flight.
     pub fn session_builder(&self) -> SessionBuilder {
-        let b = SessionBuilder::new(&self.sim, self.devices.clone())
+        let mut b = SessionBuilder::new(&self.sim, self.devices.clone())
             .with_metrics(&self.metrics)
             .with_shared_trace(self.trace.clone());
+        if let Some(limit) = self.poll_watchdog {
+            b = b.poll_watchdog(limit);
+        }
         let multi = self.devices.len() > 1;
         let send_window = crate::schemes::SEND_AREA_BYTES;
         let b = match (self.onchip, multi) {

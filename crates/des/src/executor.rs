@@ -31,6 +31,10 @@ pub enum SimError {
     Deadlock(Vec<String>),
     /// The simulation exceeded the configured cycle horizon.
     HorizonExceeded(Cycles),
+    /// A task requested a diagnosed abort via [`Sim::abort`] (e.g. a poll
+    /// watchdog converting an infinite flag wait into a timeout). Carries
+    /// the abort reason.
+    Aborted(String),
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +44,7 @@ impl fmt::Display for SimError {
                 write!(f, "simulated deadlock; stuck tasks: {}", names.join(", "))
             }
             SimError::HorizonExceeded(h) => write!(f, "simulation exceeded horizon of {h} cycles"),
+            SimError::Aborted(reason) => write!(f, "simulation aborted: {reason}"),
         }
     }
 }
@@ -113,6 +118,9 @@ struct Inner {
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
     wake_queue: Arc<WakeQueue>,
     live: Cell<usize>,
+    /// A diagnosed abort requested by a task; surfaced by [`Sim::run`]
+    /// before the next task poll. First request wins.
+    abort: RefCell<Option<String>>,
 }
 
 /// Handle to the simulation. Cheap to clone; all clones share the clock,
@@ -143,6 +151,7 @@ impl Sim {
                 timers: RefCell::new(BinaryHeap::new()),
                 wake_queue: Arc::new(WakeQueue::default()),
                 live: Cell::new(0),
+                abort: RefCell::new(None),
             }),
         }
     }
@@ -156,6 +165,18 @@ impl Sim {
     /// Current simulated time in core cycles.
     pub fn now(&self) -> Cycles {
         self.inner.now.get()
+    }
+
+    /// Request a diagnosed abort: [`Sim::run`] returns
+    /// [`SimError::Aborted`] with `reason` before polling another task.
+    /// The first abort request wins; later ones are ignored. The caller
+    /// should park itself afterwards (e.g. `std::future::pending().await`)
+    /// — the run loop never polls again once the abort surfaces.
+    pub fn abort(&self, reason: impl Into<String>) {
+        let mut slot = self.inner.abort.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(reason.into());
+        }
     }
 
     /// Number of unfinished tasks.
@@ -266,6 +287,9 @@ impl Sim {
     /// overrun (the simulation state stays inspectable after an error).
     pub fn run(&self) -> Result<Cycles, SimError> {
         loop {
+            if let Some(reason) = self.inner.abort.borrow_mut().take() {
+                return Err(SimError::Aborted(reason));
+            }
             self.drain_wake_queue();
             let next = self.inner.ready.borrow_mut().pop_front();
             if let Some(id) = next {
@@ -624,6 +648,33 @@ mod tests {
             })
             .unwrap();
         assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn abort_surfaces_from_run() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn_named("watchdog-victim", async move {
+            s.delay(500).await;
+            s.abort("flag poll timed out");
+            std::future::pending::<()>().await;
+        });
+        assert_eq!(sim.run(), Err(SimError::Aborted("flag poll timed out".into())));
+        assert_eq!(sim.now(), 500);
+    }
+
+    #[test]
+    fn first_abort_reason_wins() {
+        let sim = Sim::new();
+        for (d, msg) in [(10u64, "first"), (20, "second")] {
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.delay(d).await;
+                s.abort(msg);
+                std::future::pending::<()>().await;
+            });
+        }
+        assert_eq!(sim.run(), Err(SimError::Aborted("first".into())));
     }
 
     #[test]

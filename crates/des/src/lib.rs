@@ -31,6 +31,7 @@ pub mod channel;
 pub mod critpath;
 pub mod event;
 mod executor;
+pub mod faultplan;
 pub mod link;
 pub mod obs;
 pub mod rng;

@@ -33,6 +33,10 @@ pub const CRITPATH_ENV: &str = "VSCC_CRITPATH";
 /// Environment variable bounding the trace as a flight recorder:
 /// `VSCC_FLIGHT=N` keeps only the last N events.
 pub const FLIGHT_ENV: &str = "VSCC_FLIGHT";
+/// Environment variable naming a fault plan to inject
+/// (`VSCC_FAULTS=<spec>`; see [`crate::faultplan::FaultSpec::parse`] for
+/// the grammar).
+pub const FAULTS_ENV: &str = "VSCC_FAULTS";
 
 /// Whether `VSCC_CRITPATH` asks for critical-path tables.
 pub fn critpath_requested() -> bool {

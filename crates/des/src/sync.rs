@@ -252,6 +252,43 @@ pub async fn join_all<T: 'static>(handles: Vec<crate::JoinHandle<T>>) -> Vec<T> 
     out
 }
 
+/// The winner of a [`race`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first future finished (wins deadline ties).
+    Left(A),
+    /// The second future finished first.
+    Right(B),
+}
+
+/// Run two futures concurrently and return the first to finish.
+///
+/// Polls the left future first, so when both become ready in the same
+/// scheduler step the left one wins — ties are deterministic. The loser is
+/// dropped, but note that a losing [`crate::Sim::delay`] cannot withdraw
+/// its timer-heap entry: the stale timer still fires (waking nobody) and
+/// can advance the clock to its deadline if the simulation is otherwise
+/// idle. Use timeout races only on paths where that slack is acceptable
+/// (e.g. opt-in watchdogs on faulty runs).
+pub async fn race<FA, FB>(a: FA, b: FB) -> Either<FA::Output, FB::Output>
+where
+    FA: std::future::Future,
+    FB: std::future::Future,
+{
+    let mut a = std::pin::pin!(a);
+    let mut b = std::pin::pin!(b);
+    std::future::poll_fn(move |cx| {
+        if let std::task::Poll::Ready(v) = a.as_mut().poll(cx) {
+            return std::task::Poll::Ready(Either::Left(v));
+        }
+        if let std::task::Poll::Ready(v) = b.as_mut().poll(cx) {
+            return std::task::Poll::Ready(Either::Right(v));
+        }
+        std::task::Poll::Pending
+    })
+    .await
+}
+
 /// Spawn one named task per element and wait for all of them.
 pub async fn spawn_all<T: 'static, F>(
     sim: &Sim,
@@ -273,6 +310,59 @@ where
 mod tests {
     use super::*;
     use std::rc::Rc;
+
+    #[test]
+    fn race_earlier_deadline_wins() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim
+            .block_on(async move {
+                match race(s.delay(100), s.delay(50)).await {
+                    Either::Left(()) => "left",
+                    Either::Right(()) => "right",
+                }
+            })
+            .unwrap();
+        assert_eq!(out, "right");
+    }
+
+    #[test]
+    fn race_tie_goes_left() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim
+            .block_on(async move {
+                match race(s.delay(70), s.delay(70)).await {
+                    Either::Left(()) => "left",
+                    Either::Right(()) => "right",
+                }
+            })
+            .unwrap();
+        assert_eq!(out, "left");
+    }
+
+    #[test]
+    fn race_event_beats_timeout() {
+        let sim = Sim::new();
+        let notify = crate::event::Notify::new();
+        let (s, n) = (sim.clone(), notify.clone());
+        sim.spawn_named("setter", async move {
+            s.delay(10).await;
+            n.notify_all();
+        });
+        let s = sim.clone();
+        let won = sim
+            .block_on(async move {
+                let fired = Cell::new(false);
+                let wait = notify.wait_until(|| fired.replace(true));
+                matches!(race(wait, s.delay(1_000)).await, Either::Left(()))
+            })
+            .unwrap();
+        assert!(won);
+        // The losing timer is still in the heap; the run may end at its
+        // deadline but must not hang or error.
+        assert!(sim.now() <= 1_000);
+    }
 
     #[test]
     fn semaphore_limits_concurrency() {

@@ -39,12 +39,21 @@ pub enum Category {
     Mpb,
     /// Application-level events (e.g. NPB BT payload verification).
     App,
+    /// Injected faults and the recovery actions they trigger (drops,
+    /// corruption, retries, fallback demotions, watchdog trips).
+    Fault,
 }
 
 impl Category {
     /// All categories, in declaration order.
-    pub const ALL: [Category; 5] =
-        [Category::Protocol, Category::Pcie, Category::Vdma, Category::Mpb, Category::App];
+    pub const ALL: [Category; 6] = [
+        Category::Protocol,
+        Category::Pcie,
+        Category::Vdma,
+        Category::Mpb,
+        Category::App,
+        Category::Fault,
+    ];
 
     fn bit(self) -> u8 {
         1 << self as u8
@@ -58,6 +67,7 @@ impl Category {
             Category::Vdma => "vdma",
             Category::Mpb => "mpb",
             Category::App => "app",
+            Category::Fault => "fault",
         }
     }
 }

@@ -5,6 +5,10 @@
 //! (the structural bottleneck of the system, see crate docs). All ports
 //! additionally contend for host memory through one shared link.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use des::faultplan::FaultPlan;
 use des::link::{Bandwidth, Link};
 use des::obs::Registry;
 use des::{Cycles, Sim};
@@ -20,6 +24,9 @@ pub struct DevicePort {
     pub ingress: Link,
     /// The device this port belongs to.
     pub device: DeviceId,
+    /// Installed fault plan, if any; gates transfers during link-down
+    /// windows. `None` (the default) is the zero-perturbation path.
+    faults: RefCell<Option<Rc<FaultPlan>>>,
 }
 
 impl DevicePort {
@@ -30,16 +37,34 @@ impl DevicePort {
             egress: Link::new(bw, model.hw_latency, model.per_transfer_cycles),
             ingress: Link::new(bw, model.hw_latency, model.per_transfer_cycles),
             device,
+            faults: RefCell::new(None),
+        }
+    }
+
+    /// Install a fault plan on this port.
+    pub fn set_faults(&self, plan: Rc<FaultPlan>) {
+        *self.faults.borrow_mut() = Some(plan);
+    }
+
+    /// Hold the caller while the link is in an injected link-down window
+    /// (the switch retains the TLP until the link retrains). A no-op
+    /// without an installed plan or outside a window.
+    pub async fn fault_gate(&self, sim: &Sim) {
+        let until = self.faults.borrow().as_ref().and_then(|plan| plan.link_down_until(sim.now()));
+        if let Some(until) = until {
+            sim.delay_until(until).await;
         }
     }
 
     /// Move `bytes` device → host; resolves at arrival in host memory.
     pub async fn to_host(&self, sim: &Sim, bytes: u64) {
+        self.fault_gate(sim).await;
         self.egress.transfer(sim, bytes).await;
     }
 
     /// Move `bytes` host → device; resolves at arrival in the device.
     pub async fn to_device(&self, sim: &Sim, bytes: u64) {
+        self.fault_gate(sim).await;
         self.ingress.transfer(sim, bytes).await;
     }
 
@@ -93,6 +118,13 @@ impl HostFabric {
     /// The port of `device`.
     pub fn port(&self, device: DeviceId) -> &DevicePort {
         &self.ports[device.0 as usize]
+    }
+
+    /// Install a fault plan on every port.
+    pub fn set_faults(&self, plan: &Rc<FaultPlan>) {
+        for port in &self.ports {
+            port.set_faults(plan.clone());
+        }
     }
 
     /// Charge a pass through host memory for `bytes` (copy into or out of
@@ -195,6 +227,37 @@ mod tests {
         let names = reg.names();
         assert!(names.contains(&"pcie.link0.ingress.queue_depth".to_string()));
         assert!(names.contains(&"pcie.host_mem.latency_cycles".to_string()));
+    }
+
+    #[test]
+    fn link_down_window_stalls_transfers() {
+        use des::faultplan::{FaultPlan, FaultSpec};
+        use des::trace::Trace;
+        let spec = FaultSpec::parse("linkdown=5000@1000000").unwrap();
+        let sim = Sim::new();
+        let fabric = std::rc::Rc::new(HostFabric::new(PcieModel::default(), 1));
+        fabric.set_faults(&Rc::new(FaultPlan::new(spec, Trace::disabled())));
+        let (s, f) = (sim.clone(), fabric.clone());
+        let t = sim
+            .block_on(async move {
+                // t=0 is inside the first down window: the line waits for
+                // the link to retrain at t=5000 before crossing.
+                f.port(DeviceId(0)).to_device(&s, 32).await;
+                s.now()
+            })
+            .unwrap();
+        assert!(t >= 5_000, "transfer finished at {t}, before the window ended");
+        // Without the plan the same line crosses in well under 5000 cycles.
+        let sim = Sim::new();
+        let fabric = std::rc::Rc::new(HostFabric::new(PcieModel::default(), 1));
+        let (s, f) = (sim.clone(), fabric.clone());
+        let t0 = sim
+            .block_on(async move {
+                f.port(DeviceId(0)).to_device(&s, 32).await;
+                s.now()
+            })
+            .unwrap();
+        assert!(t0 < 5_000);
     }
 
     #[test]

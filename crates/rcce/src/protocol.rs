@@ -55,7 +55,15 @@ pub trait PointToPoint {
 /// Wait on a local counter flag until it reaches `target`
 /// (wrap-around-safe), polling with the same invalidate-read sequence RCCE
 /// uses.
+///
+/// When the session configures a poll watchdog, a wait whose total budget
+/// expires aborts the run with a diagnosed timeout (rank, flag address,
+/// target vs. last-seen counter, cycles waited) and a bounded trace tail
+/// on stderr — an infinite hang caused by a lost flag write becomes a
+/// [`des::SimError::Aborted`] instead.
 pub async fn flag_wait_reached(ctx: &RankCtx, addr: scc::geometry::MpbAddr, target: u8) {
+    let budget = ctx.session.poll_watchdog();
+    let start = ctx.session.sim().now();
     loop {
         let v = ctx.core.flag_read(addr).await;
         if counter_reached(v, target) {
@@ -64,8 +72,62 @@ pub async fn flag_wait_reached(ctx: &RankCtx, addr: scc::geometry::MpbAddr, targ
         // Sleep until the flag line is touched again.
         let region = ctx.session.device_of_core(addr.owner).mpb(addr.owner.core).clone();
         let off = addr.offset as usize;
-        region.wait_until(|| counter_reached(region.read_byte(off), target)).await;
+        let wait = region.wait_until(|| counter_reached(region.read_byte(off), target));
+        match budget {
+            None => wait.await,
+            Some(budget) => {
+                let deadline = start + budget;
+                let timeout = ctx.session.sim().delay_until(deadline);
+                if let des::sync::Either::Right(()) = des::sync::race(wait, timeout).await {
+                    poll_watchdog_trip(ctx, addr, target, start);
+                    // The abort surfaces from `Sim::run`; park this task.
+                    std::future::pending::<()>().await;
+                }
+            }
+        }
     }
+}
+
+/// Diagnose a tripped poll watchdog: count it, trace it, dump a bounded
+/// trace tail, and abort the simulation with the full diagnosis.
+fn poll_watchdog_trip(ctx: &RankCtx, addr: scc::geometry::MpbAddr, target: u8, start: des::Cycles) {
+    let session = &ctx.session;
+    let sim = session.sim();
+    let now = sim.now();
+    let current =
+        session.device_of_core(addr.owner).mpb(addr.owner.core).read_byte(addr.offset as usize);
+    let me = ctx.rank;
+    let msg = format!(
+        "poll watchdog: rank {me} waited {} cycles on flag {addr} \
+         (target {target}, last seen {current})",
+        now - start
+    );
+    session.note_poll_timeout();
+    session.trace().instant_f(
+        now,
+        Category::Fault,
+        "poll_watchdog",
+        None,
+        || format!("rank{me}"),
+        || {
+            fields![
+                rank = me,
+                offset = addr.offset,
+                target = target,
+                seen = current,
+                waited = now - start
+            ]
+        },
+    );
+    eprintln!("{msg}");
+    let tail = session.trace().events();
+    if !tail.is_empty() {
+        eprintln!("recent trace events:");
+        for ev in tail.iter().rev().take(25).rev() {
+            eprintln!("  {ev}");
+        }
+    }
+    sim.abort(msg);
 }
 
 /// Split `len` bytes into chunk ranges of at most `chunk` bytes; a

@@ -15,7 +15,7 @@ use des::obs::Registry;
 use des::stats::{Counter, Log2Histogram};
 use des::sync::SimMutex;
 use des::trace::{Category, Trace};
-use des::{JoinHandle, Sim};
+use des::{Cycles, JoinHandle, Sim};
 use scc::device::SccDevice;
 use scc::geometry::{DeviceId, GlobalCore};
 use scc::CoreHandle;
@@ -39,6 +39,10 @@ pub struct SessionInner {
     trace: Trace,
     metrics: Registry,
     rcce_metrics: RcceMetrics,
+    /// Flag-poll watchdog budget: a single protocol wait exceeding this
+    /// many cycles aborts the run with a diagnosis instead of hanging.
+    /// `None` (the default) polls forever, as real RCCE does.
+    poll_watchdog: Option<Cycles>,
 }
 
 /// Message-size classes for the per-call latency histograms
@@ -53,6 +57,7 @@ pub(crate) struct RcceMetrics {
     pub send_lat: Vec<Log2Histogram>,
     pub recv_lat: Vec<Log2Histogram>,
     pub send_lock_wait: Counter,
+    pub poll_timeouts: Counter,
 }
 
 impl RcceMetrics {
@@ -68,6 +73,7 @@ impl RcceMetrics {
                 .map(|(label, _)| rcce.histogram(&format!("recv.lat_cycles.{label}")))
                 .collect(),
             send_lock_wait: rcce.counter("send.lock_wait_cycles"),
+            poll_timeouts: rcce.counter("poll_timeouts"),
         }
     }
 }
@@ -173,6 +179,16 @@ impl SessionInner {
 
     pub(crate) fn rcce_metrics(&self) -> &RcceMetrics {
         &self.rcce_metrics
+    }
+
+    /// The flag-poll watchdog budget, if one is configured.
+    pub fn poll_watchdog(&self) -> Option<Cycles> {
+        self.poll_watchdog
+    }
+
+    /// Record one poll-watchdog trip (used by the protocol layer).
+    pub fn note_poll_timeout(&self) {
+        self.rcce_metrics.poll_timeouts.inc();
     }
 
     /// Dense traffic matrix snapshot: `matrix[src][dest]` payload bytes.
@@ -293,6 +309,7 @@ pub struct SessionBuilder {
     inter: Option<Rc<dyn PointToPoint>>,
     trace: Trace,
     metrics: Option<Registry>,
+    poll_watchdog: Option<Cycles>,
 }
 
 impl SessionBuilder {
@@ -310,7 +327,17 @@ impl SessionBuilder {
             inter: None,
             trace: Trace::disabled(),
             metrics: None,
+            poll_watchdog: None,
         }
+    }
+
+    /// Abort any single protocol flag wait that exceeds `limit` cycles
+    /// with a diagnosed timeout (instead of polling forever). Note: the
+    /// watchdog registers virtual timers, so enabling it perturbs the
+    /// timer heap — keep it off for calibration runs.
+    pub fn poll_watchdog(mut self, limit: Cycles) -> Self {
+        self.poll_watchdog = Some(limit);
+        self
     }
 
     /// Restrict the session to an explicit core list (rank order).
@@ -410,6 +437,7 @@ impl SessionBuilder {
                 trace: self.trace,
                 metrics,
                 rcce_metrics,
+                poll_watchdog: self.poll_watchdog,
             }),
         }
     }

@@ -19,4 +19,7 @@ cargo bench --workspace --no-run
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== chaos smoke (fixed-seed fault plan, recovery end to end) =="
+cargo test -q --test chaos smoke_fixed_seed
+
 echo "All checks passed."

@@ -89,3 +89,47 @@ fn onchip_dip_at_8k_for_blocking_rcce() {
     let after = pingpong::onchip(false, 8192, REPS).mbps;
     assert!(after < before, "on-chip blocking must dip when the message splits");
 }
+
+#[test]
+fn zero_fault_spec_perturbs_nothing() {
+    // The fault plane's zero-perturbation guarantee: a default build and a
+    // build with an explicit all-zero `FaultSpec` (recovery armed but no
+    // fault injected) must produce bit-identical runs — same virtual
+    // clock, same metrics snapshot. Every probability draw in the plane
+    // is gated on `p > 0.0`, so an inactive spec must never advance an
+    // RNG stream or add a timer.
+    let run = |faults: Option<des::faultplan::FaultSpec>| {
+        let sim = des::Sim::new();
+        let reg = des::obs::Registry::new();
+        let mut b = vscc::VsccBuilder::new(&sim, 2)
+            .scheme(CommScheme::LocalPutLocalGet)
+            .metrics_registry(&reg);
+        if let Some(spec) = faults {
+            b = b.faults(spec);
+        }
+        let v = b.build();
+        let a = v.devices[0].global(scc::geometry::CoreId(0));
+        let c = v.devices[1].global(scc::geometry::CoreId(0));
+        let s = v.session_builder().participants(vec![a, c]).build();
+        s.run_app(|r| async move {
+            if r.id() == 0 {
+                r.send(&vec![5u8; 12_000], 1).await;
+            } else {
+                let mut buf = vec![0u8; 12_000];
+                r.recv(&mut buf, 0).await;
+                assert_eq!(buf, vec![5u8; 12_000]);
+            }
+        })
+        .expect("calibration run");
+        (sim.now(), reg.snapshot().to_json())
+    };
+    let (clean_now, clean_metrics) = run(None);
+    let mut inert = des::faultplan::FaultSpec::none();
+    inert.recovery = true; // recovery alone must not shift anything either
+    let (spec_now, spec_metrics) = run(Some(inert));
+    assert_eq!(clean_now, spec_now, "an inactive fault spec must not move the clock");
+    assert_eq!(
+        clean_metrics, spec_metrics,
+        "an inactive fault spec must not change a single counter"
+    );
+}

@@ -1,0 +1,256 @@
+//! Chaos tests for the fault-injection plane + host recovery layer
+//! (DESIGN.md §"Fault injection & recovery").
+//!
+//! The property under test: with a seeded fault plan active and the
+//! recovery layer on, every run either completes with verified payloads
+//! or fails with a *diagnosed* error (`SimError::Aborted` from a poll
+//! watchdog or an exhausted retry ladder, `Deadlock`, or
+//! `HorizonExceeded`). Never a hang, never silent corruption. And every
+//! faulty run is deterministic: identical seeds reproduce identical
+//! metrics snapshots, traces, and virtual clocks byte for byte.
+
+use des::faultplan::FaultSpec;
+use des::obs::Registry;
+use des::trace::Category;
+use des::{Sim, SimError};
+use scc::geometry::CoreId;
+use vscc::{CommScheme, VsccBuilder};
+use vscc_apps::npb::{run_bt, BtClass, BtConfig};
+
+/// Generous watchdog for recovered runs: well above the worst legitimate
+/// wait (a full message plus a complete retry ladder), so it only trips
+/// on a genuine hang.
+const WATCHDOG: &str = "watchdog=20000000";
+
+/// Everything a chaos run leaves behind, harvested before teardown.
+struct ChaosRun {
+    /// Per-rank "all my payloads verified" verdicts (Err on abort).
+    result: Result<Vec<bool>, SimError>,
+    metrics_json: String,
+    trace_json: String,
+    fault_events: usize,
+    checksum_detected: u64,
+    tunnel_retries: u64,
+    demotions: u64,
+    fallback_writes: u64,
+    demoted_pairs: usize,
+    end: u64,
+}
+
+/// A verified bidirectional ping-pong between core 0 of each device under
+/// the given fault spec. Both directions check every received byte, so a
+/// corrupted delivery that sneaks past recovery shows up as `ok = false`,
+/// not as a passing run.
+fn pingpong_chaos(scheme: CommScheme, spec: &str, size: usize, reps: usize) -> ChaosRun {
+    let spec = FaultSpec::parse(spec).expect("chaos spec");
+    let sim = Sim::new();
+    let reg = Registry::new();
+    let v = VsccBuilder::new(&sim, 2)
+        .scheme(scheme)
+        .metrics_registry(&reg)
+        .trace_categories(&Category::ALL)
+        .faults(spec)
+        .build();
+    let a = v.devices[0].global(CoreId(0));
+    let b = v.devices[1].global(CoreId(0));
+    let s = v.session_builder().participants(vec![a, b]).build();
+    let result = s.run_app(move |r| async move {
+        let mut ok = true;
+        for i in 0..reps {
+            let fill = (i as u8).wrapping_mul(31).wrapping_add(7);
+            if r.id() == 0 {
+                r.send(&vec![fill; size], 1).await;
+                let mut back = vec![0u8; size];
+                r.recv(&mut back, 1).await;
+                ok &= back == vec![fill ^ 0xA5; size];
+            } else {
+                let mut buf = vec![0u8; size];
+                r.recv(&mut buf, 0).await;
+                ok &= buf == vec![fill; size];
+                r.send(&vec![fill ^ 0xA5; size], 0).await;
+            }
+        }
+        ok
+    });
+    let rstats = &v.host.rstats;
+    ChaosRun {
+        metrics_json: reg.snapshot().to_json(),
+        trace_json: des::obs::chrome_trace_json(&[("chaos", v.trace())]),
+        fault_events: v.trace().events_in(Category::Fault).len(),
+        checksum_detected: rstats.checksum_detected.get(),
+        tunnel_retries: rstats.payload_retries.get()
+            + rstats.vdma_retries.get()
+            + rstats.prefetch_retries.get()
+            + rstats.mmio_retries.get(),
+        demotions: rstats.demotions.get(),
+        fallback_writes: rstats.fallback_writes.get(),
+        demoted_pairs: v.host.demoted_pairs().len(),
+        end: sim.now(),
+        result,
+    }
+}
+
+/// A small cross-device NPB BT run (4 ranks, 2 per device) under the
+/// given fault spec; `Ok(verified)` or the diagnosed error.
+fn bt_chaos(spec: &str) -> Result<bool, SimError> {
+    let spec = FaultSpec::parse(spec).expect("chaos spec");
+    let sim = Sim::new();
+    let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet).faults(spec).build();
+    let s = v.session_builder().cores_per_device(2).build();
+    let mut cfg = BtConfig::new(BtClass::S, 4);
+    cfg.measured = 2;
+    run_bt(&s, &cfg).map(|r| r.verified)
+}
+
+/// A run that ended acceptably: verified payloads, or a diagnosed error.
+/// (A hang would never return; a panic fails the test outright.)
+fn acceptable(result: &Result<Vec<bool>, SimError>) -> bool {
+    match result {
+        Ok(oks) => oks.iter().all(|&ok| ok),
+        Err(SimError::Aborted(_) | SimError::Deadlock(_) | SimError::HorizonExceeded(_)) => true,
+    }
+}
+
+/// ISSUE acceptance criterion: a seeded fault plan corrupting a tunnel
+/// payload is (a) detected by the checksum, (b) retried and recovered,
+/// (c) visible as `host.retry.*` metrics and `Fault`-category trace
+/// events.
+#[test]
+fn corrupted_tunnel_payload_is_detected_retried_and_recovered() {
+    let r = pingpong_chaos(
+        CommScheme::LocalPutLocalGet,
+        &format!("seed=11,corrupt=0.2,recovery=on,{WATCHDOG}"),
+        6000,
+        8,
+    );
+    let oks = r.result.expect("recovery must carry the run to completion");
+    assert!(oks.iter().all(|&ok| ok), "every delivered payload must verify");
+    assert!(r.checksum_detected > 0, "(a) the checksum must catch injected corruption");
+    assert!(r.tunnel_retries > 0, "(b) detected corruption must be retried");
+    assert!(r.fault_events > 0, "(c) recovery activity must land in the Fault trace category");
+    assert!(
+        r.metrics_json.contains("\"host.retry.checksum_detected\""),
+        "(c) retry counters must surface in the metrics registry"
+    );
+    assert!(
+        r.trace_json.contains("\"cat\":\"fault\""),
+        "(c) Fault events must survive the Chrome export"
+    );
+}
+
+/// Graceful degradation: a pair losing fast acks on three consecutive
+/// messages is demoted from remote-put to the host-acked fallback, and
+/// the session still completes with verified payloads.
+#[test]
+fn lossy_pair_is_demoted_to_the_host_acked_path() {
+    let r = pingpong_chaos(
+        CommScheme::RemotePutHwAck,
+        &format!("seed=12,ackloss=0.05,recovery=on,{WATCHDOG}"),
+        7680,
+        8,
+    );
+    let oks = r.result.expect("fallback must carry the run to completion");
+    assert!(oks.iter().all(|&ok| ok), "payloads must verify across the demotion");
+    assert!(r.demotions >= 1, "a persistently lossy pair must be demoted");
+    assert!(r.fallback_writes > 0, "post-demotion writes must use the fallback path");
+    assert!(r.demoted_pairs >= 1, "the demoted pair must be queryable");
+}
+
+/// The chaos property: seeded fault plans mixing every fault class must
+/// end in verified payloads or a diagnosed error — never a hang, never
+/// silent corruption.
+#[test]
+fn chaos_plans_end_verified_or_diagnosed() {
+    let specs = [
+        format!("seed=1,drop=0.02,recovery=on,{WATCHDOG}"),
+        format!("seed=2,corrupt=0.05,recovery=on,{WATCHDOG}"),
+        format!("seed=3,delay=0.1:5000,recovery=on,{WATCHDOG}"),
+        format!("seed=4,linkdown=4000@400000,recovery=on,{WATCHDOG}"),
+        format!("seed=5,stall=3000@300000,recovery=on,{WATCHDOG}"),
+        format!("seed=6,ackloss=0.01,recovery=on,{WATCHDOG}"),
+        format!("seed=7,drop=0.01,corrupt=0.02,delay=0.05:2000,recovery=on,{WATCHDOG}"),
+        format!("seed=8,mmio_garble=0.05,recovery=on,{WATCHDOG}"),
+    ];
+    for spec in &specs {
+        // ackloss only bites on the fast-ack scheme; everything else
+        // exercises the vDMA tunnel path.
+        let scheme = if spec.contains("ackloss") {
+            CommScheme::RemotePutHwAck
+        } else {
+            CommScheme::LocalPutLocalGet
+        };
+        let r = pingpong_chaos(scheme, spec, 6000, 6);
+        assert!(
+            acceptable(&r.result),
+            "{spec}: run must end verified or diagnosed, got {:?}",
+            r.result
+        );
+    }
+}
+
+/// The same property over a real application: a small cross-device BT
+/// run under mixed fault plans verifies or fails diagnosed.
+#[test]
+fn chaos_plans_over_bt_end_verified_or_diagnosed() {
+    let specs = [
+        format!("seed=21,drop=0.01,recovery=on,{WATCHDOG}"),
+        format!("seed=22,corrupt=0.02,recovery=on,{WATCHDOG}"),
+        format!("seed=23,linkdown=3000@500000,stall=2000@400000,recovery=on,{WATCHDOG}"),
+        format!("seed=24,drop=0.005,corrupt=0.01,delay=0.02:3000,recovery=on,{WATCHDOG}"),
+    ];
+    for spec in &specs {
+        match bt_chaos(spec) {
+            Ok(verified) => assert!(verified, "{spec}: BT completed but payloads are corrupt"),
+            Err(SimError::Aborted(_) | SimError::Deadlock(_) | SimError::HorizonExceeded(_)) => {}
+        }
+    }
+}
+
+/// Determinism under faults: two identical faulty runs export
+/// byte-identical metrics snapshots and Chrome traces and land on the
+/// same virtual clock.
+#[test]
+fn faulty_runs_are_byte_identical_across_reruns() {
+    let spec = format!("seed=31,drop=0.02,corrupt=0.02,recovery=on,{WATCHDOG}");
+    let a = pingpong_chaos(CommScheme::LocalPutLocalGet, &spec, 6000, 6);
+    let b = pingpong_chaos(CommScheme::LocalPutLocalGet, &spec, 6000, 6);
+    assert_eq!(a.metrics_json, b.metrics_json, "faulty metrics must be deterministic");
+    assert_eq!(a.trace_json, b.trace_json, "faulty traces must be deterministic");
+    assert_eq!(a.end, b.end, "faulty runs must land on the same virtual clock");
+    assert!(a.fault_events > 0, "the plan must actually have injected something");
+}
+
+/// A drop storm past what the retry ladder can absorb must be converted
+/// into a diagnosed abort (exhausted retries or a poll-watchdog trip),
+/// not an infinite flag poll.
+#[test]
+fn drop_storm_is_diagnosed_not_hung() {
+    let r = pingpong_chaos(
+        CommScheme::LocalPutLocalGet,
+        &format!("seed=41,drop=0.95,recovery=on,{WATCHDOG}"),
+        6000,
+        5,
+    );
+    match r.result {
+        Err(SimError::Aborted(msg)) => assert!(
+            msg.contains("poll watchdog") || msg.contains("retries exhausted"),
+            "abort must carry the diagnosis, got: {msg}"
+        ),
+        other => panic!("expected a diagnosed abort, got {other:?}"),
+    }
+}
+
+/// Fast fixed-seed smoke for `scripts/check.sh`: one corrupting plan,
+/// recovered end to end in well under ten seconds.
+#[test]
+fn smoke_fixed_seed_corruption_recovers() {
+    let r = pingpong_chaos(
+        CommScheme::LocalPutLocalGet,
+        &format!("seed=51,corrupt=0.25,recovery=on,{WATCHDOG}"),
+        4096,
+        3,
+    );
+    let oks = r.result.expect("smoke plan must recover");
+    assert!(oks.iter().all(|&ok| ok), "smoke payloads must verify");
+    assert!(r.checksum_detected > 0 && r.tunnel_retries > 0, "smoke plan must exercise recovery");
+}
