@@ -236,7 +236,7 @@ impl BtRank {
                 self.r.sim().now(),
                 des::trace::Category::App,
                 "bt_payload_mismatch",
-                || format!("rank{me}"),
+                || self.r.ctx().label.clone(),
                 || {
                     des::fields![
                         src = from as u64,

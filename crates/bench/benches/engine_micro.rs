@@ -1,5 +1,23 @@
-//! Criterion micro-benchmarks of the simulation engine itself: how fast
-//! the reproduction executes on the host machine (not simulated time).
+//! Criterion micro-benchmarks of the simulation engine itself, plus the
+//! wall-clock perf harness behind `BENCH_engine.json`: how fast the
+//! reproduction executes on the *host* machine (not simulated time).
+//!
+//! Two layers:
+//!
+//! 1. The criterion section prints mean/min per-iteration wall time for
+//!    a handful of engine-bound workloads — a quick eyeball check.
+//! 2. The harness section measures engine *events/sec* for each hot
+//!    path the PR optimised (executor timers, metric increments,
+//!    disabled-category tracing), prints the headline before/after
+//!    numbers against the recorded pre-optimisation baseline, and
+//!    writes a machine-readable `target/BENCH_engine.json`. With
+//!    `VSCC_PERF_GATE=1` it exits non-zero if any scenario's events/sec
+//!    regressed more than 30 % against the committed repo-root
+//!    `BENCH_engine.json` (the perf-trajectory baseline);
+//!    `VSCC_PERF_FAST=1` shrinks sample counts for CI smoke use.
+//!
+//! Wall-clock here is measurement-only: nothing read from `Instant`
+//! ever feeds the virtual clock (determinism invariant #1).
 
 use criterion::{criterion_group, Criterion};
 use des::Sim;
@@ -85,8 +103,321 @@ criterion_group! {
     targets = bench_executor, bench_onchip, bench_vscc
 }
 
+mod harness {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    use des::obs::Registry;
+    use des::trace::{Category, Trace};
+    use des::Sim;
+
+    /// Wall-time of the `des/spawn_delay_10k_tasks` criterion bench
+    /// before this optimisation pass (BinaryHeap timers, per-poll
+    /// `Arc<TaskWaker>`, two-allocation tasks), measured on the same
+    /// container that produced the committed baseline. The harness
+    /// prints the current numbers against these.
+    const PRE_PR_SPAWN_DELAY_MEAN_MS: f64 = 5.255;
+    const PRE_PR_SPAWN_DELAY_MIN_MS: f64 = 4.224;
+    /// Regression gate: fail `VSCC_PERF_GATE=1` runs when a scenario's
+    /// events/sec drops below this fraction of the committed baseline.
+    const GATE_RATIO: f64 = 0.70;
+
+    struct Outcome {
+        name: &'static str,
+        samples: usize,
+        mean_ns: f64,
+        min_ns: f64,
+        /// Engine events of one sample (identical across samples: the
+        /// workloads are deterministic).
+        events: u64,
+    }
+
+    impl Outcome {
+        /// Events/sec at the best observed sample (least host noise).
+        fn events_per_sec(&self) -> f64 {
+            self.events as f64 / (self.min_ns / 1e9)
+        }
+    }
+
+    /// Run `routine` `samples` times, timing each; it returns the
+    /// number of engine events one sample performs.
+    fn measure(name: &'static str, samples: usize, mut routine: impl FnMut() -> u64) -> Outcome {
+        let mut events = routine(); // warmup, untimed
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            events = black_box(routine());
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        let mean_ns = times.iter().sum::<f64>() / times.len() as f64;
+        let min_ns = times.iter().copied().fold(f64::INFINITY, f64::min);
+        Outcome { name, samples, mean_ns, min_ns, events }
+    }
+
+    /// Scheduler events of a finished run: polls, timer traffic, wakes.
+    fn engine_events(sim: &Sim) -> u64 {
+        let st = sim.engine_stats();
+        st.polls + st.timers_set + st.timers_fired + st.timers_cancelled + st.wakes
+    }
+
+    /// The headline workload: 10k tasks, each sleeping once. Exercises
+    /// spawn, timer-wheel insert/fire, and the direct task-id wake path.
+    fn spawn_delay_10k() -> Outcome {
+        measure("executor/spawn_delay_10k_tasks", samples(15), || {
+            let sim = Sim::new();
+            for i in 0..10_000u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.delay(i % 97).await;
+                });
+            }
+            sim.run().unwrap();
+            engine_events(&sim)
+        })
+    }
+
+    /// Timer cancellation churn: every `race` cancels its losing arm's
+    /// timer. Pre-wheel these lingered in the heap; now the run must end
+    /// with zero pending timers and cancellation must stay O(1)-cheap.
+    fn timer_cancel_churn() -> Outcome {
+        measure("executor/timer_cancel_churn_100k", samples(10), || {
+            let sim = Sim::new();
+            let s = sim.clone();
+            sim.spawn(async move {
+                for _ in 0..100_000u32 {
+                    des::sync::race(s.delay(1), s.delay(1_000_000)).await;
+                }
+            });
+            sim.run().unwrap();
+            assert_eq!(sim.pending_timers(), 0, "cancelled race losers must leave the wheel");
+            engine_events(&sim)
+        })
+    }
+
+    /// Pre-registered counter handle: per-increment cost must be a
+    /// `Cell` update — no string hash, no registry lookup.
+    fn counter_inc() -> Outcome {
+        let registry = Registry::new();
+        let counter = registry.scoped("bench").register_counter("inc");
+        measure("metrics/counter_inc_10m", samples(10), move || {
+            const N: u64 = 10_000_000;
+            for _ in 0..N {
+                // black_box defeats folding the whole loop into `+= N`.
+                counter.add(black_box(1));
+            }
+            black_box(counter.get());
+            N
+        })
+    }
+
+    /// Pre-registered histogram handle: per-record cost is a bucket
+    /// increment.
+    fn histogram_record() -> Outcome {
+        let registry = Registry::new();
+        let hist = registry.scoped("bench").register_histogram("rec");
+        measure("metrics/histogram_record_10m", samples(10), move || {
+            const N: u64 = 10_000_000;
+            for i in 0..N {
+                hist.record(i & 0xFFFF);
+            }
+            N
+        })
+    }
+
+    /// Disabled-category tracing: the call sites pay one branch; the
+    /// actor/field closures (which would allocate) are never run. A
+    /// fully disabled trace and a category-filtered one are both
+    /// exercised — they share the early-out.
+    fn disabled_trace() -> Outcome {
+        let off = Trace::disabled();
+        let filtered = Trace::with_categories(&[Category::Pcie]);
+        measure("trace/disabled_category_10m", samples(10), move || {
+            const N: u64 = 10_000_000;
+            for i in 0..N / 2 {
+                off.instant(
+                    i,
+                    Category::Protocol,
+                    "ev",
+                    || format!("actor{i}"),
+                    || des::fields![n = i],
+                );
+                filtered.instant(
+                    i,
+                    Category::Protocol,
+                    "ev",
+                    || format!("actor{i}"),
+                    || des::fields![n = i],
+                );
+            }
+            assert!(filtered.events().is_empty());
+            N
+        })
+    }
+
+    /// Enabled tracing with a pre-interned actor label: recording stores
+    /// an `Rc` clone, no per-event string.
+    fn interned_trace() -> Outcome {
+        measure("trace/enabled_interned_200k", samples(10), || {
+            const N: u64 = 200_000;
+            let t = Trace::with_categories(&[Category::App]);
+            let actor = t.intern("rank0");
+            for i in 0..N {
+                t.instant(i, Category::App, "tick", || actor.clone(), Vec::new);
+            }
+            assert_eq!(t.events().len(), N as usize);
+            N
+        })
+    }
+
+    fn samples(full: usize) -> usize {
+        if std::env::var("VSCC_PERF_FAST").map(|v| v == "1").unwrap_or(false) {
+            3
+        } else {
+            full
+        }
+    }
+
+    fn repo_root() -> std::path::PathBuf {
+        // crates/bench -> workspace root.
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    fn write_json(outcomes: &[Outcome], path: &std::path::Path) {
+        let mut s = String::from("{\n  \"schema\": \"vscc-engine-bench-v1\",\n");
+        s.push_str(&format!(
+            "  \"pre_pr_baseline\": {{ \"spawn_delay_10k_tasks_ms\": {{ \"mean\": {PRE_PR_SPAWN_DELAY_MEAN_MS}, \"min\": {PRE_PR_SPAWN_DELAY_MIN_MS} }} }},\n"
+        ));
+        s.push_str("  \"scenarios\": [\n");
+        for (i, o) in outcomes.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"samples\": {}, \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"events\": {}, \"events_per_sec\": {:.0} }}{}\n",
+                o.name,
+                o.samples,
+                o.mean_ns,
+                o.min_ns,
+                o.events,
+                o.events_per_sec(),
+                if i + 1 < outcomes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, s).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    }
+
+    /// Pull `"name": "...", ... "events_per_sec": N` pairs out of a
+    /// baseline file written by [`write_json`] (no JSON dep available).
+    fn baseline_events_per_sec(text: &str, name: &str) -> Option<f64> {
+        let needle = format!("\"name\": \"{name}\"");
+        let at = text.find(&needle)?;
+        let rest = &text[at..];
+        let key = "\"events_per_sec\": ";
+        let k = rest.find(key)?;
+        let tail = &rest[k + key.len()..];
+        let end = tail.find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')?;
+        tail[..end].parse().ok()
+    }
+
+    pub fn run() {
+        println!();
+        println!("engine wall-clock harness (host time; never feeds the virtual clock)");
+        println!(
+            "{:<36} {:>8} {:>12} {:>12} {:>12} {:>14}",
+            "scenario", "samples", "mean", "min", "events", "events/sec"
+        );
+
+        let outcomes = vec![
+            spawn_delay_10k(),
+            timer_cancel_churn(),
+            counter_inc(),
+            histogram_record(),
+            disabled_trace(),
+            interned_trace(),
+        ];
+        for o in &outcomes {
+            println!(
+                "{:<36} {:>8} {:>10.3}ms {:>10.3}ms {:>12} {:>14.0}",
+                o.name,
+                o.samples,
+                o.mean_ns / 1e6,
+                o.min_ns / 1e6,
+                o.events,
+                o.events_per_sec()
+            );
+        }
+
+        let spawn = &outcomes[0];
+        let (spawn_mean_ms, spawn_min_ms) = (spawn.mean_ns / 1e6, spawn.min_ns / 1e6);
+        println!();
+        println!("headline vs pre-optimisation baseline (des/spawn_delay_10k_tasks):");
+        println!(
+            "  before: mean {PRE_PR_SPAWN_DELAY_MEAN_MS:.3} ms   min {PRE_PR_SPAWN_DELAY_MIN_MS:.3} ms"
+        );
+        println!("  after:  mean {spawn_mean_ms:.3} ms   min {spawn_min_ms:.3} ms");
+        println!(
+            "  speedup: {:.2}x (mean), {:.2}x (min)",
+            PRE_PR_SPAWN_DELAY_MEAN_MS / spawn_mean_ms,
+            PRE_PR_SPAWN_DELAY_MIN_MS / spawn_min_ms
+        );
+
+        let out_path = match std::env::var("VSCC_PERF_OUT") {
+            Ok(p) => std::path::PathBuf::from(p),
+            Err(_) => repo_root().join("target/BENCH_engine.json"),
+        };
+        write_json(&outcomes, &out_path);
+        println!("wrote {}", out_path.display());
+
+        let gate = std::env::var("VSCC_PERF_GATE").map(|v| v == "1").unwrap_or(false);
+        let baseline_path = repo_root().join("BENCH_engine.json");
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => {
+                let mut failed = Vec::new();
+                println!();
+                println!("vs committed baseline ({}):", baseline_path.display());
+                for o in &outcomes {
+                    match baseline_events_per_sec(&text, o.name) {
+                        Some(base) if base > 0.0 => {
+                            let ratio = o.events_per_sec() / base;
+                            println!("  {:<36} {:>6.2}x baseline", o.name, ratio);
+                            if ratio < GATE_RATIO {
+                                failed.push((o.name, ratio));
+                            }
+                        }
+                        _ => println!("  {:<36} (not in baseline)", o.name),
+                    }
+                }
+                if gate && !failed.is_empty() {
+                    eprintln!(
+                        "PERF GATE FAILED: events/sec regressed >{:.0}% on: {}",
+                        (1.0 - GATE_RATIO) * 100.0,
+                        failed
+                            .iter()
+                            .map(|(n, r)| format!("{n} ({r:.2}x)"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(_) => {
+                println!(
+                    "no committed baseline at {}; skipping comparison",
+                    baseline_path.display()
+                );
+                if gate {
+                    eprintln!("PERF GATE FAILED: VSCC_PERF_GATE=1 but no committed baseline");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
 fn main() {
     benches();
+    harness::run();
 
     if vscc_bench::observability_requested() {
         // The micro-bench runs themselves are host-time measurements; for

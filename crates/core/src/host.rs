@@ -234,6 +234,9 @@ pub struct HostSide {
     /// on its predecessor's, so installs happen in issue order even when
     /// recovery retries delay one of them mid-flight.
     delivery_chain: Vec<RefCell<Rc<des::sync::Latch>>>,
+    /// Pre-interned per-device trace labels (`"commtask-d<N>"`): the hot
+    /// forwarding paths clone an `Rc` instead of formatting per event.
+    commtask_labels: Vec<Rc<str>>,
     trace: Trace,
     cfg: HostConfig,
     me: Weak<HostSide>,
@@ -297,6 +300,9 @@ impl HostSide {
             delivery_chain: (0..n_devices)
                 .map(|_| RefCell::new(Rc::new(des::sync::Latch::new(0))))
                 .collect(),
+            commtask_labels: (0..n_devices)
+                .map(|d| trace.intern(&format!("commtask-d{d}")))
+                .collect(),
             trace,
             cfg,
             me: me.clone(),
@@ -326,6 +332,11 @@ impl HostSide {
                 host.worker_loop(id, rx).await;
             });
         }
+    }
+
+    /// The pre-interned trace label of device `d`'s comm task.
+    fn commtask_label(&self, d: u8) -> Rc<str> {
+        self.commtask_labels[d as usize].clone()
     }
 
     fn device(&self, id: DeviceId) -> Rc<SccDevice> {
@@ -466,7 +477,7 @@ impl HostSide {
                     Category::Fault,
                     "retry_giveup",
                     flow,
-                    || "host-recovery".into(),
+                    || "host-recovery",
                     || fields![device = dev.0 as u64, bytes = data.len() as u64],
                 );
                 return None;
@@ -477,7 +488,7 @@ impl HostSide {
                 Category::Fault,
                 "retry",
                 flow,
-                || "host-recovery".into(),
+                || "host-recovery",
                 || fields![attempt = attempt as u64, bytes = data.len() as u64],
             );
             let backoff =
@@ -503,7 +514,7 @@ impl HostSide {
             Category::Pcie,
             "prefetch",
             flow,
-            || format!("commtask-d{}", owner.device.0),
+            || self.commtask_label(owner.device.0),
             || fields![core = owner.core.0 as u64, offset = offset as u64, bytes = len as u64],
         );
         let port = self.fabric.port(owner.device);
@@ -548,7 +559,7 @@ impl HostSide {
         self.cache.finish_update(owner);
         self.stats.cache_updates.inc();
         self.trace.end_f(sim.now(), Category::Pcie, "prefetch", flow, || {
-            format!("commtask-d{}", owner.device.0)
+            self.commtask_label(owner.device.0)
         });
     }
 
@@ -575,7 +586,7 @@ impl HostSide {
             Category::Vdma,
             "vdma",
             flow,
-            || format!("commtask-d{}", src.device.0),
+            || self.commtask_label(src.device.0),
             || {
                 fields![
                     src_dev = src.device.0 as u64,
@@ -627,7 +638,7 @@ impl HostSide {
                     Category::Vdma,
                     "drain_flag",
                     flow,
-                    || format!("commtask-d{}", src.device.0),
+                    || host.commtask_label(src.device.0),
                     || fields![seq = drain_seq as u64],
                 );
             });
@@ -640,12 +651,12 @@ impl HostSide {
             Category::Pcie,
             "pcie_wire",
             flow,
-            || format!("commtask-d{}", src.device.0),
+            || self.commtask_label(src.device.0),
             || fields![bytes = len as u64],
         );
         sim.delay_until(last_arrival.max(drain_arrival)).await;
         self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, || {
-            format!("commtask-d{}", src.device.0)
+            self.commtask_label(src.device.0)
         });
         let delivered =
             self.tunnel_transfer(dst.device, true, &data, flow, &self.rstats.vdma_retries).await;
@@ -654,7 +665,7 @@ impl HostSide {
             // completion flag — so the receiver's poll watchdog turns the
             // loss into a diagnosed timeout instead of a torn message.
             self.trace.end_f(sim.now(), Category::Vdma, "vdma", flow, || {
-                format!("commtask-d{}", src.device.0)
+                self.commtask_label(src.device.0)
             });
             return;
         }
@@ -676,9 +687,8 @@ impl HostSide {
         }
         self.device(dst.device).mpb(dst.core).write_byte(flag_addr.offset as usize, seq);
         self.stats.vdma_ops.inc();
-        self.trace.end_f(sim.now(), Category::Vdma, "vdma", flow, || {
-            format!("commtask-d{}", src.device.0)
-        });
+        self.trace
+            .end_f(sim.now(), Category::Vdma, "vdma", flow, || self.commtask_label(src.device.0));
     }
 
     /// Forward a classified flag write to its device, preserving order
@@ -714,7 +724,7 @@ impl HostSide {
             Category::Pcie,
             "flag_forward",
             flow,
-            || format!("commtask-d{}", addr.owner.device.0),
+            || self.commtask_label(addr.owner.device.0),
             || fields![core = addr.owner.core.0 as u64, offset = addr.offset as u64],
         );
         // Ordering: drain WCB runs for this destination *before* reserving
@@ -808,7 +818,7 @@ impl HostSide {
             Category::Pcie,
             "routed_line",
             flow,
-            || format!("commtask-d{}", requester.0),
+            || self.commtask_label(requester.0),
             || fields![target_dev = target.0 as u64],
         );
     }
@@ -828,7 +838,7 @@ impl RemoteFabric for HostSide {
     ) -> LocalBoxFuture<'_, Vec<u8>> {
         Box::pin(async move {
             let sim = self.sim.clone();
-            let actor = move || format!("commtask-d{}", src.device.0);
+            let actor = move || self.commtask_label(src.device.0);
             let cached_mode =
                 self.scheme == CommScheme::LocalPutRemoteGet && Self::is_payload(addr);
             if cached_mode {
@@ -915,7 +925,7 @@ impl RemoteFabric for HostSide {
         Box::pin(async move {
             let this = self.rc_self();
             let sim = self.sim.clone();
-            let actor = move || format!("commtask-d{}", src.device.0);
+            let actor = move || self.commtask_label(src.device.0);
             if !Self::is_payload(addr) {
                 // Synchronization class: host acks immediately (§3.1),
                 // then forwards.
@@ -997,7 +1007,7 @@ impl RemoteFabric for HostSide {
                             Category::Fault,
                             "fastack_retransmit",
                             flow,
-                            || "host-recovery".into(),
+                            || "host-recovery",
                             || fields![lines = lost as u64],
                         );
                         let arr = sport.egress.reserve(&sim, lost as u64 * LINE_BYTES as u64);
@@ -1052,7 +1062,7 @@ impl RemoteFabric for HostSide {
                         Category::Pcie,
                         "direct_write",
                         flow,
-                        || format!("commtask-d{}", addr.owner.device.0),
+                        || self.commtask_label(addr.owner.device.0),
                         || fields![bytes = data.len() as u64],
                     );
                     this.deliver_payload(src, addr, data, flow);
@@ -1105,7 +1115,7 @@ impl RemoteFabric for HostSide {
                         Category::Fault,
                         "mmio_retry",
                         None,
-                        || format!("commtask-d{}", line.src.device.0),
+                        || self.commtask_label(line.src.device.0),
                         || fields![line = line.line as u64, attempt = attempt as u64],
                     );
                     sim.delay(self.cfg.model.host_answered_round_trip()).await;
@@ -1133,7 +1143,7 @@ impl RemoteFabric for HostSide {
                 Category::Vdma,
                 kind,
                 flow,
-                || format!("commtask-d{}", line.src.device.0),
+                || self.commtask_label(line.src.device.0),
                 || fields![core = line.src.core.0 as u64],
             );
             match cmd {
@@ -1211,7 +1221,7 @@ impl HostSide {
                 Category::Fault,
                 "fallback_demote",
                 flow,
-                || "host-recovery".into(),
+                || "host-recovery",
                 || fields![src_dev = pair.0 as u64, dst_dev = pair.1 as u64],
             );
         }

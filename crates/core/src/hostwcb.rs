@@ -18,8 +18,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use des::obs::Registry;
-use des::stats::Counter;
+use des::obs::{CounterHandle, Registry};
 use scc::{GlobalCore, MPB_BYTES};
 
 /// One buffered contiguous write run for a destination.
@@ -50,8 +49,8 @@ pub struct HostWcbStats {
 pub struct HostWcb {
     state: Rc<RefCell<State>>,
     granularity: usize,
-    flushes: Counter,
-    merges: Counter,
+    flushes: CounterHandle,
+    merges: CounterHandle,
 }
 
 impl HostWcb {
@@ -61,8 +60,8 @@ impl HostWcb {
         HostWcb {
             state: Rc::new(RefCell::new(State::default())),
             granularity,
-            flushes: Counter::new(),
-            merges: Counter::new(),
+            flushes: CounterHandle::default(),
+            merges: CounterHandle::default(),
         }
     }
 
@@ -71,8 +70,8 @@ impl HostWcb {
     pub fn with_registry(granularity: usize, registry: &Registry) -> Self {
         let scope = registry.scoped("host").scoped("wcb");
         let mut wcb = Self::new(granularity);
-        wcb.flushes = scope.counter("flushes");
-        wcb.merges = scope.counter("merges");
+        wcb.flushes = scope.register_counter("flushes");
+        wcb.merges = scope.register_counter("merges");
         wcb
     }
 

@@ -92,7 +92,7 @@ impl Monitors {
             Category::App,
             "monitor_violation",
             flow,
-            || "monitor".into(),
+            || "monitor",
             || fields![check = check, detail = d.clone()],
         );
         self.violations.borrow_mut().push(Violation { check, detail: detail.clone(), flow });

@@ -127,7 +127,7 @@ async fn direct_send(ctx: &RankCtx, dest: usize, data: &[u8], flow: u64) {
         Category::Protocol,
         "direct_send",
         f,
-        || format!("rank{me}"),
+        || ctx.label.clone(),
         || fields![bytes = data.len() as u64, dest = dest as u64],
     );
     let cnt = {
@@ -141,21 +141,21 @@ async fn direct_send(ctx: &RankCtx, dest: usize, data: &[u8], flow: u64) {
         Category::Protocol,
         "mpb_wait",
         f,
-        || format!("rank{me}"),
+        || ctx.label.clone(),
         || fields![flag = "grant", target = cnt],
     );
     flag_wait_reached(ctx, layout::ready_flag(my, dest), cnt).await;
-    trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || format!("rank{me}"));
+    trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || ctx.label.clone());
     trace.begin_f(
         ctx.core.sim().now(),
         Category::Protocol,
         "sender_put",
         f,
-        || format!("rank{me}"),
+        || ctx.label.clone(),
         || fields![bytes = data.len() as u64, target = "direct_slot"],
     );
     ctx.core.put_f(direct_slot(peer), data, f).await;
-    trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || format!("rank{me}"));
+    trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || ctx.label.clone());
     // b2: data-available signal.
     ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
 }
@@ -171,7 +171,7 @@ async fn direct_recv(ctx: &RankCtx, src: usize, buf: &mut [u8], flow: u64) {
         Category::Protocol,
         "direct_recv",
         f,
-        || format!("rank{me}"),
+        || ctx.label.clone(),
         || fields![bytes = buf.len() as u64, src = src as u64],
     );
     ctx.inbound_lock.lock().await;
@@ -183,22 +183,22 @@ async fn direct_recv(ctx: &RankCtx, src: usize, buf: &mut [u8], flow: u64) {
         Category::Protocol,
         "recv_poll",
         f,
-        || format!("rank{me}"),
+        || ctx.label.clone(),
         || fields![flag = "sent", target = cnt],
     );
     flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
-    trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || format!("rank{me}"));
+    trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || ctx.label.clone());
     trace.begin_f(
         ctx.core.sim().now(),
         Category::Protocol,
         "recv_get",
         f,
-        || format!("rank{me}"),
+        || ctx.label.clone(),
         || fields![bytes = buf.len() as u64],
     );
     ctx.core.cl1invmb().await;
     ctx.core.get_f(direct_slot(my), buf, f).await;
-    trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || format!("rank{me}"));
+    trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || ctx.label.clone());
     ctx.recv_count.borrow_mut()[src] = cnt;
     ctx.inbound_lock.unlock();
 }
@@ -231,7 +231,7 @@ impl PointToPoint for RemotePutProtocol {
                 Category::Protocol,
                 "rput_send",
                 f,
-                || format!("rank{me}"),
+                || ctx.label.clone(),
                 || fields![bytes = data.len() as u64, dest = dest as u64],
             );
             for (lo, hi) in chunk_ranges(data.len(), REMOTE_PUT_CHUNK) {
@@ -246,12 +246,12 @@ impl PointToPoint for RemotePutProtocol {
                     Category::Protocol,
                     "mpb_wait",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![flag = "grant", target = cnt],
                 );
                 flag_wait_reached(ctx, layout::ready_flag(my, dest), cnt).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 // Remote put: stream the chunk into the receiver's MPB
                 // receive window.
@@ -260,18 +260,18 @@ impl PointToPoint for RemotePutProtocol {
                     Category::Protocol,
                     "sender_put",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![bytes = hi - lo, target = "remote_mpb"],
                 );
                 ctx.core.put_f(layout::payload(peer, REMOTE_PUT_OFF), &data[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 // b2: data available.
                 ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
             }
             trace.end_f(ctx.core.sim().now(), Category::Protocol, "rput_send", f, || {
-                format!("rank{me}")
+                ctx.label.clone()
             });
         })
     }
@@ -294,7 +294,7 @@ impl PointToPoint for RemotePutProtocol {
                 Category::Protocol,
                 "rput_recv",
                 f,
-                || format!("rank{me}"),
+                || ctx.label.clone(),
                 || fields![bytes = buf.len() as u64, src = src as u64],
             );
             ctx.inbound_lock.lock().await;
@@ -307,12 +307,12 @@ impl PointToPoint for RemotePutProtocol {
                     Category::Protocol,
                     "recv_poll",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![flag = "sent", target = cnt],
                 );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 // Local get out of my own MPB.
                 trace.begin_f(
@@ -320,19 +320,19 @@ impl PointToPoint for RemotePutProtocol {
                     Category::Protocol,
                     "recv_get",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![bytes = hi - lo],
                 );
                 ctx.core.cl1invmb().await;
                 ctx.core.get_f(layout::payload(my, REMOTE_PUT_OFF), &mut buf[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 ctx.recv_count.borrow_mut()[src] = cnt;
             }
             ctx.inbound_lock.unlock();
             trace.end_f(ctx.core.sim().now(), Category::Protocol, "rput_recv", f, || {
-                format!("rank{me}")
+                ctx.label.clone()
             });
         })
     }
@@ -386,7 +386,7 @@ impl PointToPoint for CachedGetProtocol {
                 Category::Protocol,
                 "lprg_send",
                 f,
-                || format!("rank{me}"),
+                || ctx.label.clone(),
                 || fields![bytes = data.len() as u64, dest = dest as u64],
             );
             let mut last = 0u8;
@@ -403,12 +403,12 @@ impl PointToPoint for CachedGetProtocol {
                     Category::Protocol,
                     "mpb_wait",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![flag = "consumed", target = cnt.wrapping_sub(1)],
                 );
                 flag_wait_reached(ctx, layout::ready_flag(my, dest), cnt.wrapping_sub(1)).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 // Invalidate the outdated part of the host copy (§3.1)...
                 ctx.core
@@ -423,12 +423,12 @@ impl PointToPoint for CachedGetProtocol {
                     Category::Protocol,
                     "sender_put",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![bytes = hi - lo, target = "local_mpb"],
                 );
                 ctx.core.put_f(layout::payload(my, 0), &data[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 // ... and trigger the prefetch into the host cache.
                 if self.prefetch {
@@ -447,15 +447,15 @@ impl PointToPoint for CachedGetProtocol {
                 Category::Protocol,
                 "mpb_wait",
                 f,
-                || format!("rank{me}"),
+                || ctx.label.clone(),
                 || fields![flag = "consumed", target = last],
             );
             flag_wait_reached(ctx, layout::ready_flag(my, dest), last).await;
             trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                format!("rank{me}")
+                ctx.label.clone()
             });
             trace.end_f(ctx.core.sim().now(), Category::Protocol, "lprg_send", f, || {
-                format!("rank{me}")
+                ctx.label.clone()
             });
         })
     }
@@ -481,7 +481,7 @@ impl PointToPoint for CachedGetProtocol {
                 Category::Protocol,
                 "lprg_recv",
                 f,
-                || format!("rank{me}"),
+                || ctx.label.clone(),
                 || fields![bytes = buf.len() as u64, src = src as u64],
             );
             for (lo, hi) in chunk_ranges(buf.len(), LPRG_CHUNK) {
@@ -491,32 +491,32 @@ impl PointToPoint for CachedGetProtocol {
                     Category::Protocol,
                     "recv_poll",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![flag = "sent", target = cnt],
                 );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
                     "recv_get",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![bytes = hi - lo, via = "sw_cache"],
                 );
                 ctx.core.cl1invmb().await;
                 // Remote get, served by the host software cache.
                 ctx.core.get_f(layout::payload(peer, 0), &mut buf[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 ctx.recv_count.borrow_mut()[src] = cnt;
                 ctx.core.flag_write_f(layout::ready_flag(peer, me), cnt, f).await;
             }
             trace.end_f(ctx.core.sim().now(), Category::Protocol, "lprg_recv", f, || {
-                format!("rank{me}")
+                ctx.label.clone()
             });
         })
     }
@@ -583,7 +583,7 @@ impl PointToPoint for VdmaProtocol {
                 Category::Protocol,
                 "vdma_send",
                 f,
-                || format!("rank{me}"),
+                || ctx.label.clone(),
                 || fields![bytes = data.len() as u64, dest = dest as u64],
             );
             let base = ctx.sent_count.borrow()[dest];
@@ -601,7 +601,7 @@ impl PointToPoint for VdmaProtocol {
                     Category::Protocol,
                     "mpb_wait",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![flag = "grant+drain", pkt = p0],
                 );
                 flag_wait_reached(ctx, layout::ready_flag(my, dest), seq).await;
@@ -615,7 +615,7 @@ impl PointToPoint for VdmaProtocol {
                 // pass immediately against the zero-initialized flag.)
                 flag_wait_reached(ctx, layout::vdma_done_flag(my), gseq.wrapping_sub(2)).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 // Local put into my send slot (slot parity follows the
                 // global drain sequence, since the slots are shared by
@@ -626,12 +626,12 @@ impl PointToPoint for VdmaProtocol {
                     Category::Protocol,
                     "sender_put",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![bytes = hi - lo, slot = (gseq % 2) as u64],
                 );
                 ctx.core.put_f(sslot, &data[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 // ... then program the vDMA controller: address, count,
                 // control in one fused 32 B register write (Fig. 5). The
@@ -665,7 +665,7 @@ impl PointToPoint for VdmaProtocol {
                 Category::Protocol,
                 "mpb_wait",
                 f,
-                || format!("rank{me}"),
+                || ctx.label.clone(),
                 || fields![flag = "drain+consumed", target = last_gseq],
             );
             flag_wait_reached(ctx, layout::vdma_done_flag(my), last_gseq).await;
@@ -673,10 +673,10 @@ impl PointToPoint for VdmaProtocol {
             // were consumed (blocking RCCE semantics).
             flag_wait_reached(ctx, layout::ready_flag(my, dest), base.wrapping_add(n as u8)).await;
             trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                format!("rank{me}")
+                ctx.label.clone()
             });
             trace.end_f(ctx.core.sim().now(), Category::Protocol, "vdma_send", f, || {
-                format!("rank{me}")
+                ctx.label.clone()
             });
         })
     }
@@ -702,7 +702,7 @@ impl PointToPoint for VdmaProtocol {
                 Category::Protocol,
                 "vdma_recv",
                 f,
-                || format!("rank{me}"),
+                || ctx.label.clone(),
                 || fields![bytes = buf.len() as u64, src = src as u64],
             );
             ctx.inbound_lock.lock().await;
@@ -721,12 +721,12 @@ impl PointToPoint for VdmaProtocol {
                     Category::Protocol,
                     "recv_poll",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![flag = "sent", pkt = p0],
                 );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), seq).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 // Local get out of my receive slot.
                 trace.begin_f(
@@ -734,13 +734,13 @@ impl PointToPoint for VdmaProtocol {
                     Category::Protocol,
                     "recv_get",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![bytes = hi - lo, slot = (p0 % 2) as u64],
                 );
                 ctx.core.cl1invmb().await;
                 ctx.core.get_f(recv_slot(my, p0 % 2), &mut buf[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 if p0 + 3 <= n {
                     // Re-grant the slot just freed.
@@ -756,7 +756,7 @@ impl PointToPoint for VdmaProtocol {
             ctx.recv_count.borrow_mut()[src] = base.wrapping_add(n as u8);
             ctx.inbound_lock.unlock();
             trace.end_f(ctx.core.sim().now(), Category::Protocol, "vdma_recv", f, || {
-                format!("rank{me}")
+                ctx.label.clone()
             });
         })
     }

@@ -13,8 +13,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use des::event::Notify;
-use des::obs::Registry;
-use des::stats::Counter;
+use des::obs::{CounterHandle, Registry};
 use scc::{GlobalCore, MPB_BYTES};
 
 struct Entry {
@@ -51,10 +50,10 @@ pub struct SwCacheStats {
 pub struct SwCache {
     entries: Rc<RefCell<HashMap<GlobalCore, Entry>>>,
     notify: Notify,
-    hits: Counter,
-    misses: Counter,
-    invalidations: Counter,
-    updates: Counter,
+    hits: CounterHandle,
+    misses: CounterHandle,
+    invalidations: CounterHandle,
+    updates: CounterHandle,
 }
 
 impl SwCache {
@@ -70,10 +69,10 @@ impl SwCache {
         SwCache {
             entries: Rc::default(),
             notify: Notify::new(),
-            hits: scope.counter("hits"),
-            misses: scope.counter("misses"),
-            updates: scope.counter("updates"),
-            invalidations: scope.counter("invalidations"),
+            hits: scope.register_counter("hits"),
+            misses: scope.register_counter("misses"),
+            updates: scope.register_counter("updates"),
+            invalidations: scope.register_counter("invalidations"),
         }
     }
 

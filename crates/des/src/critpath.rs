@@ -177,10 +177,10 @@ fn intervals_from_events<'a>(
         let Some(phase) = phase_of_kind(e.kind) else { continue };
         match e.phase {
             SpanPhase::Begin => {
-                open.entry((e.actor.as_str(), e.kind)).or_default().push(e.time);
+                open.entry((&*e.actor, e.kind)).or_default().push(e.time);
             }
             SpanPhase::End => {
-                if let Some(t0) = open.get_mut(&(e.actor.as_str(), e.kind)).and_then(Vec::pop) {
+                if let Some(t0) = open.get_mut(&(&*e.actor, e.kind)).and_then(Vec::pop) {
                     out.push((t0, e.time, phase));
                 }
             }
@@ -347,13 +347,13 @@ mod tests {
         let t = Trace::enabled();
         let f1 = Some(1u64);
         let f2 = Some(2u64);
-        t.begin_f(0, Category::Protocol, "send_lock", f1, || "rank0".into(), Vec::new);
-        t.end_f(5, Category::Protocol, "send_lock", f1, || "rank0".into());
-        t.begin_f(5, Category::Protocol, "sender_put", f1, || "rank0".into(), Vec::new);
-        t.end_f(20, Category::Protocol, "sender_put", f1, || "rank0".into());
-        t.begin_f(8, Category::Protocol, "recv_poll", f2, || "rank1".into(), Vec::new);
-        t.end_f(30, Category::Protocol, "recv_poll", f2, || "rank1".into());
-        t.instant_f(40, Category::Protocol, "flag_set", f1, || "rank0".into(), Vec::new);
+        t.begin_f(0, Category::Protocol, "send_lock", f1, || "rank0", Vec::new);
+        t.end_f(5, Category::Protocol, "send_lock", f1, || "rank0");
+        t.begin_f(5, Category::Protocol, "sender_put", f1, || "rank0", Vec::new);
+        t.end_f(20, Category::Protocol, "sender_put", f1, || "rank0");
+        t.begin_f(8, Category::Protocol, "recv_poll", f2, || "rank1", Vec::new);
+        t.end_f(30, Category::Protocol, "recv_poll", f2, || "rank1");
+        t.instant_f(40, Category::Protocol, "flag_set", f1, || "rank0", Vec::new);
         let tl = flow_timelines(&t);
         assert_eq!(tl.len(), 2);
         assert_eq!(tl[0].flow, 1);
@@ -370,7 +370,7 @@ mod tests {
     #[test]
     fn unmatched_begin_closes_at_window_end() {
         let t = Trace::enabled();
-        t.begin_f(10, Category::Vdma, "vdma", Some(3), || "host".into(), Vec::new);
+        t.begin_f(10, Category::Vdma, "vdma", Some(3), || "host", Vec::new);
         let a = run_attribution(&t, 0, 50);
         assert_eq!(a.get(Phase::Vdma), 40);
         assert_eq!(a.get(Phase::Other), 10);

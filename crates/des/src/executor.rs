@@ -1,27 +1,117 @@
 //! The virtual-clock executor.
 //!
 //! Single-threaded and strictly deterministic: the ready queue is FIFO, the
-//! timer heap breaks deadline ties by insertion sequence, and wakers enqueue
+//! timer wheel breaks deadline ties by insertion sequence, and wakers enqueue
 //! task ids in wake order. Simulated time advances only when no task is
 //! runnable.
+//!
+//! The hot paths are allocation-free in steady state: timers live in a
+//! hierarchical [`crate::wheel::TimerWheel`] (slab-backed, cancellable —
+//! a dropped [`Delay`] withdraws its entry instead of leaving it to fire)
+//! and carry a bare task id that is pushed straight onto the ready queue
+//! when they fire — an in-task `delay` never touches a [`Waker`] at all.
+//! Polls receive a per-`Sim` *hub* waker (a borrowed [`RawWaker`] over the
+//! executor itself); cloning it — which only foreign futures such as
+//! channels or `JoinHandle`s do — materialises a cached per-task
+//! `Arc<TaskWaker>` that is fully thread-safe. The wake queue drains
+//! through a reusable swap buffer, and task names are interned ids
+//! resolved to strings only on the deadlock error path.
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::sync::Arc;
-use std::task::{Context, Poll, Wake, Waker};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Wake, Waker};
 
 use std::sync::{Mutex, PoisonError};
 
 use crate::time::Cycles;
+use crate::wheel::{TimerId, TimerWheel};
 
 type TaskId = usize;
-type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// A spawned task. Its future and its join state share one `Rc`
+/// allocation: the executor drives it through [`RunTask`], the
+/// [`JoinHandle`] reads the result through [`JoinAccess`] — two
+/// trait-object views of the same `Rc<TaskCell<F>>`.
+enum TaskState<F: Future> {
+    /// The future, structurally pinned inside the `Rc` (never moved; see
+    /// the safety comment in `poll_cell`).
+    Running(F),
+    /// Completion overwrites the future in place; holds the result until
+    /// the join handle takes it.
+    Finished(Option<F::Output>),
+}
+
+struct TaskCell<F: Future> {
+    state: RefCell<TaskState<F>>,
+    waiters: RefCell<Vec<Waker>>,
+}
+
+trait RunTask {
+    /// Poll the task; `true` means it completed (waiters were woken).
+    fn poll_cell(&self, cx: &mut Context<'_>) -> bool;
+}
+
+impl<F: Future> RunTask for TaskCell<F> {
+    fn poll_cell(&self, cx: &mut Context<'_>) -> bool {
+        let mut state = self.state.borrow_mut();
+        let fut = match &mut *state {
+            TaskState::Running(f) => f,
+            TaskState::Finished(_) => return true,
+        };
+        // SAFETY: the future lives inside the `Rc<TaskCell<F>>` allocation
+        // and is never moved out of it. Completion overwrites the enum
+        // variant in place, which drops the future at its pinned address
+        // before the slot is reused — exactly the drop guarantee `Pin`
+        // requires. This is the executor's only unsafe pinning.
+        let fut = unsafe { Pin::new_unchecked(fut) };
+        match fut.poll(cx) {
+            Poll::Ready(out) => {
+                *state = TaskState::Finished(Some(out));
+                drop(state);
+                for w in self.waiters.borrow_mut().drain(..) {
+                    w.wake();
+                }
+                true
+            }
+            Poll::Pending => false,
+        }
+    }
+}
+
+trait JoinAccess<T> {
+    /// Take the result, or enqueue `waker` for completion.
+    fn take_or_wait(&self, waker: &Waker) -> Option<T>;
+    fn try_take(&self) -> Option<T>;
+    fn is_finished(&self) -> bool;
+}
+
+impl<F: Future> JoinAccess<F::Output> for TaskCell<F> {
+    fn take_or_wait(&self, waker: &Waker) -> Option<F::Output> {
+        if let TaskState::Finished(result) = &mut *self.state.borrow_mut() {
+            if let Some(v) = result.take() {
+                return Some(v);
+            }
+        }
+        self.waiters.borrow_mut().push(waker.clone());
+        None
+    }
+
+    fn try_take(&self) -> Option<F::Output> {
+        match &mut *self.state.borrow_mut() {
+            TaskState::Finished(result) => result.take(),
+            TaskState::Running(_) => None,
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        matches!(&*self.state.borrow(), TaskState::Finished(Some(_)))
+    }
+}
 
 /// Error returned by [`Sim::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +141,25 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Host-side scheduler counters, for the wall-clock perf harness
+/// (`engine_micro`). These count *engine operations*, not simulated
+/// cycles, and never feed the virtual clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Tasks spawned (including daemons).
+    pub spawned: u64,
+    /// Future polls executed.
+    pub polls: u64,
+    /// Timers registered.
+    pub timers_set: u64,
+    /// Timers that fired.
+    pub timers_fired: u64,
+    /// Timers withdrawn before firing (dropped delays, race losers).
+    pub timers_cancelled: u64,
+    /// Task wakeups drained from the wake queue.
+    pub wakes: u64,
+}
+
 /// Wake queue shared with wakers. Wakers may technically be sent across
 /// threads, so this is the one `Send`-safe piece of the executor.
 #[derive(Default)]
@@ -73,32 +182,75 @@ impl Wake for TaskWaker {
     }
 }
 
-struct TimerEntry {
-    deadline: Cycles,
-    seq: u64,
-    waker: Waker,
+/// What a fired timer wakes. In-task delays store the bare task id —
+/// firing one is a ready-queue push, no `Waker`, no queue lock. Foreign
+/// contexts (a `Delay` polled outside the executor's own tasks) fall back
+/// to a real waker.
+enum WakeTarget {
+    Task(TaskId),
+    External(Waker),
 }
 
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.seq == other.seq
-    }
+/// Sentinel for "no task is being polled right now".
+const NO_TASK: TaskId = usize::MAX;
+
+/// The executor's shared waker plumbing. During a poll, `current` holds
+/// the polled task's id; the *hub waker* handed to every poll is a
+/// borrowed [`RawWaker`] over this struct. `wake(_by_ref)` on it enqueues
+/// `current`; `clone` materialises (and caches) a real per-task
+/// `Arc<TaskWaker>`, so only futures that actually store wakers —
+/// channels, semaphores, `JoinHandle`s — pay for one.
+struct WakerHub {
+    current: Cell<TaskId>,
+    queue: Arc<WakeQueue>,
+    /// Lazily-built `Arc<TaskWaker>` per task id. Task ids are stable
+    /// across slot reuse, so a cached waker serves every task the slot
+    /// ever hosts.
+    cache: RefCell<Vec<Option<Arc<TaskWaker>>>>,
 }
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+// SAFETY contract for the hub vtable: the raw hub waker exists only for
+// the duration of one `poll_task` call on the executor's own thread, and
+// `Inner` (which owns the hub) outlives every poll. The un-cloned waker
+// must never cross a thread: every clone goes through `hub_clone`, which
+// returns an ordinary thread-safe `Arc<TaskWaker>`-backed waker, so a
+// future that stores or sends `cx.waker().clone()` is always safe. All
+// futures in this workspace are `!Send` (they hold `Rc`s), which keeps
+// the borrowed waker on-thread in practice.
+unsafe fn hub_clone(data: *const ()) -> RawWaker {
+    let hub = &*(data as *const WakerHub);
+    let id = hub.current.get();
+    debug_assert_ne!(id, NO_TASK, "hub waker cloned outside a poll");
+    let mut cache = hub.cache.borrow_mut();
+    if cache.len() <= id {
+        cache.resize_with(id + 1, || None);
     }
+    let arc = cache[id]
+        .get_or_insert_with(|| Arc::new(TaskWaker { id, queue: hub.queue.clone() }))
+        .clone();
+    RawWaker::from(arc)
 }
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
-    }
+
+unsafe fn hub_wake(data: *const ()) {
+    hub_wake_by_ref(data);
 }
+
+unsafe fn hub_wake_by_ref(data: *const ()) {
+    let hub = &*(data as *const WakerHub);
+    let id = hub.current.get();
+    debug_assert_ne!(id, NO_TASK, "hub waker used outside a poll");
+    hub.queue.ids.lock().unwrap_or_else(PoisonError::into_inner).push(id);
+}
+
+unsafe fn hub_drop(_data: *const ()) {}
+
+static HUB_VTABLE: RawWakerVTable =
+    RawWakerVTable::new(hub_clone, hub_wake, hub_wake_by_ref, hub_drop);
 
 struct Slot {
-    fut: Option<BoxFuture>,
-    name: Rc<str>,
+    task: Option<Rc<dyn RunTask>>,
+    /// Index into the interned name table (resolved only for diagnostics).
+    name: u32,
     /// Task is in the ready queue (dedupes spurious wakes).
     queued: bool,
     /// Slot is occupied by a live task.
@@ -108,19 +260,53 @@ struct Slot {
     daemon: bool,
 }
 
+/// Interned task names: spawning with a name already seen costs one hash
+/// lookup and zero allocations.
+struct Names {
+    by_name: HashMap<Rc<str>, u32>,
+    list: Vec<Rc<str>>,
+}
+
+impl Names {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let rc: Rc<str> = Rc::from(name);
+        let id = self.list.len() as u32;
+        self.list.push(rc.clone());
+        self.by_name.insert(rc, id);
+        id
+    }
+}
+
+/// Pre-interned name id for anonymous tasks (see [`Sim::new`]).
+const ANON_NAME: u32 = 0;
+
 struct Inner {
     now: Cell<Cycles>,
     horizon: Cell<Cycles>,
-    timer_seq: Cell<u64>,
     tasks: RefCell<Vec<Slot>>,
     free: RefCell<Vec<TaskId>>,
     ready: RefCell<VecDeque<TaskId>>,
-    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timers: RefCell<TimerWheel<WakeTarget>>,
     wake_queue: Arc<WakeQueue>,
+    /// Reusable drain buffer swapped with the wake queue under one lock.
+    wake_scratch: RefCell<Vec<TaskId>>,
+    hub: WakerHub,
+    names: RefCell<Names>,
     live: Cell<usize>,
+    /// Fast flag mirroring `abort_reason`, checked once per loop turn.
+    abort: Cell<bool>,
     /// A diagnosed abort requested by a task; surfaced by [`Sim::run`]
     /// before the next task poll. First request wins.
-    abort: RefCell<Option<String>>,
+    abort_reason: RefCell<Option<String>>,
+    stat_spawned: Cell<u64>,
+    stat_polls: Cell<u64>,
+    stat_timers_set: Cell<u64>,
+    stat_timers_fired: Cell<u64>,
+    stat_timers_cancelled: Cell<u64>,
+    stat_wakes: Cell<u64>,
 }
 
 /// Handle to the simulation. Cheap to clone; all clones share the clock,
@@ -140,18 +326,35 @@ impl Sim {
     /// Create an empty simulation at time 0 with an effectively unbounded
     /// horizon.
     pub fn new() -> Self {
+        let mut names = Names { by_name: HashMap::new(), list: Vec::new() };
+        let anon = names.intern("task");
+        debug_assert_eq!(anon, ANON_NAME);
+        let wake_queue = Arc::new(WakeQueue::default());
         Sim {
             inner: Rc::new(Inner {
                 now: Cell::new(0),
                 horizon: Cell::new(Cycles::MAX),
-                timer_seq: Cell::new(0),
                 tasks: RefCell::new(Vec::new()),
                 free: RefCell::new(Vec::new()),
                 ready: RefCell::new(VecDeque::new()),
-                timers: RefCell::new(BinaryHeap::new()),
-                wake_queue: Arc::new(WakeQueue::default()),
+                timers: RefCell::new(TimerWheel::new()),
+                wake_queue: wake_queue.clone(),
+                wake_scratch: RefCell::new(Vec::new()),
+                hub: WakerHub {
+                    current: Cell::new(NO_TASK),
+                    queue: wake_queue,
+                    cache: RefCell::new(Vec::new()),
+                },
+                names: RefCell::new(names),
                 live: Cell::new(0),
-                abort: RefCell::new(None),
+                abort: Cell::new(false),
+                abort_reason: RefCell::new(None),
+                stat_spawned: Cell::new(0),
+                stat_polls: Cell::new(0),
+                stat_timers_set: Cell::new(0),
+                stat_timers_fired: Cell::new(0),
+                stat_timers_cancelled: Cell::new(0),
+                stat_wakes: Cell::new(0),
             }),
         }
     }
@@ -173,9 +376,10 @@ impl Sim {
     /// should park itself afterwards (e.g. `std::future::pending().await`)
     /// — the run loop never polls again once the abort surfaces.
     pub fn abort(&self, reason: impl Into<String>) {
-        let mut slot = self.inner.abort.borrow_mut();
+        let mut slot = self.inner.abort_reason.borrow_mut();
         if slot.is_none() {
             *slot = Some(reason.into());
+            self.inner.abort.set(true);
         }
     }
 
@@ -184,17 +388,37 @@ impl Sim {
         self.inner.live.get()
     }
 
+    /// Number of registered-but-unfired timers. After a clean run this is
+    /// zero: dropped delays (e.g. losing `race` arms and poll-watchdog
+    /// budgets) withdraw their wheel entries.
+    pub fn pending_timers(&self) -> usize {
+        self.inner.timers.borrow().len()
+    }
+
+    /// Snapshot of the host-side scheduler counters (see [`EngineStats`]).
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            spawned: self.inner.stat_spawned.get(),
+            polls: self.inner.stat_polls.get(),
+            timers_set: self.inner.stat_timers_set.get(),
+            timers_fired: self.inner.stat_timers_fired.get(),
+            timers_cancelled: self.inner.stat_timers_cancelled.get(),
+            wakes: self.inner.stat_wakes.get(),
+        }
+    }
+
     /// Spawn an anonymous task.
     pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
-        self.spawn_named("task", fut)
+        self.spawn_inner(ANON_NAME, fut, false)
     }
 
     /// Spawn a task with a diagnostic name (shown in deadlock reports).
     pub fn spawn_named<T: 'static>(
         &self,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         fut: impl Future<Output = T> + 'static,
     ) -> JoinHandle<T> {
+        let name = self.inner.names.borrow_mut().intern(name.as_ref());
         self.spawn_inner(name, fut, false)
     }
 
@@ -202,56 +426,63 @@ impl Sim {
     /// alive — [`Sim::run`] returns once all non-daemon tasks finished.
     pub fn spawn_daemon<T: 'static>(
         &self,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         fut: impl Future<Output = T> + 'static,
     ) -> JoinHandle<T> {
+        let name = self.inner.names.borrow_mut().intern(name.as_ref());
         self.spawn_inner(name, fut, true)
     }
 
     fn spawn_inner<T: 'static>(
         &self,
-        name: impl Into<String>,
+        name: u32,
         fut: impl Future<Output = T> + 'static,
         daemon: bool,
     ) -> JoinHandle<T> {
-        let state =
-            Rc::new(RefCell::new(JoinState { result: None, waiters: Vec::new(), detached: false }));
-        let task_state = state.clone();
-        let wrapped: BoxFuture = Box::pin(async move {
-            let out = fut.await;
-            let mut st = task_state.borrow_mut();
-            st.result = Some(out);
-            for w in st.waiters.drain(..) {
-                w.wake();
-            }
+        // One allocation per task: future + join state share the cell.
+        let cell = Rc::new(TaskCell {
+            state: RefCell::new(TaskState::Running(fut)),
+            waiters: RefCell::new(Vec::new()),
         });
-        let name: Rc<str> = Rc::from(name.into());
+        let run: Rc<dyn RunTask> = cell.clone();
         let id = {
             let mut tasks = self.inner.tasks.borrow_mut();
             if let Some(id) = self.inner.free.borrow_mut().pop() {
-                tasks[id] = Slot { fut: Some(wrapped), name, queued: true, live: true, daemon };
+                let slot = &mut tasks[id];
+                slot.task = Some(run);
+                slot.name = name;
+                slot.queued = true;
+                slot.live = true;
+                slot.daemon = daemon;
                 id
             } else {
-                tasks.push(Slot { fut: Some(wrapped), name, queued: true, live: true, daemon });
-                tasks.len() - 1
+                let id = tasks.len();
+                tasks.push(Slot { task: Some(run), name, queued: true, live: true, daemon });
+                id
             }
         };
+        self.inner.stat_spawned.set(self.inner.stat_spawned.get() + 1);
         if !daemon {
             self.inner.live.set(self.inner.live.get() + 1);
         }
         self.inner.ready.borrow_mut().push_back(id);
-        JoinHandle { state }
+        JoinHandle { cell }
     }
 
     /// Sleep for `cycles` of simulated time.
     pub fn delay(&self, cycles: Cycles) -> Delay {
-        Delay { sim: self.clone(), deadline: self.now().saturating_add(cycles), registered: false }
+        Delay {
+            sim: self.clone(),
+            deadline: self.now().saturating_add(cycles),
+            timer: None,
+            registered: false,
+        }
     }
 
     /// Sleep until the absolute simulated timestamp `deadline` (no-op if it
     /// is already in the past).
     pub fn delay_until(&self, deadline: Cycles) -> Delay {
-        Delay { sim: self.clone(), deadline, registered: false }
+        Delay { sim: self.clone(), deadline, timer: None, registered: false }
     }
 
     /// Yield to other runnable tasks without advancing time.
@@ -259,19 +490,33 @@ impl Sim {
         YieldNow { yielded: false }
     }
 
-    fn register_timer(&self, deadline: Cycles, waker: Waker) {
-        let seq = self.inner.timer_seq.get();
-        self.inner.timer_seq.set(seq + 1);
-        self.inner.timers.borrow_mut().push(Reverse(TimerEntry { deadline, seq, waker }));
+    fn register_timer(&self, deadline: Cycles, target: WakeTarget) -> TimerId {
+        self.inner.stat_timers_set.set(self.inner.stat_timers_set.get() + 1);
+        self.inner.timers.borrow_mut().insert(deadline, target)
+    }
+
+    fn cancel_timer(&self, id: TimerId) {
+        if self.inner.timers.borrow_mut().cancel(id) {
+            self.inner.stat_timers_cancelled.set(self.inner.stat_timers_cancelled.get() + 1);
+        }
     }
 
     fn drain_wake_queue(&self) {
-        let ids: Vec<TaskId> = std::mem::take(
-            &mut *self.inner.wake_queue.ids.lock().unwrap_or_else(PoisonError::into_inner),
-        );
+        let mut scratch = self.inner.wake_scratch.borrow_mut();
+        debug_assert!(scratch.is_empty());
+        {
+            let mut ids = self.inner.wake_queue.ids.lock().unwrap_or_else(PoisonError::into_inner);
+            if ids.is_empty() {
+                return;
+            }
+            // Swap instead of take: both vectors keep their capacity, so
+            // steady-state draining allocates nothing.
+            std::mem::swap(&mut *ids, &mut *scratch);
+        }
+        self.inner.stat_wakes.set(self.inner.stat_wakes.get() + scratch.len() as u64);
         let mut tasks = self.inner.tasks.borrow_mut();
         let mut ready = self.inner.ready.borrow_mut();
-        for id in ids {
+        for &id in scratch.iter() {
             if let Some(slot) = tasks.get_mut(id) {
                 if slot.live && !slot.queued {
                     slot.queued = true;
@@ -279,6 +524,7 @@ impl Sim {
                 }
             }
         }
+        scratch.clear();
     }
 
     /// Run until every task has finished.
@@ -287,13 +533,23 @@ impl Sim {
     /// overrun (the simulation state stays inspectable after an error).
     pub fn run(&self) -> Result<Cycles, SimError> {
         loop {
-            if let Some(reason) = self.inner.abort.borrow_mut().take() {
+            if self.inner.abort.get() {
+                let reason =
+                    self.inner.abort_reason.borrow_mut().take().expect("abort flag implies reason");
+                self.inner.abort.set(false);
                 return Err(SimError::Aborted(reason));
             }
-            self.drain_wake_queue();
+            // Fast path: poll the next ready task. Wakes enqueued during
+            // a poll are appended (in wake order) once the ready queue
+            // empties — the poll sequence is identical to draining before
+            // every poll, since both append at the back in wake order.
             let next = self.inner.ready.borrow_mut().pop_front();
             if let Some(id) = next {
                 self.poll_task(id);
+                continue;
+            }
+            self.drain_wake_queue();
+            if !self.inner.ready.borrow().is_empty() {
                 continue;
             }
             // All non-daemon tasks done: the run is complete (daemon
@@ -301,46 +557,60 @@ impl Sim {
             if self.inner.live.get() == 0 {
                 return Ok(self.inner.now.get());
             }
-            // No runnable task: advance time to the next timer.
-            let fired = {
-                let mut timers = self.inner.timers.borrow_mut();
-                timers.pop()
-            };
+            // No runnable task: advance time to the next live timer.
+            let fired = self.inner.timers.borrow_mut().pop_next();
             match fired {
-                Some(Reverse(entry)) => {
-                    debug_assert!(entry.deadline >= self.inner.now.get());
-                    if entry.deadline > self.inner.horizon.get() {
+                Some((deadline, target)) => {
+                    debug_assert!(deadline >= self.inner.now.get());
+                    if deadline > self.inner.horizon.get() {
                         return Err(SimError::HorizonExceeded(self.inner.horizon.get()));
                     }
-                    self.inner.now.set(entry.deadline.max(self.inner.now.get()));
-                    entry.waker.wake();
+                    self.inner.now.set(deadline.max(self.inner.now.get()));
+                    self.fire_timer(target);
                     // Fire every timer that shares this deadline before
                     // polling, so same-timestamp wakeups are batched
                     // deterministically.
                     loop {
-                        let mut timers = self.inner.timers.borrow_mut();
-                        match timers.peek() {
-                            Some(Reverse(e)) if e.deadline == entry.deadline => {
-                                let Reverse(e) = timers.pop().expect("peeked");
-                                drop(timers);
-                                e.waker.wake();
-                            }
-                            _ => break,
+                        let next = self.inner.timers.borrow_mut().pop_next_at(deadline);
+                        match next {
+                            Some(t) => self.fire_timer(t),
+                            None => break,
                         }
                     }
                 }
                 None => {
-                    let names = {
-                        let tasks = self.inner.tasks.borrow();
-                        tasks
-                            .iter()
-                            .filter(|s| s.live && !s.daemon)
-                            .map(|s| s.name.to_string())
-                            .collect()
-                    };
+                    // Materialise stuck-task names only on this error
+                    // path, from the interned table.
+                    let tasks = self.inner.tasks.borrow();
+                    let names_table = self.inner.names.borrow();
+                    let names = tasks
+                        .iter()
+                        .filter(|s| s.live && !s.daemon)
+                        .map(|s| names_table.list[s.name as usize].to_string())
+                        .collect();
                     return Err(SimError::Deadlock(names));
                 }
             }
+        }
+    }
+
+    /// Dispatch a fired timer: a task target goes straight onto the ready
+    /// queue (dedup via the `queued` flag, exactly like a drained wake);
+    /// an external target falls back to its stored waker.
+    fn fire_timer(&self, target: WakeTarget) {
+        self.inner.stat_timers_fired.set(self.inner.stat_timers_fired.get() + 1);
+        match target {
+            WakeTarget::Task(id) => {
+                self.inner.stat_wakes.set(self.inner.stat_wakes.get() + 1);
+                let mut tasks = self.inner.tasks.borrow_mut();
+                if let Some(slot) = tasks.get_mut(id) {
+                    if slot.live && !slot.queued {
+                        slot.queued = true;
+                        self.inner.ready.borrow_mut().push_back(id);
+                    }
+                }
+            }
+            WakeTarget::External(waker) => waker.wake(),
         }
     }
 
@@ -355,60 +625,61 @@ impl Sim {
     }
 
     fn poll_task(&self, id: TaskId) {
-        let (mut fut, _name) = {
+        let task = {
             let mut tasks = self.inner.tasks.borrow_mut();
             let slot = &mut tasks[id];
             slot.queued = false;
             if !slot.live {
                 return;
             }
-            (slot.fut.take().expect("live task has future"), slot.name.clone())
+            slot.task.take().expect("live task has runner")
         };
-        let waker = Waker::from(Arc::new(TaskWaker { id, queue: self.inner.wake_queue.clone() }));
+        self.inner.stat_polls.set(self.inner.stat_polls.get() + 1);
+        let hub = &self.inner.hub;
+        hub.current.set(id);
+        // SAFETY: the hub waker borrows `self.inner.hub`, which outlives
+        // this poll (the `Rc<Inner>` is held by `self`); it is used and
+        // dropped on this thread only, and every clone is converted to a
+        // thread-safe `Arc<TaskWaker>` by `hub_clone`. See the vtable's
+        // safety contract above.
+        let waker = unsafe {
+            Waker::from_raw(RawWaker::new(hub as *const WakerHub as *const (), &HUB_VTABLE))
+        };
         let mut cx = Context::from_waker(&waker);
-        match fut.as_mut().poll(&mut cx) {
-            Poll::Ready(()) => {
-                let mut tasks = self.inner.tasks.borrow_mut();
-                let slot = &mut tasks[id];
-                slot.live = false;
-                slot.fut = None;
-                let was_daemon = slot.daemon;
-                self.inner.free.borrow_mut().push(id);
-                if !was_daemon {
-                    self.inner.live.set(self.inner.live.get() - 1);
-                }
+        let done = task.poll_cell(&mut cx);
+        hub.current.set(NO_TASK);
+        if done {
+            drop(task);
+            let mut tasks = self.inner.tasks.borrow_mut();
+            let slot = &mut tasks[id];
+            slot.live = false;
+            let was_daemon = slot.daemon;
+            self.inner.free.borrow_mut().push(id);
+            if !was_daemon {
+                self.inner.live.set(self.inner.live.get() - 1);
             }
-            Poll::Pending => {
-                let mut tasks = self.inner.tasks.borrow_mut();
-                tasks[id].fut = Some(fut);
-            }
+        } else {
+            self.inner.tasks.borrow_mut()[id].task = Some(task);
         }
     }
-}
-
-struct JoinState<T> {
-    result: Option<T>,
-    waiters: Vec<Waker>,
-    detached: bool,
 }
 
 /// Await the completion of a spawned task and obtain its output.
 ///
 /// Dropping the handle detaches the task (it keeps running).
 pub struct JoinHandle<T> {
-    state: Rc<RefCell<JoinState<T>>>,
+    cell: Rc<dyn JoinAccess<T>>,
 }
 
 impl<T> JoinHandle<T> {
     /// Take the result if the task already finished.
     pub fn try_take(&self) -> Option<T> {
-        self.state.borrow_mut().result.take()
+        self.cell.try_take()
     }
 
-    /// Whether the task has finished (result may already have been taken).
+    /// Whether the task has finished and its result is still available.
     pub fn is_finished(&self) -> bool {
-        let st = self.state.borrow();
-        st.result.is_some() || st.detached
+        self.cell.is_finished()
     }
 }
 
@@ -416,20 +687,22 @@ impl<T> Future for JoinHandle<T> {
     type Output = T;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
-        let mut st = self.state.borrow_mut();
-        if let Some(v) = st.result.take() {
-            Poll::Ready(v)
-        } else {
-            st.waiters.push(cx.waker().clone());
-            Poll::Pending
+        match self.cell.take_or_wait(cx.waker()) {
+            Some(v) => Poll::Ready(v),
+            None => Poll::Pending,
         }
     }
 }
 
 /// Future returned by [`Sim::delay`] / [`Sim::delay_until`].
+///
+/// Dropping an unfired `Delay` cancels its timer: a losing `race` arm no
+/// longer leaves a stale entry to drag the clock (or a deadlock
+/// diagnosis) to its deadline.
 pub struct Delay {
     sim: Sim,
     deadline: Cycles,
+    timer: Option<TimerId>,
     registered: bool,
 }
 
@@ -438,13 +711,32 @@ impl Future for Delay {
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.sim.now() >= self.deadline {
+            if let Some(id) = self.timer.take() {
+                self.sim.cancel_timer(id);
+            }
             return Poll::Ready(());
         }
         if !self.registered {
             self.registered = true;
-            self.sim.register_timer(self.deadline, cx.waker().clone());
+            // Inside one of the executor's own polls, the timer carries
+            // the bare task id (fired straight onto the ready queue);
+            // only a foreign context pays for a waker clone.
+            let target = match self.sim.inner.hub.current.get() {
+                NO_TASK => WakeTarget::External(cx.waker().clone()),
+                id => WakeTarget::Task(id),
+            };
+            let id = self.sim.register_timer(self.deadline, target);
+            self.timer = Some(id);
         }
         Poll::Pending
+    }
+}
+
+impl Drop for Delay {
+    fn drop(&mut self) {
+        if let Some(id) = self.timer.take() {
+            self.sim.cancel_timer(id);
+        }
     }
 }
 
@@ -691,5 +983,68 @@ mod tests {
         sim.run().unwrap();
         // Slots freed by the first wave must have been recycled.
         assert!(sim.inner.tasks.borrow().len() <= 100);
+    }
+
+    #[test]
+    fn dropped_delay_cancels_its_timer() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            {
+                let d = s.delay(1_000_000);
+                // Poll once so the timer registers, then drop the future.
+                futures_poll_once(d).await;
+            }
+            assert_eq!(s.pending_timers(), 0);
+            s.delay(10).await;
+        });
+        assert_eq!(sim.run().unwrap(), 10);
+        assert_eq!(sim.pending_timers(), 0);
+    }
+
+    #[test]
+    fn deadlock_reports_at_real_time_not_stale_deadline() {
+        // Pre-wheel, the losing arm's timer stayed in the heap: an
+        // ensuing hang was diagnosed only once the clock had been
+        // dragged to the stale deadline.
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn_named("hung", async move {
+            crate::sync::race(s.delay(10), s.delay(1_000_000)).await;
+            std::future::pending::<()>().await;
+        });
+        match sim.run() {
+            Err(SimError::Deadlock(names)) => assert_eq!(names, vec!["hung".to_string()]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        assert_eq!(sim.now(), 10);
+        assert_eq!(sim.pending_timers(), 0);
+    }
+
+    #[test]
+    fn engine_stats_count_scheduler_work() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.delay(5).await;
+            s.delay(5).await;
+        });
+        sim.run().unwrap();
+        let st = sim.engine_stats();
+        assert_eq!(st.spawned, 1);
+        assert_eq!(st.timers_set, 2);
+        assert_eq!(st.timers_fired, 2);
+        assert_eq!(st.timers_cancelled, 0);
+        assert!(st.polls >= 3);
+        assert_eq!(st.wakes, st.timers_fired);
+    }
+
+    /// Poll a future exactly once with a no-op waker, then drop it.
+    async fn futures_poll_once<F: Future + Unpin>(mut f: F) {
+        std::future::poll_fn(move |cx| {
+            let _ = Pin::new(&mut f).poll(cx);
+            Poll::Ready(())
+        })
+        .await
     }
 }

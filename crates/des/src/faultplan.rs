@@ -351,7 +351,7 @@ impl FaultPlan {
     }
 
     fn note(&self, now: Cycles, kind: &'static str, flow: Option<u64>) {
-        self.trace.instant_f(now, Category::Fault, kind, flow, || "fault".into(), Vec::new);
+        self.trace.instant_f(now, Category::Fault, kind, flow, || "fault", Vec::new);
     }
 
     /// Draw the fault (if any) for one tunnel payload transfer. At most

@@ -9,7 +9,8 @@
 //!
 //! The design follows the single-threaded-executor pattern: tasks are woken
 //! through [`std::task::Waker`]s that push task ids onto a wake queue, timers
-//! live in a binary heap keyed by `(deadline, sequence)`, and all shared
+//! live in a hierarchical timer wheel ([`wheel::TimerWheel`]) that keys by
+//! `(deadline, sequence)` and supports cancellation, and all shared
 //! simulation state is interior-mutable behind `Rc`.
 //!
 //! # Quick example
@@ -39,6 +40,7 @@ pub mod stats;
 pub mod sync;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
-pub use executor::{JoinHandle, Sim, SimError};
+pub use executor::{EngineStats, JoinHandle, Sim, SimError};
 pub use time::{Cycles, Freq};

@@ -265,11 +265,10 @@ pub enum Either<A, B> {
 ///
 /// Polls the left future first, so when both become ready in the same
 /// scheduler step the left one wins — ties are deterministic. The loser is
-/// dropped, but note that a losing [`crate::Sim::delay`] cannot withdraw
-/// its timer-heap entry: the stale timer still fires (waking nobody) and
-/// can advance the clock to its deadline if the simulation is otherwise
-/// idle. Use timeout races only on paths where that slack is acceptable
-/// (e.g. opt-in watchdogs on faulty runs).
+/// dropped; a losing [`crate::Sim::delay`] withdraws its timer-wheel
+/// entry on drop, so a timeout race that wins early leaves no stale
+/// deadline behind and cannot drag the clock forward on an otherwise
+/// idle simulation.
 pub async fn race<FA, FB>(a: FA, b: FB) -> Either<FA::Output, FB::Output>
 where
     FA: std::future::Future,
@@ -359,9 +358,10 @@ mod tests {
             })
             .unwrap();
         assert!(won);
-        // The losing timer is still in the heap; the run may end at its
-        // deadline but must not hang or error.
-        assert!(sim.now() <= 1_000);
+        // The losing delay(1_000) is cancelled on drop, so the run ends
+        // at the notify time — the stale deadline never advances the clock.
+        assert_eq!(sim.now(), 10);
+        assert_eq!(sim.pending_timers(), 0);
     }
 
     #[test]

@@ -9,7 +9,15 @@
 //!
 //! Categories can be enabled selectively; a disabled category (or a fully
 //! disabled trace) costs one branch per call site — the actor and field
-//! closures are never evaluated.
+//! closures are never evaluated, so the disabled path performs no
+//! allocation, hashing, or formatting at all.
+//!
+//! Actor names are *interned*: every recorded event stores an
+//! [`Rc<str>`] from a per-trace table, so a million events from
+//! `"rank0"` share one string. Hot call sites can pre-intern their
+//! label once ([`Trace::intern`]) and return the cached `Rc<str>` from
+//! the actor closure, making the enabled recording path allocation-free
+//! for the actor as well.
 //!
 //! Events may carry a *flow id* (see [`Trace::instant_f`]) tying the hops
 //! of one logical message together across actors; the Chrome exporter in
@@ -20,6 +28,7 @@
 //! failure without unbounded memory growth.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
 use std::fmt;
 use std::rc::Rc;
 
@@ -132,6 +141,46 @@ macro_rules! fields {
     };
 }
 
+/// What an actor closure returns: any of the common string shapes.
+///
+/// The recording methods accept `impl FnOnce() -> A` for any
+/// `A: Into<ActorLabel>`, so call sites can return a `&'static str`, a
+/// freshly formatted `String`, or — on hot paths — a pre-interned
+/// [`Rc<str>`] from [`Trace::intern`], which records without touching
+/// the intern table or allocating.
+pub enum ActorLabel {
+    /// A static name; interned on first use.
+    Static(&'static str),
+    /// A formatted name; interned (the temporary is dropped).
+    Owned(String),
+    /// An already-interned name; stored as-is with no table lookup.
+    Interned(Rc<str>),
+}
+
+impl From<&'static str> for ActorLabel {
+    fn from(s: &'static str) -> Self {
+        ActorLabel::Static(s)
+    }
+}
+
+impl From<String> for ActorLabel {
+    fn from(s: String) -> Self {
+        ActorLabel::Owned(s)
+    }
+}
+
+impl From<Rc<str>> for ActorLabel {
+    fn from(s: Rc<str>) -> Self {
+        ActorLabel::Interned(s)
+    }
+}
+
+impl From<&Rc<str>> for ActorLabel {
+    fn from(s: &Rc<str>) -> Self {
+        ActorLabel::Interned(s.clone())
+    }
+}
+
 /// Whether an event is a point or delimits a span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpanPhase {
@@ -146,7 +195,8 @@ pub struct TraceEvent {
     /// Simulated timestamp (core cycles).
     pub time: Cycles,
     /// The acting entity, e.g. `"rank0"`, `"host"`, `"vdma1"`.
-    pub actor: String,
+    /// Interned: events from the same actor share one allocation.
+    pub actor: Rc<str>,
     /// Event category.
     pub cat: Category,
     /// Event kind, e.g. `"put"`, `"flag_set"`, `"chunk"`.
@@ -192,6 +242,32 @@ struct TraceInner {
     capacity: Option<usize>,
     /// Events evicted by the flight-recorder bound.
     dropped: Cell<u64>,
+    /// Actor-name intern table; `Rc<str>: Borrow<str>` lets lookups
+    /// avoid allocating.
+    actors: RefCell<HashSet<Rc<str>>>,
+}
+
+impl TraceInner {
+    fn intern(&self, name: &str) -> Rc<str> {
+        let mut actors = self.actors.borrow_mut();
+        match actors.get(name) {
+            Some(rc) => rc.clone(),
+            None => {
+                let rc: Rc<str> = Rc::from(name);
+                actors.insert(rc.clone());
+                rc
+            }
+        }
+    }
+
+    fn resolve(&self, label: ActorLabel) -> Rc<str> {
+        match label {
+            // Already interned: store as-is, no hash, no allocation.
+            ActorLabel::Interned(rc) => rc,
+            ActorLabel::Static(s) => self.intern(s),
+            ActorLabel::Owned(s) => self.intern(&s),
+        }
+    }
 }
 
 /// A shared, optionally-enabled structured trace.
@@ -241,6 +317,7 @@ impl Trace {
                 mask,
                 capacity,
                 dropped: Cell::new(0),
+                actors: RefCell::new(HashSet::new()),
             })),
         }
     }
@@ -268,19 +345,33 @@ impl Trace {
         }
     }
 
+    /// Intern an actor name, returning the shared `Rc<str>` for it.
+    ///
+    /// Hot call sites cache this once and return clones of it from
+    /// their actor closures — recording then stores the label without
+    /// hashing or allocating. On a disabled trace this still returns a
+    /// usable (but untabled) `Rc<str>`.
+    pub fn intern(&self, name: &str) -> Rc<str> {
+        match &self.inner {
+            Some(inner) => inner.intern(name),
+            None => Rc::from(name),
+        }
+    }
+
     #[allow(clippy::too_many_arguments)] // internal funnel for every emit path
-    fn push(
+    fn push<A: Into<ActorLabel>>(
         &self,
         time: Cycles,
         cat: Category,
         phase: SpanPhase,
         kind: &'static str,
         flow: Option<u64>,
-        actor: impl FnOnce() -> String,
+        actor: impl FnOnce() -> A,
         fields: impl FnOnce() -> Fields,
     ) {
         if let Some(inner) = &self.inner {
             if inner.mask & cat.bit() != 0 {
+                let actor = inner.resolve(actor().into());
                 let mut events = inner.events.borrow_mut();
                 if let Some(cap) = inner.capacity {
                     if events.len() >= cap {
@@ -290,40 +381,32 @@ impl Trace {
                         inner.dropped.set(inner.dropped.get() + 1);
                     }
                 }
-                events.push(TraceEvent {
-                    time,
-                    actor: actor(),
-                    cat,
-                    kind,
-                    phase,
-                    flow,
-                    fields: fields(),
-                });
+                events.push(TraceEvent { time, actor, cat, kind, phase, flow, fields: fields() });
             }
         }
     }
 
     /// Record a point event. `actor` and `fields` are only evaluated when
     /// the category is enabled.
-    pub fn instant(
+    pub fn instant<A: Into<ActorLabel>>(
         &self,
         time: Cycles,
         cat: Category,
         kind: &'static str,
-        actor: impl FnOnce() -> String,
+        actor: impl FnOnce() -> A,
         fields: impl FnOnce() -> Fields,
     ) {
         self.push(time, cat, SpanPhase::Instant, kind, None, actor, fields);
     }
 
     /// Record a point event carrying a flow id.
-    pub fn instant_f(
+    pub fn instant_f<A: Into<ActorLabel>>(
         &self,
         time: Cycles,
         cat: Category,
         kind: &'static str,
         flow: Option<u64>,
-        actor: impl FnOnce() -> String,
+        actor: impl FnOnce() -> A,
         fields: impl FnOnce() -> Fields,
     ) {
         self.push(time, cat, SpanPhase::Instant, kind, flow, actor, fields);
@@ -331,49 +414,49 @@ impl Trace {
 
     /// Open a span. Must be closed by [`Trace::end`] with the same actor
     /// and kind; spans of one actor nest like a call stack.
-    pub fn begin(
+    pub fn begin<A: Into<ActorLabel>>(
         &self,
         time: Cycles,
         cat: Category,
         kind: &'static str,
-        actor: impl FnOnce() -> String,
+        actor: impl FnOnce() -> A,
         fields: impl FnOnce() -> Fields,
     ) {
         self.push(time, cat, SpanPhase::Begin, kind, None, actor, fields);
     }
 
     /// Open a span carrying a flow id.
-    pub fn begin_f(
+    pub fn begin_f<A: Into<ActorLabel>>(
         &self,
         time: Cycles,
         cat: Category,
         kind: &'static str,
         flow: Option<u64>,
-        actor: impl FnOnce() -> String,
+        actor: impl FnOnce() -> A,
         fields: impl FnOnce() -> Fields,
     ) {
         self.push(time, cat, SpanPhase::Begin, kind, flow, actor, fields);
     }
 
     /// Close the innermost open span of `actor` with this `kind`.
-    pub fn end(
+    pub fn end<A: Into<ActorLabel>>(
         &self,
         time: Cycles,
         cat: Category,
         kind: &'static str,
-        actor: impl FnOnce() -> String,
+        actor: impl FnOnce() -> A,
     ) {
         self.push(time, cat, SpanPhase::End, kind, None, actor, Vec::new);
     }
 
     /// Close a span, tagging the end event with the flow id.
-    pub fn end_f(
+    pub fn end_f<A: Into<ActorLabel>>(
         &self,
         time: Cycles,
         cat: Category,
         kind: &'static str,
         flow: Option<u64>,
-        actor: impl FnOnce() -> String,
+        actor: impl FnOnce() -> A,
     ) {
         self.push(time, cat, SpanPhase::End, kind, flow, actor, Vec::new);
     }
@@ -393,7 +476,7 @@ impl Trace {
 
     /// Events whose actor matches `actor` (only matches are cloned).
     pub fn events_of(&self, actor: &str) -> Vec<TraceEvent> {
-        self.with_events(|ev| ev.iter().filter(|e| e.actor == actor).cloned().collect())
+        self.with_events(|ev| ev.iter().filter(|e| &*e.actor == actor).cloned().collect())
     }
 
     /// Events of one category (only matches are cloned).
@@ -433,7 +516,7 @@ mod tests {
             1,
             Category::Protocol,
             "x",
-            || panic!("actor must not run"),
+            || -> &'static str { panic!("actor must not run") },
             || panic!("fields must not run"),
         );
         assert!(t.events().is_empty());
@@ -444,13 +527,13 @@ mod tests {
     #[test]
     fn enabled_collects_in_order() {
         let t = Trace::enabled();
-        t.instant(5, Category::Protocol, "put", || "rank0".into(), || fields![bytes = 64u64]);
-        t.instant(9, Category::Protocol, "get", || "rank1".into(), Vec::new);
+        t.instant(5, Category::Protocol, "put", || "rank0", || fields![bytes = 64u64]);
+        t.instant(9, Category::Protocol, "get", || "rank1", Vec::new);
         let ev = t.events();
         assert_eq!(ev.len(), 2);
         assert_eq!(ev[0].time, 5);
         assert_eq!(ev[0].fields, vec![("bytes", FieldValue::U64(64))]);
-        assert_eq!(ev[1].actor, "rank1");
+        assert_eq!(&*ev[1].actor, "rank1");
     }
 
     #[test]
@@ -462,10 +545,10 @@ mod tests {
             1,
             Category::Protocol,
             "x",
-            || panic!("filtered actor must not run"),
+            || -> &'static str { panic!("filtered actor must not run") },
             || panic!("filtered fields must not run"),
         );
-        t.instant(2, Category::Pcie, "xfer", || "link0".into(), Vec::new);
+        t.instant(2, Category::Pcie, "xfer", || "link0", Vec::new);
         let ev = t.events();
         assert_eq!(ev.len(), 1);
         assert_eq!(ev[0].cat, Category::Pcie);
@@ -474,8 +557,8 @@ mod tests {
     #[test]
     fn spans_record_phases() {
         let t = Trace::enabled();
-        t.begin(10, Category::Vdma, "dma", || "vdma0".into(), || fields![bytes = 4096u64]);
-        t.end(25, Category::Vdma, "dma", || "vdma0".into());
+        t.begin(10, Category::Vdma, "dma", || "vdma0", || fields![bytes = 4096u64]);
+        t.end(25, Category::Vdma, "dma", || "vdma0");
         let ev = t.events();
         assert_eq!(ev[0].phase, SpanPhase::Begin);
         assert_eq!(ev[1].phase, SpanPhase::End);
@@ -485,9 +568,9 @@ mod tests {
     #[test]
     fn filter_by_actor() {
         let t = Trace::enabled();
-        t.instant(1, Category::App, "x", || "a".into(), Vec::new);
-        t.instant(2, Category::App, "y", || "b".into(), Vec::new);
-        t.instant(3, Category::App, "z", || "a".into(), Vec::new);
+        t.instant(1, Category::App, "x", || "a", Vec::new);
+        t.instant(2, Category::App, "y", || "b", Vec::new);
+        t.instant(3, Category::App, "z", || "a", Vec::new);
         assert_eq!(t.events_of("a").len(), 2);
         assert_eq!(t.events_in(Category::App).len(), 3);
     }
@@ -495,8 +578,8 @@ mod tests {
     #[test]
     fn render_contains_all_lines() {
         let t = Trace::enabled();
-        t.instant(1, Category::Protocol, "one", || "a".into(), || fields![n = 7u64]);
-        t.begin(2, Category::Mpb, "two", || "b".into(), Vec::new);
+        t.instant(1, Category::Protocol, "one", || "a", || fields![n = 7u64]);
+        t.begin(2, Category::Mpb, "two", || "b", Vec::new);
         let s = t.render();
         assert!(s.contains("one") && s.contains("two"));
         assert!(s.contains("n=7"));
@@ -506,10 +589,10 @@ mod tests {
     #[test]
     fn flow_ids_recorded_and_rendered() {
         let t = Trace::enabled();
-        t.instant_f(1, Category::Protocol, "put", Some(42), || "rank0".into(), Vec::new);
-        t.begin_f(2, Category::Vdma, "dma", Some(42), || "host".into(), Vec::new);
-        t.end_f(3, Category::Vdma, "dma", Some(42), || "host".into());
-        t.instant(4, Category::Protocol, "idle", || "rank1".into(), Vec::new);
+        t.instant_f(1, Category::Protocol, "put", Some(42), || "rank0", Vec::new);
+        t.begin_f(2, Category::Vdma, "dma", Some(42), || "host", Vec::new);
+        t.end_f(3, Category::Vdma, "dma", Some(42), || "host");
+        t.instant(4, Category::Protocol, "idle", || "rank1", Vec::new);
         let ev = t.events();
         assert_eq!(ev[0].flow, Some(42));
         assert_eq!(ev[1].flow, Some(42));
@@ -522,7 +605,7 @@ mod tests {
     fn ring_keeps_only_last_n() {
         let t = Trace::ring(3);
         for i in 0..10u64 {
-            t.instant(i, Category::App, "tick", || "a".into(), || fields![i = i]);
+            t.instant(i, Category::App, "tick", || "a", || fields![i = i]);
         }
         let ev = t.events();
         assert_eq!(ev.len(), 3);
@@ -536,8 +619,8 @@ mod tests {
     #[test]
     fn with_events_avoids_clone_and_filters_match() {
         let t = Trace::enabled();
-        t.instant(1, Category::App, "x", || "a".into(), Vec::new);
-        t.instant(2, Category::Pcie, "y", || "b".into(), Vec::new);
+        t.instant(1, Category::App, "x", || "a", Vec::new);
+        t.instant(2, Category::Pcie, "y", || "b", Vec::new);
         let n = t.with_events(|ev| ev.len());
         assert_eq!(n, 2);
         assert_eq!(t.events_in(Category::Pcie).len(), 1);

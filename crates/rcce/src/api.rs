@@ -87,12 +87,12 @@ impl Rcce {
             des::trace::Category::Protocol,
             "send_lock",
             Some(flow),
-            || format!("rank{me}"),
+            || self.ctx.label.clone(),
             || des::fields![dest = dest, bytes = data.len()],
         );
         lock.lock().await;
         trace.end_f(self.now(), des::trace::Category::Protocol, "send_lock", Some(flow), || {
-            format!("rank{me}")
+            self.ctx.label.clone()
         });
         metrics.send_lock_wait.add(self.now() - start);
         self.ctx.enter_send(flow);

@@ -108,7 +108,7 @@ fn poll_watchdog_trip(ctx: &RankCtx, addr: scc::geometry::MpbAddr, target: u8, s
         Category::Fault,
         "poll_watchdog",
         None,
-        || format!("rank{me}"),
+        || ctx.label.clone(),
         || {
             fields![
                 rank = me,
@@ -200,7 +200,7 @@ impl PointToPoint for BlockingProtocol {
                     Category::Protocol,
                     "chunk",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![bytes = hi - lo, dest = dest],
                 );
                 trace.begin_f(
@@ -208,12 +208,12 @@ impl PointToPoint for BlockingProtocol {
                     Category::Protocol,
                     "sender_put",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![bytes = hi - lo, target = "local_mpb"],
                 );
                 ctx.core.put_f(layout::payload(my, self.window_off), &data[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 let cnt = {
                     let mut sc = ctx.sent_count.borrow_mut();
@@ -225,7 +225,7 @@ impl PointToPoint for BlockingProtocol {
                     Category::Protocol,
                     "flag_set",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![flag = "sent", src = me, value = cnt, at_rank = dest],
                 );
                 ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
@@ -234,15 +234,15 @@ impl PointToPoint for BlockingProtocol {
                     Category::Protocol,
                     "mpb_wait",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![flag = "ready", target = cnt],
                 );
                 flag_wait_reached(ctx, layout::ready_flag(my, dest), cnt).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "chunk", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
             }
         })
@@ -268,26 +268,26 @@ impl PointToPoint for BlockingProtocol {
                     Category::Protocol,
                     "recv_poll",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![flag = "sent", target = cnt],
                 );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
                     "recv_get",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![bytes = hi - lo, src = src, sent_count = cnt],
                 );
                 // The payload lines may be cached from the previous chunk.
                 ctx.core.cl1invmb().await;
                 ctx.core.get_f(layout::payload(peer, self.window_off), &mut buf[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 ctx.recv_count.borrow_mut()[src] = cnt;
                 ctx.core.flag_write_f(layout::ready_flag(peer, me), cnt, f).await;
@@ -296,7 +296,7 @@ impl PointToPoint for BlockingProtocol {
                     Category::Protocol,
                     "flag_set",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![flag = "ready", src = me, value = cnt, at_rank = src],
                 );
             }
@@ -376,7 +376,7 @@ impl PointToPoint for PipelinedProtocol {
                         Category::Protocol,
                         "mpb_wait",
                         f,
-                        || format!("rank{me}"),
+                        || ctx.label.clone(),
                         || fields![flag = "ready", pkt = p],
                     );
                     flag_wait_reached(
@@ -386,7 +386,7 @@ impl PointToPoint for PipelinedProtocol {
                     )
                     .await;
                     trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                        format!("rank{me}")
+                        ctx.label.clone()
                     });
                 }
                 trace.begin_f(
@@ -394,12 +394,12 @@ impl PointToPoint for PipelinedProtocol {
                     Category::Protocol,
                     "sender_put",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![pkt = p, bytes = hi - lo, slot = p % 2],
                 );
                 ctx.core.put_f(self.slot_addr(my, p % PIPELINE_SLOTS), &data[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 let cnt = base.wrapping_add(p as u8 + 1);
                 ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
@@ -411,19 +411,19 @@ impl PointToPoint for PipelinedProtocol {
                 Category::Protocol,
                 "mpb_wait",
                 f,
-                || format!("rank{me}"),
+                || ctx.label.clone(),
                 || fields![flag = "ready", target = total],
             );
             flag_wait_reached(ctx, layout::ready_flag(my, dest), total).await;
             trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                format!("rank{me}")
+                ctx.label.clone()
             });
             trace.instant_f(
                 ctx.core.sim().now(),
                 Category::Protocol,
                 "pipe_send_done",
                 f,
-                || format!("rank{me}"),
+                || ctx.label.clone(),
                 || fields![packets = ranges.len()],
             );
         })
@@ -451,25 +451,25 @@ impl PointToPoint for PipelinedProtocol {
                     Category::Protocol,
                     "recv_poll",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![flag = "sent", pkt = p],
                 );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
                     "recv_get",
                     f,
-                    || format!("rank{me}"),
+                    || ctx.label.clone(),
                     || fields![pkt = p, bytes = hi - lo, slot = p % 2],
                 );
                 ctx.core.cl1invmb().await;
                 ctx.core.get_f(self.slot_addr(peer, p % PIPELINE_SLOTS), &mut buf[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
-                    format!("rank{me}")
+                    ctx.label.clone()
                 });
                 ctx.core.flag_write_f(layout::ready_flag(peer, me), cnt, f).await;
             }

@@ -11,8 +11,7 @@ use std::cell::{Cell, RefCell};
 use std::future::Future;
 use std::rc::Rc;
 
-use des::obs::Registry;
-use des::stats::{Counter, Log2Histogram};
+use des::obs::{CounterHandle, HistogramHandle, Registry};
 use des::sync::SimMutex;
 use des::trace::{Category, Trace};
 use des::{Cycles, JoinHandle, Sim};
@@ -52,12 +51,13 @@ pub struct SessionInner {
 pub const SIZE_CLASSES: [(&str, usize); 4] =
     [("le64", 64), ("le1k", 1024), ("le8k", 8192), ("gt8k", usize::MAX)];
 
-/// Pre-resolved registry handles for the hot send/recv paths.
+/// Pre-resolved registry handles for the hot send/recv paths: one string
+/// hash each at session construction, `Cell` updates per call after.
 pub(crate) struct RcceMetrics {
-    pub send_lat: Vec<Log2Histogram>,
-    pub recv_lat: Vec<Log2Histogram>,
-    pub send_lock_wait: Counter,
-    pub poll_timeouts: Counter,
+    pub send_lat: Vec<HistogramHandle>,
+    pub recv_lat: Vec<HistogramHandle>,
+    pub send_lock_wait: CounterHandle,
+    pub poll_timeouts: CounterHandle,
 }
 
 impl RcceMetrics {
@@ -66,14 +66,14 @@ impl RcceMetrics {
         RcceMetrics {
             send_lat: SIZE_CLASSES
                 .iter()
-                .map(|(label, _)| rcce.histogram(&format!("send.lat_cycles.{label}")))
+                .map(|(label, _)| rcce.register_histogram(&format!("send.lat_cycles.{label}")))
                 .collect(),
             recv_lat: SIZE_CLASSES
                 .iter()
-                .map(|(label, _)| rcce.histogram(&format!("recv.lat_cycles.{label}")))
+                .map(|(label, _)| rcce.register_histogram(&format!("recv.lat_cycles.{label}")))
                 .collect(),
-            send_lock_wait: rcce.counter("send.lock_wait_cycles"),
-            poll_timeouts: rcce.counter("poll_timeouts"),
+            send_lock_wait: rcce.register_counter("send.lock_wait_cycles"),
+            poll_timeouts: rcce.register_counter("poll_timeouts"),
         }
     }
 }
@@ -221,6 +221,9 @@ pub struct RankCtx {
     pub recv_count: RefCell<Vec<u8>>,
     /// Barrier generation.
     pub barrier_gen: Cell<u8>,
+    /// Pre-interned trace label (`"rank<N>"`): hot-path trace closures
+    /// clone this `Rc` instead of formatting a fresh `String` per event.
+    pub label: Rc<str>,
     /// Serializes inbound streams that deliver into this rank's MPB
     /// (remote-put and vDMA schemes share the receive area).
     pub inbound_lock: SimMutex,
@@ -241,6 +244,7 @@ impl RankCtx {
             sent_count: RefCell::new(vec![0; n]),
             recv_count: RefCell::new(vec![0; n]),
             barrier_gen: Cell::new(0),
+            label: session.trace().intern(&format!("rank{rank}")),
             inbound_lock: SimMutex::new(),
             send_lock: SimMutex::new(),
             recv_locks: (0..n).map(|_| SimMutex::new()).collect(),
@@ -284,7 +288,7 @@ impl RankCtx {
                 Category::App,
                 "monitor_violation",
                 Some(flow),
-                || format!("rank{me}"),
+                || self.label.clone(),
                 || des::fields![check = "send_lock_exclusivity", rank = me],
             );
             panic!(
@@ -332,9 +336,10 @@ impl SessionBuilder {
     }
 
     /// Abort any single protocol flag wait that exceeds `limit` cycles
-    /// with a diagnosed timeout (instead of polling forever). Note: the
-    /// watchdog registers virtual timers, so enabling it perturbs the
-    /// timer heap — keep it off for calibration runs.
+    /// with a diagnosed timeout (instead of polling forever). The
+    /// watchdog races a virtual timer against each wait; the losing
+    /// timer is withdrawn on drop, so a clean run's final `sim.now()`
+    /// and timer population are unaffected (see `tests/engine.rs`).
     pub fn poll_watchdog(mut self, limit: Cycles) -> Self {
         self.poll_watchdog = Some(limit);
         self

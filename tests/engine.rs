@@ -1,0 +1,246 @@
+//! Engine-level regression tests: golden determinism of a fig6b-shaped
+//! run, timer-wheel ordering/cancellation properties against a reference
+//! heap, and the poll-watchdog clock-accounting fix.
+
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use des::wheel::TimerWheel;
+use des::Sim;
+use vscc::{CommScheme, VsccBuilder};
+use vscc_apps::pingpong;
+
+// ---------------------------------------------------------------------
+// Golden determinism
+// ---------------------------------------------------------------------
+
+/// FNV-1a 64-bit — enough to pin a byte stream without a hash dep.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fig6b_shaped_run() -> (String, String) {
+    let (_, trace, reg) = pingpong::interdevice_observed(CommScheme::LocalPutLocalGet, 65_536, 2);
+    (des::obs::chrome_trace_json(&[("fig6b", &trace)]), reg.snapshot().to_json())
+}
+
+/// Two in-process runs of the same fixed-seed workload must export
+/// byte-identical traces and metrics, and both must match the committed
+/// golden hashes. A hash change here means a *model* change — rerun the
+/// calibration suite and update the constants deliberately, never to
+/// silence the test.
+#[test]
+fn golden_fig6b_shaped_run_is_byte_identical_and_pinned() {
+    let (trace_a, metrics_a) = fig6b_shaped_run();
+    let (trace_b, metrics_b) = fig6b_shaped_run();
+    assert_eq!(trace_a, trace_b, "trace export must not vary between identical runs");
+    assert_eq!(metrics_a, metrics_b, "metrics export must not vary between identical runs");
+
+    const GOLDEN_TRACE_FNV: u64 = 0xbdaa_7789_9200_0888;
+    const GOLDEN_METRICS_FNV: u64 = 0xd029_9c62_9b9f_f35b;
+    assert_eq!(
+        fnv1a(trace_a.as_bytes()),
+        GOLDEN_TRACE_FNV,
+        "trace golden drifted (got {:#018x}) — model change? re-check calibration first",
+        fnv1a(trace_a.as_bytes())
+    );
+    assert_eq!(
+        fnv1a(metrics_a.as_bytes()),
+        GOLDEN_METRICS_FNV,
+        "metrics golden drifted (got {:#018x}) — model change? re-check calibration first",
+        fnv1a(metrics_a.as_bytes())
+    );
+}
+
+// ---------------------------------------------------------------------
+// Timer wheel vs reference heap
+// ---------------------------------------------------------------------
+
+/// Interpreted wheel operation; values are reduced modulo the legal
+/// range at execution time.
+fn run_ops(ops: &[(u8, u64, u64)]) {
+    let mut wheel: TimerWheel<u32> = TimerWheel::new();
+    // Reference: straightforward min-heap of (deadline, seq) plus a
+    // cancelled set, exactly the pre-wheel executor structure.
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+    let mut cancelled: Vec<bool> = Vec::new();
+    let mut ids = Vec::new();
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    let mut payload = 0u32;
+
+    let pop_reference = |heap: &mut BinaryHeap<Reverse<(u64, u64, u32)>>,
+                         cancelled: &[bool]|
+     -> Option<(u64, u32)> {
+        while let Some(Reverse((d, _, p))) = heap.pop() {
+            if !cancelled[p as usize] {
+                return Some((d, p));
+            }
+        }
+        None
+    };
+
+    for &(op, a, b) in ops {
+        match op % 3 {
+            0 => {
+                // Insert: offsets span level 0, upper levels, and the
+                // overflow heap (beyond the 2^24-cycle wheel span).
+                let deadline = now + a % 40_000_000;
+                let id = wheel.insert(deadline, payload);
+                heap.push(Reverse((deadline, seq, payload)));
+                ids.push(id);
+                cancelled.push(false);
+                seq += 1;
+                payload += 1;
+            }
+            1 => {
+                // Cancel a previously inserted timer (maybe already
+                // fired or already cancelled — both must return false).
+                if !ids.is_empty() {
+                    let pick = (b % ids.len() as u64) as usize;
+                    let wheel_ok = wheel.cancel(ids[pick]);
+                    // The reference heap holds exactly the live entries
+                    // (cancels retain them out, pops remove them), so a
+                    // cancel must succeed iff the entry is still there.
+                    let ref_live = heap.iter().any(|Reverse((_, _, p))| *p as usize == pick);
+                    assert_eq!(wheel_ok, ref_live, "cancel([{pick}]) disagreed with the reference");
+                    if wheel_ok {
+                        cancelled[pick] = true;
+                        heap.retain(|Reverse((_, _, p))| *p as usize != pick);
+                    }
+                }
+            }
+            _ => {
+                let got = wheel.pop_next();
+                let want = pop_reference(&mut heap, &cancelled);
+                assert_eq!(got, want, "pop_next ordering diverged");
+                if let Some((d, _)) = got {
+                    now = now.max(d);
+                }
+            }
+        }
+        assert_eq!(wheel.len(), heap.len(), "live-entry counts diverged");
+    }
+
+    // Drain both: every remaining live timer must fire in (deadline,
+    // seq) order.
+    loop {
+        let got = wheel.pop_next();
+        let want = pop_reference(&mut heap, &cancelled);
+        assert_eq!(got, want, "drain ordering diverged");
+        if got.is_none() {
+            break;
+        }
+    }
+    assert!(wheel.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256 })]
+
+    /// Any interleaving of inserts, cancels, and pops produces exactly
+    /// the (deadline, seq)-FIFO order of the reference heap.
+    #[test]
+    fn wheel_matches_reference_heap(
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..120),
+    ) {
+        run_ops(&ops);
+    }
+
+    /// Dense same-deadline bursts (the executor's common case: many
+    /// tasks waking on one cycle) keep strict FIFO by sequence.
+    #[test]
+    fn wheel_same_deadline_bursts_stay_fifo(
+        deadlines in prop::collection::vec(0u64..8, 1..80),
+    ) {
+        let mut wheel: TimerWheel<u32> = TimerWheel::new();
+        for (i, d) in deadlines.iter().enumerate() {
+            wheel.insert(*d, i as u32);
+        }
+        let mut fired: Vec<(u64, u32)> = Vec::new();
+        while let Some(x) = wheel.pop_next() {
+            fired.push(x);
+        }
+        let mut want: Vec<(u64, u32)> =
+            deadlines.iter().enumerate().map(|(i, d)| (*d, i as u32)).collect();
+        want.sort_by_key(|&(d, i)| (d, i));
+        prop_assert_eq!(fired, want);
+    }
+}
+
+/// A cancelled timer never fires, frees its slot, and a stale handle
+/// (same index, older generation) can't cancel the slot's new tenant.
+#[test]
+fn wheel_cancellation_is_exact() {
+    let mut wheel: TimerWheel<u32> = TimerWheel::new();
+    let a = wheel.insert(10, 0);
+    let b = wheel.insert(10, 1);
+    assert!(wheel.cancel(a), "live timer must cancel");
+    assert!(!wheel.cancel(a), "double-cancel must refuse");
+    // The tombstoned slot is reclaimed lazily; whether or not the next
+    // insert reuses it, the old handle must stay dead.
+    let c = wheel.insert(20, 2);
+    assert!(!wheel.cancel(a), "stale handle must stay dead after slot reclamation");
+    assert_eq!(wheel.pop_next(), Some((10, 1)));
+    assert_eq!(wheel.pop_next(), Some((20, 2)));
+    assert_eq!(wheel.pop_next(), None);
+    assert!(!wheel.cancel(b), "fired timer must refuse cancellation");
+    assert!(!wheel.cancel(c), "fired timer must refuse cancellation");
+}
+
+// ---------------------------------------------------------------------
+// Poll-watchdog clock accounting
+// ---------------------------------------------------------------------
+
+/// With cancellable timers, a clean watchdog'd run no longer leaves the
+/// losing watchdog race arm in the timer structure: the final
+/// `sim.now()` equals the last in-app `r.now()` and no timers remain.
+/// (Pre-wheel, the stale watchdog deadline dragged `sim.now()` forward,
+/// hence the old "measure completion from in-app r.now()" caveat.)
+#[test]
+fn clean_watchdogged_run_leaves_clock_at_app_completion() {
+    let sim = Sim::new();
+    let v = VsccBuilder::new(&sim, 2)
+        .scheme(CommScheme::LocalPutLocalGet)
+        .poll_watchdog(50_000_000) // generous: must never trip
+        .build();
+    let a = v.devices[0].global(scc::geometry::CoreId(0));
+    let b = v.devices[1].global(scc::geometry::CoreId(0));
+    let s = v.session_builder().participants(vec![a, b]).build();
+
+    let app_end = Rc::new(Cell::new(0u64));
+    let app_end2 = app_end.clone();
+    s.run_app(move |r| {
+        let app_end = app_end2.clone();
+        async move {
+            if r.id() == 0 {
+                r.send(&vec![7u8; 4096], 1).await;
+                let mut buf = vec![0u8; 4096];
+                r.recv(&mut buf, 1).await;
+            } else {
+                let mut buf = vec![0u8; 4096];
+                r.recv(&mut buf, 0).await;
+                r.send(&buf, 0).await;
+            }
+            app_end.set(app_end.get().max(r.now()));
+        }
+    })
+    .expect("watchdog must not trip on a healthy run");
+
+    assert!(app_end.get() > 0, "the app must have recorded its completion time");
+    assert_eq!(
+        sim.now(),
+        app_end.get(),
+        "final sim.now() must equal the last in-app r.now(): no stale watchdog timers"
+    );
+    assert_eq!(sim.pending_timers(), 0, "watchdog race losers must be withdrawn");
+}

@@ -51,17 +51,17 @@ fn disabled_trace_never_evaluates_closures() {
         0,
         Category::App,
         "never",
-        || panic!("actor closure must not run when tracing is disabled"),
+        || -> &'static str { panic!("actor closure must not run when tracing is disabled") },
         || panic!("fields closure must not run when tracing is disabled"),
     );
     t.begin(
         0,
         Category::Protocol,
         "never",
-        || panic!("actor closure must not run when tracing is disabled"),
+        || -> &'static str { panic!("actor closure must not run when tracing is disabled") },
         || panic!("fields closure must not run when tracing is disabled"),
     );
-    t.end(0, Category::Protocol, "never", || {
+    t.end(0, Category::Protocol, "never", || -> &'static str {
         panic!("actor closure must not run when tracing is disabled")
     });
     assert!(t.events().is_empty());
