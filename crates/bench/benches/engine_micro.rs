@@ -26,6 +26,58 @@ use scc::device::SccDevice;
 use scc::geometry::DeviceId;
 use vscc::{CommScheme, VsccBuilder};
 
+/// Counting global allocator: wraps `System`, bumping a per-thread
+/// counter on every `alloc`/`realloc`/`alloc_zeroed`. The harness
+/// differences the counter around deterministic workloads to report
+/// allocations-per-message for the data-path scenarios; per-thread
+/// counting keeps criterion's own threads out of the numbers. The
+/// counter is a const-initialised `thread_local` `Cell`, so bumping it
+/// never allocates (no recursion into the allocator).
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub struct CountingAlloc;
+
+    fn bump() {
+        // try_with: TLS may be mid-teardown during thread exit.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+    }
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            bump();
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            bump();
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            bump();
+            System.alloc_zeroed(layout)
+        }
+    }
+
+    /// Allocations performed by this thread so far.
+    pub fn count() -> u64 {
+        ALLOCS.try_with(|c| c.get()).unwrap_or(0)
+    }
+}
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
+
 fn bench_executor(c: &mut Criterion) {
     c.bench_function("des/spawn_delay_10k_tasks", |b| {
         b.iter(|| {
@@ -110,6 +162,9 @@ mod harness {
     use des::obs::Registry;
     use des::trace::{Category, Trace};
     use des::Sim;
+    use vscc::{CommScheme, VsccBuilder};
+
+    use super::counting_alloc;
 
     /// Wall-time of the `des/spawn_delay_10k_tasks` criterion bench
     /// before this optimisation pass (BinaryHeap timers, per-poll
@@ -118,9 +173,18 @@ mod harness {
     /// prints the current numbers against these.
     const PRE_PR_SPAWN_DELAY_MEAN_MS: f64 = 5.255;
     const PRE_PR_SPAWN_DELAY_MIN_MS: f64 = 4.224;
+    /// Allocations per one-way message on the data-path scenarios
+    /// before the zero-copy payload plane (Vec-per-hop tunnel, cloning
+    /// swcache install, per-chunk copies), measured on the same
+    /// container that produced the committed baseline.
+    const PRE_PR_DATAPATH_1K_ALLOCS_PER_MSG: f64 = 101.7;
+    const PRE_PR_DATAPATH_8K_ALLOCS_PER_MSG: f64 = 318.4;
     /// Regression gate: fail `VSCC_PERF_GATE=1` runs when a scenario's
     /// events/sec drops below this fraction of the committed baseline.
     const GATE_RATIO: f64 = 0.70;
+    /// Allocation gate: fail when a data-path scenario allocates more
+    /// than this multiple of the committed allocations-per-message.
+    const ALLOC_GATE_RATIO: f64 = 1.20;
 
     struct Outcome {
         name: &'static str,
@@ -130,6 +194,10 @@ mod harness {
         /// Engine events of one sample (identical across samples: the
         /// workloads are deterministic).
         events: u64,
+        /// Host allocations per one-way message (data-path scenarios
+        /// only). Deterministic: the workload is single-threaded and
+        /// seeded, so the count is exact, not sampled.
+        allocs_per_msg: Option<f64>,
     }
 
     impl Outcome {
@@ -151,7 +219,7 @@ mod harness {
         }
         let mean_ns = times.iter().sum::<f64>() / times.len() as f64;
         let min_ns = times.iter().copied().fold(f64::INFINITY, f64::min);
-        Outcome { name, samples, mean_ns, min_ns, events }
+        Outcome { name, samples, mean_ns, min_ns, events, allocs_per_msg: None }
     }
 
     /// Scheduler events of a finished run: polls, timer traffic, wakes.
@@ -269,6 +337,73 @@ mod harness {
         })
     }
 
+    /// One inter-device ping-pong run through the full payload stack
+    /// (MPB → tunnel → host delivery); returns the `Sim` for its engine
+    /// counters. This is the workload the allocations-per-message
+    /// numbers are differenced over.
+    fn interdevice_pingpong(scheme: CommScheme, size: usize, reps: usize) -> Sim {
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 2).scheme(scheme).build();
+        let a = v.devices[0].global(scc::geometry::CoreId(0));
+        let d = v.devices[1].global(scc::geometry::CoreId(0));
+        let s = v.session_builder().participants(vec![a, d]).build();
+        s.run_app(move |r| async move {
+            let peer = 1 - r.id();
+            let msg = vec![0xA5u8; size];
+            let mut buf = vec![0u8; size];
+            for _ in 0..reps {
+                if r.id() == 0 {
+                    r.send(&msg, peer).await;
+                    r.recv(&mut buf, peer).await;
+                } else {
+                    r.recv(&mut buf, peer).await;
+                    r.send(&buf, peer).await;
+                }
+            }
+        })
+        .unwrap();
+        sim
+    }
+
+    /// Data-path scenario: wall-clock events/sec of an inter-device
+    /// ping-pong plus exact allocations per one-way message.
+    ///
+    /// The per-message cost is isolated by *rep differencing*: two
+    /// identical systems run `R_LOW` and `R_HIGH` ping-pong reps, and
+    /// the allocation delta divided by the extra messages cancels all
+    /// setup/teardown allocations. Both runs are deterministic, so the
+    /// quotient is exact and stable across hosts.
+    fn datapath(name: &'static str, scheme: CommScheme, size: usize) -> Outcome {
+        const R_LOW: usize = 4;
+        const R_HIGH: usize = 36;
+        let low = {
+            let before = counting_alloc::count();
+            black_box(interdevice_pingpong(scheme, size, R_LOW));
+            counting_alloc::count() - before
+        };
+        let high = {
+            let before = counting_alloc::count();
+            black_box(interdevice_pingpong(scheme, size, R_HIGH));
+            counting_alloc::count() - before
+        };
+        // 2 one-way messages per ping-pong rep.
+        let allocs_per_msg = (high - low) as f64 / (2 * (R_HIGH - R_LOW)) as f64;
+        let mut o = measure(name, samples(8), || {
+            let sim = interdevice_pingpong(scheme, size, R_HIGH);
+            engine_events(&sim)
+        });
+        o.allocs_per_msg = Some(allocs_per_msg);
+        o
+    }
+
+    fn datapath_1k() -> Outcome {
+        datapath("datapath/interdevice_1k_wcb", CommScheme::RemotePutWcb, 1024)
+    }
+
+    fn datapath_8k() -> Outcome {
+        datapath("datapath/interdevice_8k_swcache", CommScheme::LocalPutRemoteGet, 8192)
+    }
+
     fn samples(full: usize) -> usize {
         if std::env::var("VSCC_PERF_FAST").map(|v| v == "1").unwrap_or(false) {
             3
@@ -283,20 +418,25 @@ mod harness {
     }
 
     fn write_json(outcomes: &[Outcome], path: &std::path::Path) {
-        let mut s = String::from("{\n  \"schema\": \"vscc-engine-bench-v1\",\n");
+        let mut s = String::from("{\n  \"schema\": \"vscc-engine-bench-v2\",\n");
         s.push_str(&format!(
-            "  \"pre_pr_baseline\": {{ \"spawn_delay_10k_tasks_ms\": {{ \"mean\": {PRE_PR_SPAWN_DELAY_MEAN_MS}, \"min\": {PRE_PR_SPAWN_DELAY_MIN_MS} }} }},\n"
+            "  \"pre_pr_baseline\": {{ \"spawn_delay_10k_tasks_ms\": {{ \"mean\": {PRE_PR_SPAWN_DELAY_MEAN_MS}, \"min\": {PRE_PR_SPAWN_DELAY_MIN_MS} }}, \"datapath_allocs_per_msg\": {{ \"interdevice_1k_wcb\": {PRE_PR_DATAPATH_1K_ALLOCS_PER_MSG}, \"interdevice_8k_swcache\": {PRE_PR_DATAPATH_8K_ALLOCS_PER_MSG} }} }},\n"
         ));
         s.push_str("  \"scenarios\": [\n");
         for (i, o) in outcomes.iter().enumerate() {
+            let allocs = match o.allocs_per_msg {
+                Some(a) => format!(", \"allocs_per_msg\": {a:.2}"),
+                None => String::new(),
+            };
             s.push_str(&format!(
-                "    {{ \"name\": \"{}\", \"samples\": {}, \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"events\": {}, \"events_per_sec\": {:.0} }}{}\n",
+                "    {{ \"name\": \"{}\", \"samples\": {}, \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"events\": {}, \"events_per_sec\": {:.0}{} }}{}\n",
                 o.name,
                 o.samples,
                 o.mean_ns,
                 o.min_ns,
                 o.events,
                 o.events_per_sec(),
+                allocs,
                 if i + 1 < outcomes.len() { "," } else { "" }
             ));
         }
@@ -307,25 +447,31 @@ mod harness {
         std::fs::write(path, s).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     }
 
-    /// Pull `"name": "...", ... "events_per_sec": N` pairs out of a
-    /// baseline file written by [`write_json`] (no JSON dep available).
-    fn baseline_events_per_sec(text: &str, name: &str) -> Option<f64> {
+    /// Pull one numeric field of the named scenario out of a baseline
+    /// file written by [`write_json`] (no JSON dep available). Each
+    /// scenario is one line, so the search for `key` is confined to the
+    /// line holding the matching name.
+    fn baseline_field(text: &str, name: &str, key: &str) -> Option<f64> {
         let needle = format!("\"name\": \"{name}\"");
         let at = text.find(&needle)?;
-        let rest = &text[at..];
-        let key = "\"events_per_sec\": ";
-        let k = rest.find(key)?;
-        let tail = &rest[k + key.len()..];
+        let line = text[at..].lines().next()?;
+        let key = format!("\"{key}\": ");
+        let k = line.find(&key)?;
+        let tail = &line[k + key.len()..];
         let end = tail.find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')?;
         tail[..end].parse().ok()
+    }
+
+    fn baseline_events_per_sec(text: &str, name: &str) -> Option<f64> {
+        baseline_field(text, name, "events_per_sec")
     }
 
     pub fn run() {
         println!();
         println!("engine wall-clock harness (host time; never feeds the virtual clock)");
         println!(
-            "{:<36} {:>8} {:>12} {:>12} {:>12} {:>14}",
-            "scenario", "samples", "mean", "min", "events", "events/sec"
+            "{:<36} {:>8} {:>12} {:>12} {:>12} {:>14} {:>12}",
+            "scenario", "samples", "mean", "min", "events", "events/sec", "allocs/msg"
         );
 
         let outcomes = vec![
@@ -335,16 +481,23 @@ mod harness {
             histogram_record(),
             disabled_trace(),
             interned_trace(),
+            datapath_1k(),
+            datapath_8k(),
         ];
         for o in &outcomes {
+            let allocs = match o.allocs_per_msg {
+                Some(a) => format!("{a:.1}"),
+                None => "-".to_string(),
+            };
             println!(
-                "{:<36} {:>8} {:>10.3}ms {:>10.3}ms {:>12} {:>14.0}",
+                "{:<36} {:>8} {:>10.3}ms {:>10.3}ms {:>12} {:>14.0} {:>12}",
                 o.name,
                 o.samples,
                 o.mean_ns / 1e6,
                 o.min_ns / 1e6,
                 o.events,
-                o.events_per_sec()
+                o.events_per_sec(),
+                allocs
             );
         }
 
@@ -362,6 +515,20 @@ mod harness {
             PRE_PR_SPAWN_DELAY_MIN_MS / spawn_min_ms
         );
 
+        println!();
+        println!("data-path allocations per one-way message vs pre-zero-copy baseline:");
+        for (o, pre) in [
+            (&outcomes[6], PRE_PR_DATAPATH_1K_ALLOCS_PER_MSG),
+            (&outcomes[7], PRE_PR_DATAPATH_8K_ALLOCS_PER_MSG),
+        ] {
+            let now = o.allocs_per_msg.expect("datapath scenarios carry alloc counts");
+            println!(
+                "  {:<36} before {pre:.1}   after {now:.1}   ({:.1}x fewer)",
+                o.name,
+                pre / now.max(f64::MIN_POSITIVE)
+            );
+        }
+
         let out_path = match std::env::var("VSCC_PERF_OUT") {
             Ok(p) => std::path::PathBuf::from(p),
             Err(_) => repo_root().join("target/BENCH_engine.json"),
@@ -374,6 +541,7 @@ mod harness {
         match std::fs::read_to_string(&baseline_path) {
             Ok(text) => {
                 let mut failed = Vec::new();
+                let mut alloc_failed = Vec::new();
                 println!();
                 println!("vs committed baseline ({}):", baseline_path.display());
                 for o in &outcomes {
@@ -387,12 +555,35 @@ mod harness {
                         }
                         _ => println!("  {:<36} (not in baseline)", o.name),
                     }
+                    if let (Some(now), Some(base)) =
+                        (o.allocs_per_msg, baseline_field(&text, o.name, "allocs_per_msg"))
+                    {
+                        if base > 0.0 {
+                            let ratio = now / base;
+                            println!("  {:<36} {:>6.2}x baseline allocs/msg", o.name, ratio);
+                            if ratio > ALLOC_GATE_RATIO {
+                                alloc_failed.push((o.name, ratio));
+                            }
+                        }
+                    }
                 }
                 if gate && !failed.is_empty() {
                     eprintln!(
                         "PERF GATE FAILED: events/sec regressed >{:.0}% on: {}",
                         (1.0 - GATE_RATIO) * 100.0,
                         failed
+                            .iter()
+                            .map(|(n, r)| format!("{n} ({r:.2}x)"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(1);
+                }
+                if gate && !alloc_failed.is_empty() {
+                    eprintln!(
+                        "PERF GATE FAILED: allocations/message regressed >{:.0}% on: {}",
+                        (ALLOC_GATE_RATIO - 1.0) * 100.0,
+                        alloc_failed
                             .iter()
                             .map(|(n, r)| format!("{n} ({r:.2}x)"))
                             .collect::<Vec<_>>()

@@ -34,9 +34,13 @@ fn main() {
         "{}",
         vscc_bench::header("ranks", &["vDMA GF/s".into(), "routed GF/s".into(), "x-dev %".into()])
     );
-    for ranks in [4usize, 8, 16, 32, 64] {
+    let rank_counts = [4usize, 8, 16, 32, 64];
+    let rows = vscc_bench::parallel_sweep(&rank_counts, |&ranks| {
         let (best, xf) = cg_point(CommScheme::LocalPutLocalGet, ranks);
         let (worst, _) = cg_point(CommScheme::SimpleRouting, ranks);
+        (best, worst, xf)
+    });
+    for (&ranks, &(best, worst, xf)) in rank_counts.iter().zip(&rows) {
         println!("{}", vscc_bench::row(&format!("{ranks:>5}"), &[best, worst, xf * 100.0]));
     }
 
@@ -44,29 +48,30 @@ fn main() {
     // ranks CG's smallest-stride partners are also near the diagonal;
     // the structural difference shows in how the share decays with
     // radius and in the transpose band.)
-    let structure = |app: &str, m: &TrafficMatrix| {
+    // The two 16-rank structure probes are independent runs; each returns
+    // only its (Send) ring-distance fractions.
+    let apps = ["BT (neighbourhood rings)", "CG (strided reduce/transpose)"];
+    let fractions = vscc_bench::parallel_sweep(&apps, |&app| {
+        let sim = Sim::new();
+        let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet).build();
+        let s = v.session_builder().cores_per_device(8).build();
+        if app.starts_with("BT") {
+            let mut cfg = BtConfig::new(BtClass::W, 16);
+            cfg.measured = 2;
+            run_bt(&s, &cfg).expect("BT");
+        } else {
+            run_cg(&s, &CgConfig::new(CgClass::A, 16)).expect("CG");
+        }
+        let m = TrafficMatrix::capture(&s);
+        [m.neighbour_fraction(1), m.neighbour_fraction(2), m.neighbour_fraction(4)]
+    });
+    for (&app, f) in apps.iter().zip(&fractions) {
         println!(
             "{app}: {:.0}% of bytes at ring distance <=1, {:.0}% at <=2, {:.0}% at <=4",
-            m.neighbour_fraction(1) * 100.0,
-            m.neighbour_fraction(2) * 100.0,
-            m.neighbour_fraction(4) * 100.0
+            f[0] * 100.0,
+            f[1] * 100.0,
+            f[2] * 100.0
         );
-    };
-    {
-        let sim = Sim::new();
-        let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet).build();
-        let s = v.session_builder().cores_per_device(8).build();
-        let mut cfg = BtConfig::new(BtClass::W, 16);
-        cfg.measured = 2;
-        run_bt(&s, &cfg).expect("BT");
-        structure("BT (neighbourhood rings)", &TrafficMatrix::capture(&s));
-    }
-    {
-        let sim = Sim::new();
-        let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet).build();
-        let s = v.session_builder().cores_per_device(8).build();
-        run_cg(&s, &CgConfig::new(CgClass::A, 16)).expect("CG");
-        structure("CG (strided reduce/transpose)", &TrafficMatrix::capture(&s));
     }
 
     if vscc_bench::observability_requested() {

@@ -40,8 +40,17 @@ fn run(pipelined: bool, size: usize) -> (u64, String, Trace, Registry) {
 fn main() {
     vscc_bench::banner("Figure 2", "timely behaviour of blocking vs pipelined protocols");
     let size = 16 * 1024;
-    let (t_block, trace_block, events_block, _) = run(false, size);
-    let (t_pipe, trace_pipe, events_pipe, metrics_pipe) = run(true, size);
+    // The two protocol runs are independent worlds: sweep them across
+    // threads, bringing back only Send data (completion + rendered
+    // timeline). Trace/metrics objects are Rc-based, so the observability
+    // paths below re-run deterministically on this thread.
+    let timed = vscc_bench::parallel_sweep(&[false, true], |&pipelined| {
+        let (t, rendered, _, _) = run(pipelined, size);
+        (t, rendered)
+    });
+    let (t_block, trace_block) = &timed[0];
+    let (t_pipe, trace_pipe) = &timed[1];
+    let (t_block, t_pipe) = (*t_block, *t_pipe);
 
     println!("\n--- (a) RCCE blocking, {size} B message, completion at {t_block} cycles ---");
     println!("{trace_block}");
@@ -55,21 +64,24 @@ fn main() {
         assert!(t_pipe < t_block, "Fig. 2's qualitative result must hold");
     }
 
-    if vscc_bench::critpath_requested() {
-        println!("\ncritical-path attribution (cycles, one {size} B on-chip message):");
-        let rows = vec![
-            ("RCCE blocking".to_string(), events_block.clone(), t_block),
-            ("iRCCE pipelined".to_string(), events_pipe.clone(), t_pipe),
-        ];
-        print!("{}", vscc_bench::critpath_table("protocol", &rows));
-        println!(
-            "  (pipelining shrinks mpb-wait: the receiver drains each slot while\n  \
-             the sender fills the other one)"
+    if vscc_bench::critpath_requested() || vscc_bench::observability_requested() {
+        let (_, _, events_block, _) = run(false, size);
+        let (_, _, events_pipe, metrics_pipe) = run(true, size);
+        if vscc_bench::critpath_requested() {
+            println!("\ncritical-path attribution (cycles, one {size} B on-chip message):");
+            let rows = vec![
+                ("RCCE blocking".to_string(), events_block.clone(), t_block),
+                ("iRCCE pipelined".to_string(), events_pipe.clone(), t_pipe),
+            ];
+            print!("{}", vscc_bench::critpath_table("protocol", &rows));
+            println!(
+                "  (pipelining shrinks mpb-wait: the receiver drains each slot while\n  \
+                 the sender fills the other one)"
+            );
+        }
+        vscc_bench::export_observability(
+            &metrics_pipe,
+            &[("blocking", &events_block), ("pipelined", &events_pipe)],
         );
     }
-
-    vscc_bench::export_observability(
-        &metrics_pipe,
-        &[("blocking", &events_block), ("pipelined", &events_pipe)],
-    );
 }

@@ -25,7 +25,7 @@ fn main() {
         vdma: f64,
         routed: f64,
     }
-    let rows = vscc_bench::parallel_sweep(sizes, |&size| Row {
+    let rows = vscc_bench::parallel_sweep(&sizes, |&size| Row {
         size,
         rcce: pingpong::onchip(false, size, reps).mbps,
         ircce: pingpong::onchip(true, size, reps).mbps,

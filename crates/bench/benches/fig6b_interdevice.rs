@@ -22,7 +22,7 @@ fn main() {
         ["routed", "hw-ack", "WCB", "LPRG", "vDMA"].iter().map(|s| s.to_string()).collect();
     println!("{}", vscc_bench::header("size", &cols));
 
-    let rows = vscc_bench::parallel_sweep(sizes.clone(), |&size| {
+    let rows = vscc_bench::parallel_sweep(&sizes, |&size| {
         CommScheme::ALL
             .iter()
             .map(|&s| pingpong::interdevice(s, size, reps).mbps)

@@ -40,7 +40,7 @@ fn main() {
         vscc_bench::header("cores", &["optimal".into(), "worst".into(), "ratio".into()])
     );
 
-    let rows = vscc_bench::parallel_sweep(counts.to_vec(), |&ranks| {
+    let rows = vscc_bench::parallel_sweep(&counts, |&ranks| {
         let best = bt_gflops(CommScheme::LocalPutLocalGet, ranks);
         let worst = bt_gflops(CommScheme::SimpleRouting, ranks);
         (ranks, best, worst)

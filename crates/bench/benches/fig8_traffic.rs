@@ -14,45 +14,58 @@ use vscc_apps::traffic::TrafficMatrix;
 fn main() {
     vscc_bench::banner("Figure 8", "NPB BT (class C) communication traffic of 64 cores");
     let ranks = 64usize;
-    let sim = Sim::new();
-    let mut b = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet);
-    if vscc_bench::observability_requested() {
-        b = b.trace_categories(&des::trace::Category::ALL);
-    }
-    let v = b.build();
-    let s = v.session_with_ranks(ranks);
-    let mut cfg = BtConfig::new(BtClass::C, ranks);
-    cfg.measured = 2;
-    let res = run_bt(&s, &cfg).expect("BT run");
+    // One big BT world: run it through the sweep pool like the other
+    // bench targets (the closure owns the whole non-Send sim, including
+    // the observability export, and hands back only printable data).
+    let summaries = vscc_bench::parallel_sweep(&[ranks], |&ranks| {
+        let sim = Sim::new();
+        let mut b = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet);
+        if vscc_bench::observability_requested() {
+            b = b.trace_categories(&des::trace::Category::ALL);
+        }
+        let v = b.build();
+        let s = v.session_with_ranks(ranks);
+        let mut cfg = BtConfig::new(BtClass::C, ranks);
+        cfg.measured = 2;
+        let res = run_bt(&s, &cfg).expect("BT run");
+
+        // Scale the recorded (warmup + measured) iterations to the full run.
+        let simulated_iters = (cfg.warmup + cfg.measured) as u64;
+        let full =
+            TrafficMatrix::capture(&s).scaled(BtClass::C.full_iterations() as u64, simulated_iters);
+        vscc_bench::export_observability(v.metrics(), &[("bt-class-c-64", v.trace())]);
+        let (src, dst, bytes) = full.max_pair();
+        (
+            res.verified,
+            full.render(),
+            (src, dst, bytes),
+            full.inter_device_fraction(),
+            full.total(),
+            full.neighbour_fraction(9),
+        )
+    });
+    let (verified, rendered, (src, dst, bytes), xdev, total, neigh9) = &summaries[0];
+
     if vscc_bench::headline_asserts() {
-        assert!(res.verified);
+        assert!(verified);
     }
-
-    // Scale the recorded (warmup + measured) iterations to the full run.
-    let simulated_iters = (cfg.warmup + cfg.measured) as u64;
-    let full =
-        TrafficMatrix::capture(&s).scaled(BtClass::C.full_iterations() as u64, simulated_iters);
-
-    println!("{}", full.render());
-    let (src, dst, bytes) = full.max_pair();
+    println!("{rendered}");
     println!(
         "max pairwise traffic: rank{src} -> rank{dst}, {:.1} MB over {} iterations (paper: 'about 186 MB')",
-        bytes as f64 / 1e6,
+        *bytes as f64 / 1e6,
         BtClass::C.full_iterations()
     );
     println!(
         "inter-device share: {:.1}% of {:.1} GB total; neighbour(radius 9) share {:.1}%",
-        full.inter_device_fraction() * 100.0,
-        full.total() as f64 / 1e9,
-        full.neighbour_fraction(9) * 100.0
+        xdev * 100.0,
+        *total as f64 / 1e9,
+        neigh9 * 100.0
     );
     if vscc_bench::headline_asserts() {
         assert!(
-            (50.0..400.0).contains(&(bytes as f64 / 1e6)),
+            (50.0..400.0).contains(&(*bytes as f64 / 1e6)),
             "max pairwise traffic must be in the paper's order of magnitude"
         );
-        assert!(full.neighbour_fraction(9) > 0.5, "the pattern must be neighbourhood-based");
+        assert!(*neigh9 > 0.5, "the pattern must be neighbourhood-based");
     }
-
-    vscc_bench::export_observability(v.metrics(), &[("bt-class-c-64", v.trace())]);
 }

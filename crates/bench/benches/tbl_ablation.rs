@@ -46,19 +46,17 @@ fn main() {
 
     // 1. Prefetch on/off for the software cache.
     {
-        let on = {
+        let both = vscc_bench::parallel_sweep(&[true, false], |&prefetch| {
             let sim = Sim::new();
             let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutRemoteGet).build();
-            pair_throughput(&v, None)
-        };
-        let off = {
-            let sim = Sim::new();
-            let v = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutRemoteGet).build();
-            pair_throughput(
-                &v,
-                Some(Rc::new(CachedGetProtocol { prefetch: false, ..Default::default() })),
-            )
-        };
+            let proto: Option<Rc<dyn rcce::PointToPoint>> = if prefetch {
+                None
+            } else {
+                Some(Rc::new(CachedGetProtocol { prefetch: false, ..Default::default() }))
+            };
+            pair_throughput(&v, proto)
+        });
+        let (on, off) = (both[0], both[1]);
         println!("\n1. software-cache prefetch (local put / remote get)");
         println!("{}", vscc_bench::row("   prefetch on", &[on]));
         println!("{}", vscc_bench::row("   prefetch off (demand misses)", &[off]));
@@ -70,13 +68,16 @@ fn main() {
     // 2. vDMA chunk size.
     {
         println!("\n2. vDMA transfer granularity (local put / local get)");
-        for chunk in [256usize, 512, 1024, 1920] {
+        let chunks = [256usize, 512, 1024, 1920];
+        let rows = vscc_bench::parallel_sweep(&chunks, |&chunk| {
             let sim = Sim::new();
             let v = VsccBuilder::new(&sim, 2)
                 .scheme(CommScheme::LocalPutLocalGet)
                 .dma_chunk(chunk)
                 .build();
-            let t = pair_throughput(&v, None);
+            pair_throughput(&v, None)
+        });
+        for (&chunk, &t) in chunks.iter().zip(&rows) {
             println!("{}", vscc_bench::row(&format!("   chunk {chunk:>5} B"), &[t]));
         }
     }
@@ -84,13 +85,16 @@ fn main() {
     // 3. WCB flush granularity.
     {
         println!("\n3. host WCB flush granularity (remote put)");
-        for g in [128usize, 512, 1024, 3840] {
+        let granules = [128usize, 512, 1024, 3840];
+        let rows = vscc_bench::parallel_sweep(&granules, |&g| {
             let sim = Sim::new();
             let v = VsccBuilder::new(&sim, 2)
                 .scheme(CommScheme::RemotePutWcb)
                 .wcb_granularity(g)
                 .build();
-            let t = pair_throughput(&v, None);
+            pair_throughput(&v, None)
+        });
+        for (&g, &t) in granules.iter().zip(&rows) {
             println!("{}", vscc_bench::row(&format!("   granule {g:>5} B"), &[t]));
         }
     }
@@ -118,8 +122,8 @@ fn main() {
                 .expect("mmio measure");
             t / 64
         };
-        let fused = measure(true);
-        let discrete = measure(false);
+        let both = vscc_bench::parallel_sweep(&[true, false], |&f| measure(f));
+        let (fused, discrete) = (both[0], both[1]);
         println!("\n4. vDMA register programming (cycles per controller setup)");
         println!("{}", vscc_bench::row("   fused 32B-aligned write", &[fused as f64]));
         println!("{}", vscc_bench::row("   three discrete writes", &[discrete as f64]));

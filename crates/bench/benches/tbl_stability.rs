@@ -122,14 +122,16 @@ fn main() {
         )
     );
 
+    // All (device count, volume) cells are independent worlds: sweep the
+    // whole grid across threads, then fold the results back into rows.
+    let grid: Vec<(u8, usize, u64)> = (2u8..=5)
+        .flat_map(|n| volumes.iter().enumerate().map(move |(i, &vol)| (n, vol, 40 + i as u64)))
+        .collect();
+    let losses = vscc_bench::parallel_sweep(&grid, |&(n, vol, seed)| stream(n, vol, seed).1);
     let mut failures_at = [0u64; 6];
-    for n in 2u8..=5 {
-        let mut row = Vec::new();
-        for (i, &vol) in volumes.iter().enumerate() {
-            let (_writes, lost) = stream(n, vol, 40 + i as u64);
-            failures_at[n as usize] += lost;
-            row.push(lost as f64);
-        }
+    for (chunk, n) in losses.chunks(volumes.len()).zip(2u8..=5) {
+        let row: Vec<f64> = chunk.iter().map(|&lost| lost as f64).collect();
+        failures_at[n as usize] += chunk.iter().sum::<u64>();
         println!("{}", vscc_bench::row(&format!("{n}"), &row));
     }
     println!("\n(each lost ack destabilizes the session; the paper's prototype could not recover)");
@@ -173,10 +175,11 @@ fn main() {
     );
     let mut recovered_any_losses = 0u64;
     let mut all_verified = true;
-    for n in 2u8..=5 {
-        // Heaviest volume only: the interesting regime is where the seed
-        // model falls over. Same seed as the legacy 16MB column.
-        let r = stream_recovered(n, volumes[2], 42);
+    // Heaviest volume only: the interesting regime is where the seed
+    // model falls over. Same seed as the legacy 16MB column.
+    let counts: Vec<u8> = (2u8..=5).collect();
+    let recovered = vscc_bench::parallel_sweep(&counts, |&n| stream_recovered(n, volumes[2], 42));
+    for (&n, r) in counts.iter().zip(&recovered) {
         all_verified &= r.verified;
         if n >= 3 {
             recovered_any_losses += r.lost_acks;

@@ -58,14 +58,16 @@ fn main() {
                 &["direct on".into(), "direct off".into(), "speedup".into()]
             )
         );
-        for &size in &sizes {
-            let on = latency(scheme, default_thr, size);
-            let off = latency(scheme, 0, size);
+        // Every (size, threshold) point is an independent simulation:
+        // sweep them across threads.
+        let points = vscc_bench::parallel_sweep(&sizes, |&size| {
+            (latency(scheme, default_thr, size), latency(scheme, 0, size))
+        });
+        for (&size, &(on, off)) in sizes.iter().zip(&points) {
             println!("{}", vscc_bench::row(&format!("{size:>5} B"), &[on, off, off / on]));
         }
         // Below the threshold, the direct path must win clearly.
-        let on = latency(scheme, default_thr, 64);
-        let off = latency(scheme, 0, 64);
+        let (on, off) = points[sizes.iter().position(|&s| s == 64).expect("64 B point")];
         if vscc_bench::headline_asserts() {
             assert!(on < off, "{}: direct path must cut small-message latency", scheme.name());
         }

@@ -107,9 +107,9 @@ pub fn critpath_table(label_header: &str, rows: &[(String, Trace, u64)]) -> Stri
 /// Run `f` over `items` on a small pool of OS threads (each simulation is
 /// an independent single-threaded world, so sweeps parallelize across
 /// cores); results come back in input order.
-pub fn parallel_sweep<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+pub fn parallel_sweep<I, T, F>(items: &[I], f: F) -> Vec<T>
 where
-    I: Send + Sync,
+    I: Sync,
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
@@ -145,13 +145,13 @@ mod tests {
     #[test]
     fn sweep_preserves_order() {
         let items: Vec<u64> = (0..20).collect();
-        let out = parallel_sweep(items.clone(), |&x| x * x);
+        let out = parallel_sweep(&items, |&x| x * x);
         assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
     }
 
     #[test]
     fn sweep_empty() {
-        let out: Vec<u64> = parallel_sweep(Vec::<u64>::new(), |&x| x);
+        let out: Vec<u64> = parallel_sweep(&[] as &[u64], |&x| x);
         assert!(out.is_empty());
     }
 

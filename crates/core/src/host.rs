@@ -21,6 +21,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::{Rc, Weak};
 
+use des::bytes::{pooled, Bytes};
 use des::channel::{unbounded, Receiver, Sender};
 use des::faultplan::{checksum, FaultPlan, FaultSpec, MmioFault, TlpFault};
 use des::fields;
@@ -237,6 +238,9 @@ pub struct HostSide {
     /// Pre-interned per-device trace labels (`"commtask-d<N>"`): the hot
     /// forwarding paths clone an `Rc` instead of formatting per event.
     commtask_labels: Vec<Rc<str>>,
+    /// Reusable scratch for WCB flush batches (drained immediately after
+    /// each [`HostWcb::append_into`], never held across an await).
+    wcb_ready: RefCell<Vec<crate::hostwcb::PendingRun>>,
     trace: Trace,
     cfg: HostConfig,
     me: Weak<HostSide>,
@@ -303,6 +307,7 @@ impl HostSide {
             commtask_labels: (0..n_devices)
                 .map(|d| trace.intern(&format!("commtask-d{d}")))
                 .collect(),
+            wcb_ready: RefCell::new(Vec::new()),
             trace,
             cfg,
             me: me.clone(),
@@ -421,21 +426,21 @@ impl HostSide {
     /// protect it with a checksum and bounded exponential-backoff
     /// retries on deterministic virtual timers.
     ///
-    /// Returns the bytes as delivered: the originals, a garbled copy (an
-    /// unprotected transfer delivers whatever the wire produced), or
-    /// `None` when the transfer is lost for good — dropped without
-    /// recovery, or retries exhausted. Without a plan this is a zero-cost
-    /// pass-through.
+    /// Returns the bytes as delivered: a shared view of the originals
+    /// (the clean path never copies), a garbled CoW copy (an unprotected
+    /// transfer delivers whatever the wire produced), or `None` when the
+    /// transfer is lost for good — dropped without recovery, or retries
+    /// exhausted. Without a plan this is a zero-cost pass-through.
     async fn tunnel_transfer(
         &self,
         dev: DeviceId,
         to_device: bool,
-        data: &[u8],
+        data: &Bytes,
         flow: Option<u64>,
         retries: &Counter,
-    ) -> Option<Vec<u8>> {
+    ) -> Option<Bytes> {
         let Some(plan) = &self.faults else {
-            return Some(data.to_vec());
+            return Some(data.clone());
         };
         let sim = &self.sim;
         let port = self.fabric.port(dev);
@@ -444,10 +449,10 @@ impl HostSide {
         loop {
             port.fault_gate(sim).await;
             match plan.tlp_fault(sim.now(), flow) {
-                None => return Some(data.to_vec()),
+                None => return Some(data.clone()),
                 Some(TlpFault::Delay(extra)) => {
                     sim.delay(extra).await;
-                    return Some(data.to_vec());
+                    return Some(data.clone());
                 }
                 Some(TlpFault::Drop) => {
                     if !self.recovery.enabled {
@@ -460,8 +465,8 @@ impl HostSide {
                     sim.delay(self.recovery.timeout_cycles).await;
                 }
                 Some(TlpFault::Corrupt) => {
-                    let mut wire = data.to_vec();
-                    plan.garble(&mut wire);
+                    let mut wire = data.clone();
+                    plan.garble(wire.make_mut());
                     if !self.recovery.enabled || checksum(&wire) == want {
                         // Unprotected transfers deliver the garbled bytes.
                         return Some(wire);
@@ -518,17 +523,17 @@ impl HostSide {
             || fields![core = owner.core.0 as u64, offset = offset as u64, bytes = len as u64],
         );
         let port = self.fabric.port(owner.device);
-        let mut installed = vec![0u8; len];
+        let mut installed: Vec<Bytes> = Vec::with_capacity(len.div_ceil(self.cfg.dma_chunk.max(1)));
         for (lo, hi) in rcce::protocol::chunk_ranges(len, self.cfg.dma_chunk) {
             port.egress.transfer(sim, self.cfg.model.host_dma_bytes((hi - lo) as u64)).await;
             self.fabric.host_mem.reserve(sim, (hi - lo) as u64);
-            let buf = &mut installed[lo..hi];
-            self.device(owner.device).mpb(owner.core).read(offset as usize + lo, buf);
-            match self
-                .tunnel_transfer(owner.device, false, buf, flow, &self.rstats.prefetch_retries)
+            let buf =
+                self.device(owner.device).mpb(owner.core).read_bytes(offset as usize + lo, hi - lo);
+            let delivered = match self
+                .tunnel_transfer(owner.device, false, &buf, flow, &self.rstats.prefetch_retries)
                 .await
             {
-                Some(bytes) => buf.copy_from_slice(&bytes),
+                Some(bytes) => bytes,
                 None if self.recovery.enabled => {
                     // Retries exhausted: installing a hole would panic the
                     // reader on "range valid right after update" — convert
@@ -540,21 +545,29 @@ impl HostSide {
                         owner.core.0
                     ));
                     std::future::pending::<()>().await;
+                    unreachable!()
                 }
                 // Honest loss: the DMA engine installs whatever its buffer
                 // held — zeros — and the divergence surfaces downstream.
-                None => buf.fill(0),
-            }
-            self.cache.install(owner, offset + lo as u16, buf);
+                None => pooled(hi - lo).freeze(),
+            };
+            self.cache.install(owner, offset + lo as u16, &delivered);
+            installed.push(delivered);
         }
         // Consistency audit at the only point the cache promises it: right
         // as the update completes, the installed range must equal the
         // device's MPB (a divergence means the owner overwrote the buffer
         // mid-prefetch — torn data under relaxed consistency).
         if let Some(m) = self.monitor_of(owner.device) {
-            let mut actual = vec![0u8; len];
+            let mut whole = pooled(len);
+            let mut pos = 0;
+            for chunk in &installed {
+                whole[pos..pos + chunk.len()].copy_from_slice(chunk);
+                pos += chunk.len();
+            }
+            let mut actual = pooled(len);
             self.device(owner.device).mpb(owner.core).read(offset as usize, &mut actual);
-            m.cache_read_check(owner, offset, &installed, &actual, flow);
+            m.cache_read_check(owner, offset, &whole, &actual, flow);
         }
         self.cache.finish_update(owner);
         self.stats.cache_updates.inc();
@@ -605,8 +618,7 @@ impl HostSide {
         // reservations. Drain (device→host) and delivery (host→device)
         // chunks interleave through the FIFO reservations — the
         // communication task's pipelining effect (§4.1).
-        let mut data = vec![0u8; len];
-        self.device(src.device).mpb(src.core).read(src_off as usize, &mut data);
+        let data = self.device(src.device).mpb(src.core).read_bytes(src_off as usize, len);
         let wire_start = sim.now();
         let mut drain_arrival = sim.now();
         let mut last_arrival = sim.now();
@@ -713,7 +725,7 @@ impl HostSide {
         self: &Rc<Self>,
         src: GlobalCore,
         addr: MpbAddr,
-        data: Vec<u8>,
+        data: Bytes,
         flow: Option<u64>,
     ) {
         let sim = self.sim.clone();
@@ -768,7 +780,7 @@ impl HostSide {
         self: &Rc<Self>,
         src: GlobalCore,
         addr: MpbAddr,
-        data: Vec<u8>,
+        data: Bytes,
         flow: Option<u64>,
     ) {
         let sim = self.sim.clone();
@@ -825,7 +837,7 @@ impl HostSide {
 }
 
 impl RemoteFabric for HostSide {
-    fn read(&self, src: GlobalCore, addr: MpbAddr, len: usize) -> LocalBoxFuture<'_, Vec<u8>> {
+    fn read(&self, src: GlobalCore, addr: MpbAddr, len: usize) -> LocalBoxFuture<'_, Bytes> {
         self.read_f(src, addr, len, None)
     }
 
@@ -835,7 +847,7 @@ impl RemoteFabric for HostSide {
         addr: MpbAddr,
         len: usize,
         flow: Option<u64>,
-    ) -> LocalBoxFuture<'_, Vec<u8>> {
+    ) -> LocalBoxFuture<'_, Bytes> {
         Box::pin(async move {
             let sim = self.sim.clone();
             let actor = move || self.commtask_label(src.device.0);
@@ -853,7 +865,7 @@ impl RemoteFabric for HostSide {
                 });
                 sim.delay(self.cfg.model.sw_answer_cycles).await;
                 self.trace.end_f(sim.now(), Category::Pcie, "classify", flow, actor);
-                let mut out = vec![0u8; len];
+                let mut out = pooled(len);
                 let wire_start = sim.now();
                 let mut last_arrival = sim.now();
                 for (lo, hi) in rcce::protocol::chunk_ranges(len, self.cfg.dma_chunk) {
@@ -889,7 +901,7 @@ impl RemoteFabric for HostSide {
                 });
                 sim.delay_until(last_arrival).await;
                 self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor);
-                out
+                out.freeze()
             } else {
                 // Transparent routing: one blocking round trip per line.
                 let n_lines = len.div_ceil(LINE_BYTES).max(1);
@@ -900,16 +912,14 @@ impl RemoteFabric for HostSide {
                     self.routed_round_trip(src.device, addr.owner.device, flow).await;
                 }
                 self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, actor);
-                let mut buf = vec![0u8; len];
                 self.device(addr.owner.device)
                     .mpb(addr.owner.core)
-                    .read(addr.offset as usize, &mut buf);
-                buf
+                    .read_bytes(addr.offset as usize, len)
             }
         })
     }
 
-    fn write(&self, src: GlobalCore, addr: MpbAddr, data: Vec<u8>) -> LocalBoxFuture<'_, ()> {
+    fn write(&self, src: GlobalCore, addr: MpbAddr, data: Bytes) -> LocalBoxFuture<'_, ()> {
         self.write_f(src, addr, data, None)
     }
 
@@ -917,7 +927,7 @@ impl RemoteFabric for HostSide {
         &self,
         src: GlobalCore,
         addr: MpbAddr,
-        data: Vec<u8>,
+        data: Bytes,
         flow: Option<u64>,
     ) -> LocalBoxFuture<'_, ()> {
         // The borrow-checker friendly clone: `self` methods that spawn need
@@ -1028,15 +1038,23 @@ impl RemoteFabric for HostSide {
                         fields![bytes = data.len() as u64]
                     });
                     let mut wire_free = sim.now();
-                    for (lo, hi) in rcce::protocol::chunk_ranges(data.len(), self.wcb.granularity())
                     {
-                        let r = sport.egress.reserve_timed(&sim, (hi - lo) as u64);
-                        wire_free = r.wire_free;
-                        let ready =
-                            self.wcb.append(addr.owner, addr.offset + lo as u16, &data[lo..hi]);
-                        for run in ready {
-                            let a = MpbAddr::new(addr.owner, run.offset);
-                            this.deliver_payload(src, a, run.data, flow);
+                        let mut ready = self.wcb_ready.borrow_mut();
+                        for (lo, hi) in
+                            rcce::protocol::chunk_ranges(data.len(), self.wcb.granularity())
+                        {
+                            let r = sport.egress.reserve_timed(&sim, (hi - lo) as u64);
+                            wire_free = r.wire_free;
+                            self.wcb.append_into(
+                                addr.owner,
+                                addr.offset + lo as u16,
+                                &data[lo..hi],
+                                &mut ready,
+                            );
+                            for run in ready.drain(..) {
+                                let a = MpbAddr::new(addr.owner, run.offset);
+                                this.deliver_payload(src, a, run.data, flow);
+                            }
                         }
                     }
                     sim.delay_until(wire_free).await;

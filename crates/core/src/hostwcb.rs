@@ -18,21 +18,30 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use des::bytes::{pooled_with_capacity, Bytes, BytesMut};
 use des::obs::{CounterHandle, Registry};
 use scc::{GlobalCore, MPB_BYTES};
 
-/// One buffered contiguous write run for a destination.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One buffered contiguous write run for a destination, frozen for
+/// delivery: downstream hops (`deliver_payload`, the tunnel, retries)
+/// clone the shared [`Bytes`] instead of copying.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PendingRun {
     /// Destination MPB offset of the first byte.
     pub offset: u16,
     /// Buffered bytes.
-    pub data: Vec<u8>,
+    pub data: Bytes,
+}
+
+/// A run still accumulating (growable until frozen for flush).
+struct Accum {
+    offset: u16,
+    data: BytesMut,
 }
 
 #[derive(Default)]
 struct State {
-    pending: HashMap<GlobalCore, Vec<PendingRun>>,
+    pending: HashMap<GlobalCore, Vec<Accum>>,
 }
 
 /// A named snapshot of the buffer's counters.
@@ -83,6 +92,21 @@ impl HostWcb {
     /// Buffer `data` headed for `dst` at `offset`. Returns the runs that
     /// became ready to flush (granularity reached), in arrival order.
     pub fn append(&self, dst: GlobalCore, offset: u16, data: &[u8]) -> Vec<PendingRun> {
+        let mut ready = Vec::new();
+        self.append_into(dst, offset, data, &mut ready);
+        ready
+    }
+
+    /// [`HostWcb::append`] emitting into a caller-owned `ready` buffer,
+    /// so a steady stream of stores reuses one scratch vector instead
+    /// of allocating a return `Vec` per append.
+    pub fn append_into(
+        &self,
+        dst: GlobalCore,
+        offset: u16,
+        data: &[u8],
+        ready: &mut Vec<PendingRun>,
+    ) {
         let mut st = self.state.borrow_mut();
         let runs = st.pending.entry(dst).or_default();
         // Merge with the last run when contiguous (the combining part).
@@ -91,30 +115,62 @@ impl HostWcb {
                 last.data.extend_from_slice(data);
                 self.merges.inc();
             }
-            _ => runs.push(PendingRun { offset, data: data.to_vec() }),
-        }
-        // Flush every complete granule.
-        let mut ready = Vec::new();
-        let mut kept = Vec::new();
-        for mut run in runs.drain(..) {
-            while run.data.len() >= self.granularity {
-                let rest = run.data.split_off(self.granularity);
-                ready.push(PendingRun { offset: run.offset, data: run.data });
-                run = PendingRun { offset: run.offset + self.granularity as u16, data: rest };
-            }
-            if !run.data.is_empty() {
-                kept.push(run);
+            _ => {
+                // Pooled accumulator sized for a full granule plus the
+                // triggering store, so steady-state merging never grows.
+                let mut buf = pooled_with_capacity(self.granularity + data.len());
+                buf.extend_from_slice(data);
+                runs.push(Accum { offset, data: buf });
             }
         }
-        *runs = kept;
-        self.flushes.add(ready.len() as u64);
-        ready
+        // Flush every complete granule, rewriting `runs` in place. A run
+        // that reached the granularity is frozen once; its granules are
+        // O(1) slices of the shared storage, and only a sub-granule
+        // remainder is copied back into an accumulator.
+        let before = ready.len();
+        let mut i = 0;
+        while i < runs.len() {
+            if runs[i].data.len() < self.granularity {
+                if runs[i].data.is_empty() {
+                    runs.remove(i);
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            let run = std::mem::replace(&mut runs[i], Accum { offset: 0, data: BytesMut::new() });
+            let frozen = run.data.freeze();
+            let mut offset = run.offset;
+            let mut pos = 0;
+            while frozen.len() - pos >= self.granularity {
+                ready.push(PendingRun { offset, data: frozen.slice(pos..pos + self.granularity) });
+                pos += self.granularity;
+                offset += self.granularity as u16;
+            }
+            if pos < frozen.len() {
+                let mut rest = pooled_with_capacity(self.granularity + (frozen.len() - pos));
+                rest.extend_from_slice(&frozen[pos..]);
+                runs[i] = Accum { offset, data: rest };
+                i += 1;
+            } else {
+                runs.remove(i);
+            }
+        }
+        self.flushes.add((ready.len() - before) as u64);
     }
 
     /// Drain everything buffered for `dst` (ordering flush before a flag
     /// write, or end of message).
     pub fn drain(&self, dst: GlobalCore) -> Vec<PendingRun> {
-        let out = self.state.borrow_mut().pending.remove(&dst).unwrap_or_default();
+        let out: Vec<PendingRun> = self
+            .state
+            .borrow_mut()
+            .pending
+            .remove(&dst)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|run| PendingRun { offset: run.offset, data: run.data.freeze() })
+            .collect();
         self.flushes.add(out.len() as u64);
         out
     }

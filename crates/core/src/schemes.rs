@@ -127,7 +127,7 @@ async fn direct_send(ctx: &RankCtx, dest: usize, data: &[u8], flow: u64) {
         Category::Protocol,
         "direct_send",
         f,
-        || ctx.label.clone(),
+        || &ctx.label,
         || fields![bytes = data.len() as u64, dest = dest as u64],
     );
     let cnt = {
@@ -141,21 +141,21 @@ async fn direct_send(ctx: &RankCtx, dest: usize, data: &[u8], flow: u64) {
         Category::Protocol,
         "mpb_wait",
         f,
-        || ctx.label.clone(),
+        || &ctx.label,
         || fields![flag = "grant", target = cnt],
     );
     flag_wait_reached(ctx, layout::ready_flag(my, dest), cnt).await;
-    trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || ctx.label.clone());
+    trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || &ctx.label);
     trace.begin_f(
         ctx.core.sim().now(),
         Category::Protocol,
         "sender_put",
         f,
-        || ctx.label.clone(),
+        || &ctx.label,
         || fields![bytes = data.len() as u64, target = "direct_slot"],
     );
     ctx.core.put_f(direct_slot(peer), data, f).await;
-    trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || ctx.label.clone());
+    trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || &ctx.label);
     // b2: data-available signal.
     ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
 }
@@ -171,7 +171,7 @@ async fn direct_recv(ctx: &RankCtx, src: usize, buf: &mut [u8], flow: u64) {
         Category::Protocol,
         "direct_recv",
         f,
-        || ctx.label.clone(),
+        || &ctx.label,
         || fields![bytes = buf.len() as u64, src = src as u64],
     );
     ctx.inbound_lock.lock().await;
@@ -183,22 +183,22 @@ async fn direct_recv(ctx: &RankCtx, src: usize, buf: &mut [u8], flow: u64) {
         Category::Protocol,
         "recv_poll",
         f,
-        || ctx.label.clone(),
+        || &ctx.label,
         || fields![flag = "sent", target = cnt],
     );
     flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
-    trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || ctx.label.clone());
+    trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || &ctx.label);
     trace.begin_f(
         ctx.core.sim().now(),
         Category::Protocol,
         "recv_get",
         f,
-        || ctx.label.clone(),
+        || &ctx.label,
         || fields![bytes = buf.len() as u64],
     );
     ctx.core.cl1invmb().await;
     ctx.core.get_f(direct_slot(my), buf, f).await;
-    trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || ctx.label.clone());
+    trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || &ctx.label);
     ctx.recv_count.borrow_mut()[src] = cnt;
     ctx.inbound_lock.unlock();
 }
@@ -231,7 +231,7 @@ impl PointToPoint for RemotePutProtocol {
                 Category::Protocol,
                 "rput_send",
                 f,
-                || ctx.label.clone(),
+                || &ctx.label,
                 || fields![bytes = data.len() as u64, dest = dest as u64],
             );
             for (lo, hi) in chunk_ranges(data.len(), REMOTE_PUT_CHUNK) {
@@ -246,13 +246,11 @@ impl PointToPoint for RemotePutProtocol {
                     Category::Protocol,
                     "mpb_wait",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![flag = "grant", target = cnt],
                 );
                 flag_wait_reached(ctx, layout::ready_flag(my, dest), cnt).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                    ctx.label.clone()
-                });
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || &ctx.label);
                 // Remote put: stream the chunk into the receiver's MPB
                 // receive window.
                 trace.begin_f(
@@ -260,19 +258,17 @@ impl PointToPoint for RemotePutProtocol {
                     Category::Protocol,
                     "sender_put",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![bytes = hi - lo, target = "remote_mpb"],
                 );
                 ctx.core.put_f(layout::payload(peer, REMOTE_PUT_OFF), &data[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
-                    ctx.label.clone()
+                    &ctx.label
                 });
                 // b2: data available.
                 ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
             }
-            trace.end_f(ctx.core.sim().now(), Category::Protocol, "rput_send", f, || {
-                ctx.label.clone()
-            });
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "rput_send", f, || &ctx.label);
         })
     }
 
@@ -294,7 +290,7 @@ impl PointToPoint for RemotePutProtocol {
                 Category::Protocol,
                 "rput_recv",
                 f,
-                || ctx.label.clone(),
+                || &ctx.label,
                 || fields![bytes = buf.len() as u64, src = src as u64],
             );
             ctx.inbound_lock.lock().await;
@@ -307,33 +303,28 @@ impl PointToPoint for RemotePutProtocol {
                     Category::Protocol,
                     "recv_poll",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![flag = "sent", target = cnt],
                 );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
-                    ctx.label.clone()
-                });
+                trace
+                    .end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || &ctx.label);
                 // Local get out of my own MPB.
                 trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
                     "recv_get",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![bytes = hi - lo],
                 );
                 ctx.core.cl1invmb().await;
                 ctx.core.get_f(layout::payload(my, REMOTE_PUT_OFF), &mut buf[lo..hi], f).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
-                    ctx.label.clone()
-                });
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || &ctx.label);
                 ctx.recv_count.borrow_mut()[src] = cnt;
             }
             ctx.inbound_lock.unlock();
-            trace.end_f(ctx.core.sim().now(), Category::Protocol, "rput_recv", f, || {
-                ctx.label.clone()
-            });
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "rput_recv", f, || &ctx.label);
         })
     }
 
@@ -386,7 +377,7 @@ impl PointToPoint for CachedGetProtocol {
                 Category::Protocol,
                 "lprg_send",
                 f,
-                || ctx.label.clone(),
+                || &ctx.label,
                 || fields![bytes = data.len() as u64, dest = dest as u64],
             );
             let mut last = 0u8;
@@ -403,13 +394,11 @@ impl PointToPoint for CachedGetProtocol {
                     Category::Protocol,
                     "mpb_wait",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![flag = "consumed", target = cnt.wrapping_sub(1)],
                 );
                 flag_wait_reached(ctx, layout::ready_flag(my, dest), cnt.wrapping_sub(1)).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                    ctx.label.clone()
-                });
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || &ctx.label);
                 // Invalidate the outdated part of the host copy (§3.1)...
                 ctx.core
                     .mmio_write_fused(
@@ -423,12 +412,12 @@ impl PointToPoint for CachedGetProtocol {
                     Category::Protocol,
                     "sender_put",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![bytes = hi - lo, target = "local_mpb"],
                 );
                 ctx.core.put_f(layout::payload(my, 0), &data[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
-                    ctx.label.clone()
+                    &ctx.label
                 });
                 // ... and trigger the prefetch into the host cache.
                 if self.prefetch {
@@ -447,16 +436,12 @@ impl PointToPoint for CachedGetProtocol {
                 Category::Protocol,
                 "mpb_wait",
                 f,
-                || ctx.label.clone(),
+                || &ctx.label,
                 || fields![flag = "consumed", target = last],
             );
             flag_wait_reached(ctx, layout::ready_flag(my, dest), last).await;
-            trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                ctx.label.clone()
-            });
-            trace.end_f(ctx.core.sim().now(), Category::Protocol, "lprg_send", f, || {
-                ctx.label.clone()
-            });
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || &ctx.label);
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "lprg_send", f, || &ctx.label);
         })
     }
 
@@ -481,7 +466,7 @@ impl PointToPoint for CachedGetProtocol {
                 Category::Protocol,
                 "lprg_recv",
                 f,
-                || ctx.label.clone(),
+                || &ctx.label,
                 || fields![bytes = buf.len() as u64, src = src as u64],
             );
             for (lo, hi) in chunk_ranges(buf.len(), LPRG_CHUNK) {
@@ -491,33 +476,28 @@ impl PointToPoint for CachedGetProtocol {
                     Category::Protocol,
                     "recv_poll",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![flag = "sent", target = cnt],
                 );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
-                    ctx.label.clone()
-                });
+                trace
+                    .end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || &ctx.label);
                 trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
                     "recv_get",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![bytes = hi - lo, via = "sw_cache"],
                 );
                 ctx.core.cl1invmb().await;
                 // Remote get, served by the host software cache.
                 ctx.core.get_f(layout::payload(peer, 0), &mut buf[lo..hi], f).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
-                    ctx.label.clone()
-                });
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || &ctx.label);
                 ctx.recv_count.borrow_mut()[src] = cnt;
                 ctx.core.flag_write_f(layout::ready_flag(peer, me), cnt, f).await;
             }
-            trace.end_f(ctx.core.sim().now(), Category::Protocol, "lprg_recv", f, || {
-                ctx.label.clone()
-            });
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "lprg_recv", f, || &ctx.label);
         })
     }
 
@@ -583,14 +563,14 @@ impl PointToPoint for VdmaProtocol {
                 Category::Protocol,
                 "vdma_send",
                 f,
-                || ctx.label.clone(),
+                || &ctx.label,
                 || fields![bytes = data.len() as u64, dest = dest as u64],
             );
             let base = ctx.sent_count.borrow()[dest];
             let packets = chunk_ranges(data.len(), VDMA_SLOT);
             let n = packets.len();
             let mut last_gseq = 0u8;
-            for (p0, (lo, hi)) in packets.into_iter().enumerate() {
+            for (p0, (lo, hi)) in packets.enumerate() {
                 let seq = base.wrapping_add(p0 as u8 + 1);
                 // Wait for the receiver's slot grant (double-buffered),
                 // then until the controller drained the slot we are about
@@ -601,7 +581,7 @@ impl PointToPoint for VdmaProtocol {
                     Category::Protocol,
                     "mpb_wait",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![flag = "grant+drain", pkt = p0],
                 );
                 flag_wait_reached(ctx, layout::ready_flag(my, dest), seq).await;
@@ -614,9 +594,7 @@ impl PointToPoint for VdmaProtocol {
                 // (The wrap-safe comparison makes the first two packets
                 // pass immediately against the zero-initialized flag.)
                 flag_wait_reached(ctx, layout::vdma_done_flag(my), gseq.wrapping_sub(2)).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                    ctx.label.clone()
-                });
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || &ctx.label);
                 // Local put into my send slot (slot parity follows the
                 // global drain sequence, since the slots are shared by
                 // all of this rank's outgoing messages)...
@@ -626,12 +604,12 @@ impl PointToPoint for VdmaProtocol {
                     Category::Protocol,
                     "sender_put",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![bytes = hi - lo, slot = (gseq % 2) as u64],
                 );
                 ctx.core.put_f(sslot, &data[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
-                    ctx.label.clone()
+                    &ctx.label
                 });
                 // ... then program the vDMA controller: address, count,
                 // control in one fused 32 B register write (Fig. 5). The
@@ -665,19 +643,15 @@ impl PointToPoint for VdmaProtocol {
                 Category::Protocol,
                 "mpb_wait",
                 f,
-                || ctx.label.clone(),
+                || &ctx.label,
                 || fields![flag = "drain+consumed", target = last_gseq],
             );
             flag_wait_reached(ctx, layout::vdma_done_flag(my), last_gseq).await;
             // And until the receiver's grants confirm the tail packets
             // were consumed (blocking RCCE semantics).
             flag_wait_reached(ctx, layout::ready_flag(my, dest), base.wrapping_add(n as u8)).await;
-            trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                ctx.label.clone()
-            });
-            trace.end_f(ctx.core.sim().now(), Category::Protocol, "vdma_send", f, || {
-                ctx.label.clone()
-            });
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || &ctx.label);
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "vdma_send", f, || &ctx.label);
         })
     }
 
@@ -702,7 +676,7 @@ impl PointToPoint for VdmaProtocol {
                 Category::Protocol,
                 "vdma_recv",
                 f,
-                || ctx.label.clone(),
+                || &ctx.label,
                 || fields![bytes = buf.len() as u64, src = src as u64],
             );
             ctx.inbound_lock.lock().await;
@@ -713,7 +687,7 @@ impl PointToPoint for VdmaProtocol {
             ctx.core
                 .flag_write_f(layout::ready_flag(peer, me), base.wrapping_add(n.min(2) as u8), f)
                 .await;
-            for (p0, (lo, hi)) in packets.into_iter().enumerate() {
+            for (p0, (lo, hi)) in packets.enumerate() {
                 let seq = base.wrapping_add(p0 as u8 + 1);
                 // The vDMA controller raises my sent flag on delivery.
                 trace.begin_f(
@@ -721,27 +695,24 @@ impl PointToPoint for VdmaProtocol {
                     Category::Protocol,
                     "recv_poll",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![flag = "sent", pkt = p0],
                 );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), seq).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
-                    ctx.label.clone()
-                });
+                trace
+                    .end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || &ctx.label);
                 // Local get out of my receive slot.
                 trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
                     "recv_get",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![bytes = hi - lo, slot = (p0 % 2) as u64],
                 );
                 ctx.core.cl1invmb().await;
                 ctx.core.get_f(recv_slot(my, p0 % 2), &mut buf[lo..hi], f).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
-                    ctx.label.clone()
-                });
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || &ctx.label);
                 if p0 + 3 <= n {
                     // Re-grant the slot just freed.
                     ctx.core
@@ -755,9 +726,7 @@ impl PointToPoint for VdmaProtocol {
             }
             ctx.recv_count.borrow_mut()[src] = base.wrapping_add(n as u8);
             ctx.inbound_lock.unlock();
-            trace.end_f(ctx.core.sim().now(), Category::Protocol, "vdma_recv", f, || {
-                ctx.label.clone()
-            });
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "vdma_recv", f, || &ctx.label);
         })
     }
 

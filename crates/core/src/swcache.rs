@@ -12,6 +12,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use des::bytes::{pooled, Bytes};
 use des::event::Notify;
 use des::obs::{CounterHandle, Registry};
 use scc::{GlobalCore, MPB_BYTES};
@@ -156,13 +157,18 @@ impl SwCache {
 
     /// Try to serve `[offset, offset+len)` of `owner`'s mirror.
     /// Returns `Some(bytes)` on a full hit, `None` if any byte is invalid.
-    pub fn read(&self, owner: GlobalCore, offset: u16, len: usize) -> Option<Vec<u8>> {
+    /// The hit copies out of the mirror into a pooled chunk, so serving
+    /// the same range repeatedly recycles one buffer instead of
+    /// allocating per read.
+    pub fn read(&self, owner: GlobalCore, offset: u16, len: usize) -> Option<Bytes> {
         let entries = self.entries.borrow();
         let off = offset as usize;
         match entries.get(&owner) {
             Some(e) if e.valid[off..off + len].iter().all(|&v| v) => {
                 self.hits.inc();
-                Some(e.data[off..off + len].to_vec())
+                let mut out = pooled(len);
+                out.copy_from_slice(&e.data[off..off + len]);
+                Some(out.freeze())
             }
             _ => {
                 self.misses.inc();

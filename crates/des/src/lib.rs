@@ -28,6 +28,7 @@
 //! assert_eq!(sim.now(), 100);
 //! ```
 
+pub mod bytes;
 pub mod channel;
 pub mod critpath;
 pub mod event;

@@ -74,7 +74,17 @@ pub struct TimerWheel<P> {
     /// Current firing batch: one level-0 slot's live entries, seq-sorted.
     firing: VecDeque<u32>,
     firing_deadline: Cycles,
+    /// Emptied slot vectors kept for reuse: taking a slot swaps one of
+    /// these in, so steady-state insert/fire cycles never return slot
+    /// storage to the allocator.
+    spare_slots: Vec<Vec<u32>>,
+    /// Reusable `load_firing` scratch (seq-sort staging).
+    batch: Vec<u32>,
 }
+
+/// Cap on recycled slot vectors; enough for every occupied slot of a
+/// busy wheel without hoarding after a burst.
+const MAX_SPARE_SLOTS: usize = 64;
 
 fn level_for(xor: u64) -> usize {
     debug_assert!(xor < WHEEL_SPAN);
@@ -108,6 +118,24 @@ impl<P> TimerWheel<P> {
             live: 0,
             firing: VecDeque::new(),
             firing_deadline: 0,
+            spare_slots: Vec::new(),
+            batch: Vec::new(),
+        }
+    }
+
+    /// Empty `level`/`slot`, handing its vector back for iteration. The
+    /// slot is left holding a recycled (empty, pre-sized) vector so the
+    /// next `place` into it does not allocate.
+    fn take_slot(&mut self, level: usize, slot: usize) -> Vec<u32> {
+        let spare = self.spare_slots.pop().unwrap_or_default();
+        std::mem::replace(&mut self.levels[level][slot], spare)
+    }
+
+    /// Return an iterated slot vector to the spare list.
+    fn recycle_slot(&mut self, mut v: Vec<u32>) {
+        if v.capacity() > 0 && self.spare_slots.len() < MAX_SPARE_SLOTS {
+            v.clear();
+            self.spare_slots.push(v);
         }
     }
 
@@ -225,12 +253,13 @@ impl<P> TimerWheel<P> {
     /// Drop a whole slot vector of tombstones (entries whose deadline the
     /// base already passed; live entries can never sit behind the base).
     fn purge_slot(&mut self, level: usize, slot: usize) {
-        let v = std::mem::take(&mut self.levels[level][slot]);
+        let v = self.take_slot(level, slot);
         self.occupied[level] &= !(1 << slot);
-        for idx in v {
+        for &idx in &v {
             debug_assert!(self.slab[idx as usize].payload.is_none(), "live timer behind the base");
             self.release(idx);
         }
+        self.recycle_slot(v);
     }
 
     fn place(&mut self, idx: u32, deadline: Cycles, seq: u64) {
@@ -277,9 +306,9 @@ impl<P> TimerWheel<P> {
             }) {
                 let shift = SLOT_BITS * level as u32;
                 let cur = ((self.base >> shift) & (SLOTS as u64 - 1)) as usize;
-                let v = std::mem::take(&mut self.levels[level][cur]);
+                let v = self.take_slot(level, cur);
                 self.occupied[level] &= !(1 << cur);
-                for idx in v {
+                for &idx in &v {
                     let e = &self.slab[idx as usize];
                     if e.payload.is_none() {
                         self.release(idx);
@@ -289,6 +318,7 @@ impl<P> TimerWheel<P> {
                         self.place(idx, deadline, seq);
                     }
                 }
+                self.recycle_slot(v);
                 continue;
             }
             if self.occupied[0] != 0 {
@@ -367,11 +397,12 @@ impl<P> TimerWheel<P> {
     /// firing batch, seq-sorted, tombstones dropped. Returns `false` if
     /// the slot held only tombstones.
     fn load_firing(&mut self, slot: usize, deadline: Cycles) -> bool {
-        let v = std::mem::take(&mut self.levels[0][slot]);
+        let v = self.take_slot(0, slot);
         self.occupied[0] &= !(1 << slot);
         debug_assert!(self.firing.is_empty());
-        let mut batch: Vec<u32> = Vec::with_capacity(v.len());
-        for idx in v {
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.clear();
+        for &idx in &v {
             let e = &self.slab[idx as usize];
             if e.payload.is_none() {
                 self.release(idx);
@@ -380,13 +411,15 @@ impl<P> TimerWheel<P> {
                 batch.push(idx);
             }
         }
-        if batch.is_empty() {
-            return false;
+        self.recycle_slot(v);
+        let loaded = !batch.is_empty();
+        if loaded {
+            batch.sort_unstable_by_key(|&idx| self.slab[idx as usize].seq);
+            self.firing.extend(batch.iter().copied());
+            self.firing_deadline = deadline;
         }
-        batch.sort_unstable_by_key(|&idx| self.slab[idx as usize].seq);
-        self.firing.extend(batch);
-        self.firing_deadline = deadline;
-        true
+        self.batch = batch;
+        loaded
     }
 }
 

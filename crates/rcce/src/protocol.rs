@@ -108,7 +108,7 @@ fn poll_watchdog_trip(ctx: &RankCtx, addr: scc::geometry::MpbAddr, target: u8, s
         Category::Fault,
         "poll_watchdog",
         None,
-        || ctx.label.clone(),
+        || &ctx.label,
         || {
             fields![
                 rank = me,
@@ -133,12 +133,14 @@ fn poll_watchdog_trip(ctx: &RankCtx, addr: scc::geometry::MpbAddr, target: u8, s
 /// Split `len` bytes into chunk ranges of at most `chunk` bytes; a
 /// zero-length message still produces one empty range (pure
 /// synchronization round).
-pub fn chunk_ranges(len: usize, chunk: usize) -> Vec<(usize, usize)> {
+pub fn chunk_ranges(
+    len: usize,
+    chunk: usize,
+) -> impl ExactSizeIterator<Item = (usize, usize)> + Clone {
     assert!(chunk > 0);
-    if len == 0 {
-        return vec![(0, 0)];
-    }
-    (0..len.div_ceil(chunk)).map(|i| (i * chunk, ((i + 1) * chunk).min(len))).collect()
+    // A zero-length transfer still makes one (empty) protocol round.
+    let n = len.div_ceil(chunk).max(1);
+    (0..n).map(move |i| (i * chunk, ((i + 1) * chunk).min(len)))
 }
 
 /// RCCE's default blocking protocol: *local put / remote get* (Fig. 2a).
@@ -200,7 +202,7 @@ impl PointToPoint for BlockingProtocol {
                     Category::Protocol,
                     "chunk",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![bytes = hi - lo, dest = dest],
                 );
                 trace.begin_f(
@@ -208,12 +210,12 @@ impl PointToPoint for BlockingProtocol {
                     Category::Protocol,
                     "sender_put",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![bytes = hi - lo, target = "local_mpb"],
                 );
                 ctx.core.put_f(layout::payload(my, self.window_off), &data[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
-                    ctx.label.clone()
+                    &ctx.label
                 });
                 let cnt = {
                     let mut sc = ctx.sent_count.borrow_mut();
@@ -225,7 +227,7 @@ impl PointToPoint for BlockingProtocol {
                     Category::Protocol,
                     "flag_set",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![flag = "sent", src = me, value = cnt, at_rank = dest],
                 );
                 ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
@@ -234,16 +236,12 @@ impl PointToPoint for BlockingProtocol {
                     Category::Protocol,
                     "mpb_wait",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![flag = "ready", target = cnt],
                 );
                 flag_wait_reached(ctx, layout::ready_flag(my, dest), cnt).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                    ctx.label.clone()
-                });
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "chunk", f, || {
-                    ctx.label.clone()
-                });
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || &ctx.label);
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "chunk", f, || &ctx.label);
             }
         })
     }
@@ -268,27 +266,24 @@ impl PointToPoint for BlockingProtocol {
                     Category::Protocol,
                     "recv_poll",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![flag = "sent", target = cnt],
                 );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
-                    ctx.label.clone()
-                });
+                trace
+                    .end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || &ctx.label);
                 trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
                     "recv_get",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![bytes = hi - lo, src = src, sent_count = cnt],
                 );
                 // The payload lines may be cached from the previous chunk.
                 ctx.core.cl1invmb().await;
                 ctx.core.get_f(layout::payload(peer, self.window_off), &mut buf[lo..hi], f).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
-                    ctx.label.clone()
-                });
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || &ctx.label);
                 ctx.recv_count.borrow_mut()[src] = cnt;
                 ctx.core.flag_write_f(layout::ready_flag(peer, me), cnt, f).await;
                 trace.instant_f(
@@ -296,7 +291,7 @@ impl PointToPoint for BlockingProtocol {
                     Category::Protocol,
                     "flag_set",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![flag = "ready", src = me, value = cnt, at_rank = src],
                 );
             }
@@ -365,9 +360,10 @@ impl PointToPoint for PipelinedProtocol {
             let peer = ctx.session.who(dest);
             let base = ctx.sent_count.borrow()[dest];
             let ranges = chunk_ranges(data.len(), self.packet);
+            let n_packets = ranges.len();
             let trace = ctx.session.trace().clone();
             let f = Some(flow);
-            for (p, (lo, hi)) in ranges.iter().copied().enumerate() {
+            for (p, (lo, hi)) in ranges.enumerate() {
                 // Flow control: slot p%2 is free once packet p-2 was
                 // consumed, i.e. ready has reached base + p - 1.
                 if p >= PIPELINE_SLOTS {
@@ -376,7 +372,7 @@ impl PointToPoint for PipelinedProtocol {
                         Category::Protocol,
                         "mpb_wait",
                         f,
-                        || ctx.label.clone(),
+                        || &ctx.label,
                         || fields![flag = "ready", pkt = p],
                     );
                     flag_wait_reached(
@@ -386,7 +382,7 @@ impl PointToPoint for PipelinedProtocol {
                     )
                     .await;
                     trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                        ctx.label.clone()
+                        &ctx.label
                     });
                 }
                 trace.begin_f(
@@ -394,37 +390,35 @@ impl PointToPoint for PipelinedProtocol {
                     Category::Protocol,
                     "sender_put",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![pkt = p, bytes = hi - lo, slot = p % 2],
                 );
                 ctx.core.put_f(self.slot_addr(my, p % PIPELINE_SLOTS), &data[lo..hi], f).await;
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
-                    ctx.label.clone()
+                    &ctx.label
                 });
                 let cnt = base.wrapping_add(p as u8 + 1);
                 ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
             }
-            let total = base.wrapping_add(ranges.len() as u8);
+            let total = base.wrapping_add(n_packets as u8);
             ctx.sent_count.borrow_mut()[dest] = total;
             trace.begin_f(
                 ctx.core.sim().now(),
                 Category::Protocol,
                 "mpb_wait",
                 f,
-                || ctx.label.clone(),
+                || &ctx.label,
                 || fields![flag = "ready", target = total],
             );
             flag_wait_reached(ctx, layout::ready_flag(my, dest), total).await;
-            trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || {
-                ctx.label.clone()
-            });
+            trace.end_f(ctx.core.sim().now(), Category::Protocol, "mpb_wait", f, || &ctx.label);
             trace.instant_f(
                 ctx.core.sim().now(),
                 Category::Protocol,
                 "pipe_send_done",
                 f,
-                || ctx.label.clone(),
-                || fields![packets = ranges.len()],
+                || &ctx.label,
+                || fields![packets = n_packets],
             );
         })
     }
@@ -442,38 +436,36 @@ impl PointToPoint for PipelinedProtocol {
             let peer = ctx.session.who(src);
             let base = ctx.recv_count.borrow()[src];
             let ranges = chunk_ranges(buf.len(), self.packet);
+            let n_packets = ranges.len();
             let trace = ctx.session.trace().clone();
             let f = Some(flow);
-            for (p, (lo, hi)) in ranges.iter().copied().enumerate() {
+            for (p, (lo, hi)) in ranges.enumerate() {
                 let cnt = base.wrapping_add(p as u8 + 1);
                 trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
                     "recv_poll",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![flag = "sent", pkt = p],
                 );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), cnt).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || {
-                    ctx.label.clone()
-                });
+                trace
+                    .end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || &ctx.label);
                 trace.begin_f(
                     ctx.core.sim().now(),
                     Category::Protocol,
                     "recv_get",
                     f,
-                    || ctx.label.clone(),
+                    || &ctx.label,
                     || fields![pkt = p, bytes = hi - lo, slot = p % 2],
                 );
                 ctx.core.cl1invmb().await;
                 ctx.core.get_f(self.slot_addr(peer, p % PIPELINE_SLOTS), &mut buf[lo..hi], f).await;
-                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || {
-                    ctx.label.clone()
-                });
+                trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || &ctx.label);
                 ctx.core.flag_write_f(layout::ready_flag(peer, me), cnt, f).await;
             }
-            ctx.recv_count.borrow_mut()[src] = base.wrapping_add(ranges.len() as u8);
+            ctx.recv_count.borrow_mut()[src] = base.wrapping_add(n_packets as u8);
         })
     }
 
@@ -488,15 +480,15 @@ mod tests {
 
     #[test]
     fn chunk_ranges_cover_exactly() {
-        assert_eq!(chunk_ranges(0, 10), vec![(0, 0)]);
-        assert_eq!(chunk_ranges(5, 10), vec![(0, 5)]);
-        assert_eq!(chunk_ranges(10, 10), vec![(0, 10)]);
-        assert_eq!(chunk_ranges(25, 10), vec![(0, 10), (10, 20), (20, 25)]);
+        assert_eq!(chunk_ranges(0, 10).collect::<Vec<_>>(), vec![(0, 0)]);
+        assert_eq!(chunk_ranges(5, 10).collect::<Vec<_>>(), vec![(0, 5)]);
+        assert_eq!(chunk_ranges(10, 10).collect::<Vec<_>>(), vec![(0, 10)]);
+        assert_eq!(chunk_ranges(25, 10).collect::<Vec<_>>(), vec![(0, 10), (10, 20), (20, 25)]);
     }
 
     #[test]
     fn eight_kib_splits_into_two_chunks() {
-        let r = chunk_ranges(8192, CHUNK_BYTES);
+        let r: Vec<_> = chunk_ranges(8192, CHUNK_BYTES).collect();
         assert_eq!(r.len(), 2);
         assert_eq!(r[1].1 - r[1].0, 8192 - CHUNK_BYTES);
     }

@@ -20,6 +20,7 @@
 
 use std::rc::Rc;
 
+use des::bytes::{pooled, pooled_copy};
 use des::{Cycles, Sim};
 
 use crate::cache::{L1Model, Wcb};
@@ -112,7 +113,9 @@ impl CoreHandle {
             let dram = cost.op_overhead + n * cost.dram_line;
             let start = self.sim.now();
             let fabric = self.device.fabric();
-            fabric.write_f(self.who, addr, data.to_vec(), flow).await;
+            // One pooled copy out of the app's buffer; every later hop
+            // (tunnel, retries, delivery) shares it.
+            fabric.write_f(self.who, addr, pooled_copy(data), flow).await;
             let end = (start + dram).max(mc_done).max(self.sim.now());
             self.sim.delay_until(end).await;
         }
@@ -155,7 +158,7 @@ impl CoreHandle {
             self.write_region_local(addr, data, None);
         } else {
             self.sim.delay(cost.op_overhead).await;
-            self.device.fabric().write(self.who, addr, data.to_vec()).await;
+            self.device.fabric().write(self.who, addr, pooled_copy(data)).await;
         }
     }
 
@@ -169,33 +172,51 @@ impl CoreHandle {
         }
         let first_line = addr.offset as usize / LINE_BYTES;
         let last_line = (addr.offset as usize + len - 1) / LINE_BYTES;
+        let req_start = addr.offset as usize;
+        // Copies the overlap of one 32 B line with the requested window
+        // straight into `buf` — no intermediate flat assembly buffer.
+        fn copy_line_window(buf: &mut [u8], req_start: usize, line: usize, data: &[u8]) {
+            let line_start = line * LINE_BYTES;
+            let lo = line_start.max(req_start);
+            let hi = (line_start + LINE_BYTES).min(req_start + buf.len());
+            buf[lo - req_start..hi - req_start]
+                .copy_from_slice(&data[lo - line_start..hi - line_start]);
+        }
         let mut hits = 0u64;
         let mut misses = 0u64;
-        // Which lines miss (need truth)?
-        let mut missing = Vec::new();
-        let mut line_data: Vec<[u8; LINE_BYTES]> = Vec::with_capacity(last_line - first_line + 1);
+        // Which lines miss (need truth)? A request spans at most the whole
+        // MPB region (256 lines), so a stack bitmap replaces a heap Vec.
+        let mut miss_bits = [0u64; MPB_BYTES / LINE_BYTES / 64];
+        let (mut fetch_first, mut fetch_last) = (usize::MAX, 0usize);
         for line in first_line..=last_line {
             match self.l1.lookup((addr.owner, line as u16)) {
                 Some(cached) => {
                     hits += 1;
-                    line_data.push(cached);
+                    copy_line_window(buf, req_start, line, &cached);
                 }
                 None => {
                     misses += 1;
-                    missing.push(line);
-                    line_data.push([0; LINE_BYTES]);
+                    let rel = line - first_line;
+                    debug_assert!(rel < MPB_BYTES / LINE_BYTES, "read spans beyond one MPB");
+                    miss_bits[rel / 64] |= 1 << (rel % 64);
+                    fetch_first = fetch_first.min(line);
+                    fetch_last = line;
                 }
             }
         }
-        if !missing.is_empty() {
-            let fetch_first = *missing.first().expect("non-empty");
-            let fetch_last = *missing.last().expect("non-empty");
+        if misses > 0 {
             let span = (fetch_last - fetch_first + 1) * LINE_BYTES;
-            let mut truth = vec![0u8; span];
-            if self.is_local_device(addr) {
-                self.device.mpb(addr.owner.core).read(fetch_first * LINE_BYTES, &mut truth);
+            let local_buf;
+            let remote_buf;
+            let truth: &[u8] = if self.is_local_device(addr) {
+                // Pooled scratch: recycled across reads, zero steady-state
+                // allocations.
+                let mut t = pooled(span);
+                self.device.mpb(addr.owner.core).read(fetch_first * LINE_BYTES, &mut t);
+                local_buf = t;
+                &local_buf
             } else {
-                let fetched = self
+                remote_buf = self
                     .device
                     .fabric()
                     .read_f(
@@ -205,20 +226,20 @@ impl CoreHandle {
                         flow,
                     )
                     .await;
-                truth.copy_from_slice(&fetched);
-            }
-            for &line in &missing {
+                &remote_buf
+            };
+            for line in fetch_first..=fetch_last {
+                let rel = line - first_line;
+                if miss_bits[rel / 64] & (1 << (rel % 64)) == 0 {
+                    continue;
+                }
                 let off = (line - fetch_first) * LINE_BYTES;
                 let mut l = [0u8; LINE_BYTES];
                 l.copy_from_slice(&truth[off..off + LINE_BYTES]);
                 self.l1.fill((addr.owner, line as u16), l);
-                line_data[line - first_line] = l;
+                copy_line_window(buf, req_start, line, &l);
             }
         }
-        // Assemble the requested byte window from line copies.
-        let start_in_first = addr.offset as usize - first_line * LINE_BYTES;
-        let flat: Vec<u8> = line_data.iter().flat_map(|l| l.iter().copied()).collect();
-        buf.copy_from_slice(&flat[start_in_first..start_in_first + len]);
 
         let per_miss = if self.is_local_device(addr) {
             cost.mpb_line_cost(self.who.core.tile(), addr.owner.core.tile(), false)
@@ -281,7 +302,7 @@ impl CoreHandle {
             );
         } else {
             self.sim.delay(cost.op_overhead).await;
-            self.device.fabric().write_f(self.who, addr, vec![value], flow).await;
+            self.device.fabric().write_f(self.who, addr, pooled_copy(&[value]), flow).await;
         }
     }
 

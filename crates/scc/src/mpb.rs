@@ -86,6 +86,20 @@ impl MpbRegion {
         self.notify.notify_all();
     }
 
+    /// Read `len` bytes at `offset` into a pooled shared buffer.
+    ///
+    /// Same semantics as [`MpbRegion::read`], but the destination comes
+    /// from the `des::bytes` chunk pool and the result can be forwarded
+    /// across the payload path without further copies.
+    pub fn read_bytes(&self, offset: usize, len: usize) -> des::bytes::Bytes {
+        let data = self.data.borrow();
+        assert!(offset + len <= MPB_BYTES, "MPB read [{offset}, {}) out of bounds", offset + len);
+        self.reads.inc();
+        let mut out = des::bytes::pooled(len);
+        out.copy_from_slice(&data[offset..offset + len]);
+        out.freeze()
+    }
+
     /// Read a single byte (flag polling).
     pub fn read_byte(&self, offset: usize) -> u8 {
         self.reads.inc();

@@ -9,6 +9,8 @@
 use std::future::Future;
 use std::pin::Pin;
 
+use des::bytes::Bytes;
+
 use crate::geometry::{GlobalCore, MpbAddr};
 use crate::LINE_BYTES;
 
@@ -34,14 +36,18 @@ pub struct RegisterLine {
 /// Implementations decide the latency/acknowledge semantics that
 /// distinguish the paper's communication schemes (routed round trip,
 /// FPGA fast write-ack, host-cached reads, …).
+///
+/// Payloads travel as [`Bytes`]: a shared view that every hop (tunnel,
+/// retry queue, delivery chain, software cache) can clone and slice for
+/// free, copying only where bytes are actually rewritten.
 pub trait RemoteFabric {
     /// Read `len` bytes at `addr` on another device, on behalf of `src`.
-    fn read(&self, src: GlobalCore, addr: MpbAddr, len: usize) -> LocalBoxFuture<'_, Vec<u8>>;
+    fn read(&self, src: GlobalCore, addr: MpbAddr, len: usize) -> LocalBoxFuture<'_, Bytes>;
 
     /// Write `data` to `addr` on another device, on behalf of `src`.
     /// Resolves when the write is complete *from the issuing core's
     /// perspective* (i.e. when the fabric's ack policy says so).
-    fn write(&self, src: GlobalCore, addr: MpbAddr, data: Vec<u8>) -> LocalBoxFuture<'_, ()>;
+    fn write(&self, src: GlobalCore, addr: MpbAddr, data: Bytes) -> LocalBoxFuture<'_, ()>;
 
     /// [`RemoteFabric::read`] carrying the message-provenance flow id, so
     /// an instrumenting fabric can tag the hop. Defaults to ignoring it.
@@ -51,7 +57,7 @@ pub trait RemoteFabric {
         addr: MpbAddr,
         len: usize,
         _flow: Option<u64>,
-    ) -> LocalBoxFuture<'_, Vec<u8>> {
+    ) -> LocalBoxFuture<'_, Bytes> {
         self.read(src, addr, len)
     }
 
@@ -61,7 +67,7 @@ pub trait RemoteFabric {
         &self,
         src: GlobalCore,
         addr: MpbAddr,
-        data: Vec<u8>,
+        data: Bytes,
         _flow: Option<u64>,
     ) -> LocalBoxFuture<'_, ()> {
         self.write(src, addr, data)

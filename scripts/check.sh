@@ -25,11 +25,13 @@ cargo test -q --test chaos smoke_fixed_seed
 if [ "${VSCC_PERF_SKIP:-}" = "1" ]; then
     echo "== perf smoke: skipped (VSCC_PERF_SKIP=1) =="
 else
-    echo "== perf smoke (engine events/sec vs committed BENCH_engine.json) =="
+    echo "== perf smoke (engine events/sec + allocs/msg vs committed BENCH_engine.json) =="
     # Quick-sample harness run; writes target/BENCH_engine.json and fails
     # if any scenario's events/sec drops >30% below the committed
-    # baseline. Wall-clock only — the virtual clock never sees it. Set
-    # VSCC_PERF_SKIP=1 on noisy/shared machines.
+    # baseline, or a datapath scenario's allocations-per-message rises
+    # >20% above it (the alloc counter is deterministic, so that gate is
+    # noise-free). Wall-clock only — the virtual clock never sees it.
+    # Set VSCC_PERF_SKIP=1 on noisy/shared machines.
     VSCC_PERF_FAST=1 VSCC_PERF_GATE=1 cargo bench -p vscc-bench --bench engine_micro
 fi
 

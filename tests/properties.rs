@@ -100,7 +100,7 @@ proptest! {
     /// chunk_ranges tiles [0, len) exactly, in order, within the chunk cap.
     #[test]
     fn chunk_ranges_tile_exactly(len in 0usize..100_000, chunk in 1usize..9_000) {
-        let ranges = chunk_ranges(len, chunk);
+        let ranges: Vec<_> = chunk_ranges(len, chunk).collect();
         prop_assert!(!ranges.is_empty());
         if len == 0 {
             prop_assert_eq!(ranges, vec![(0, 0)]);
@@ -237,6 +237,72 @@ proptest! {
         let occupy = (bytes * 3).div_ceil(2) + 7;
         for (i, &t) in ends.iter().enumerate() {
             prop_assert_eq!(t, occupy * (i as u64 + 1) + lat);
+        }
+    }
+
+    /// `des::bytes::Bytes` against the `Vec<u8>` oracle: any chain of
+    /// sub-slices sees exactly the bytes the equivalent `Vec` windows
+    /// see, for arbitrary contents and slice arithmetic.
+    #[test]
+    fn bytes_slices_match_vec_oracle(
+        data in prop::collection::vec(any::<u8>(), 0..4096),
+        cuts in prop::collection::vec((0u32..10_000, 0u32..10_000), 0..6),
+    ) {
+        let mut oracle: Vec<u8> = data.clone();
+        let mut b = des::bytes::Bytes::copy_from_slice(&data);
+        prop_assert_eq!(&b, &oracle);
+        for (a, z) in cuts {
+            // Map the fraction pair onto a valid (start, end) window.
+            let start = a as usize * b.len() / 10_000;
+            let end = start + (z as usize * (b.len() - start) / 10_000);
+            b = b.slice(start..end);
+            oracle = oracle[start..end].to_vec();
+            prop_assert_eq!(b.len(), oracle.len());
+            prop_assert_eq!(&b, &oracle);
+        }
+    }
+
+    /// CoW isolation: mutating one view through `make_mut` never
+    /// disturbs any other view of the same storage, and the mutated view
+    /// matches the oracle mutation.
+    #[test]
+    fn bytes_make_mut_isolates_views(
+        data in prop::collection::vec(any::<u8>(), 1..2048),
+        flips in prop::collection::vec((0u32..10_000, any::<u8>()), 1..8),
+    ) {
+        let base = des::bytes::Bytes::copy_from_slice(&data);
+        let snapshot = base.to_vec();
+        let mut view = base.clone();
+        let mut oracle = data.clone();
+        for (pos, val) in flips {
+            let i = (pos as usize * view.len() / 10_000).min(view.len() - 1);
+            view.make_mut()[i] ^= val;
+            oracle[i] ^= val;
+        }
+        prop_assert_eq!(&view, &oracle, "mutated view tracks the oracle");
+        prop_assert_eq!(&base, &snapshot, "sibling view never observes the mutation");
+    }
+
+    /// Pool recycling never resurrects stale payload bytes: a chunk that
+    /// held arbitrary garbage comes back zeroed from `Pool::get`, for any
+    /// interleaving of sizes.
+    #[test]
+    fn pool_recycle_returns_zeroed_chunks(
+        rounds in prop::collection::vec((1usize..70_000, any::<u8>()), 1..20),
+    ) {
+        let pool = des::bytes::Pool::new();
+        for (len, fill) in rounds {
+            let mut b = pool.get(len);
+            prop_assert_eq!(b.len(), len);
+            prop_assert!(b.iter().all(|&x| x == 0), "pooled chunk of {} B must be zeroed", len);
+            // Dirty the chunk (and freeze half the time via the fill
+            // parity so both return paths recycle), then drop it back.
+            b.iter_mut().for_each(|x| *x = fill | 1);
+            if fill % 2 == 0 {
+                drop(b);
+            } else {
+                drop(b.freeze());
+            }
         }
     }
 }
