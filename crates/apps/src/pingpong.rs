@@ -118,6 +118,36 @@ pub fn interdevice_observed(
     (point(&sim, size, reps), trace, reg)
 }
 
+/// Like [`interdevice_observed`], but additionally running the
+/// virtual-time metrics sampler at `cadence` cycles; the returned
+/// [`des::obs::TimeSeries`] is finished at app completion (partial tail
+/// window flushed), ready for `VSCC_TIMESERIES` export or Chrome-trace
+/// counter tracks.
+pub fn interdevice_sampled(
+    scheme: CommScheme,
+    size: usize,
+    reps: usize,
+    cadence: des::Cycles,
+) -> (PingPongPoint, Trace, Registry, des::obs::TimeSeries) {
+    let sim = Sim::new();
+    let reg = Registry::new();
+    let v = VsccBuilder::new(&sim, 2)
+        .scheme(scheme)
+        .metrics_registry(&reg)
+        .trace_categories(&Category::ALL)
+        .build();
+    let a = v.devices[0].global(CoreId(0));
+    let b = v.devices[1].global(CoreId(0));
+    // Build the session before spawning the sampler so the `rcce.*`
+    // metrics exist when the selection is resolved.
+    let s = v.session_builder().participants(vec![a, b]).build();
+    let ts = v.spawn_sampler(&des::obs::SamplerSpec::every(cadence));
+    s.run_app(move |r| bounce(r, size, reps)).expect("inter-device ping-pong");
+    ts.finish(sim.now());
+    let trace = v.trace().clone();
+    (point(&sim, size, reps), trace, reg, ts)
+}
+
 /// Inter-device ping-pong on a system of `n_devices` (the extra devices
 /// only add fabric structure; the traffic stays on one pair).
 pub fn interdevice_on(

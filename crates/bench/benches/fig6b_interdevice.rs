@@ -94,13 +94,18 @@ fn main() {
     }
 
     if vscc_bench::observability_requested() {
-        let (_, vdma_trace, vdma_reg) =
-            pingpong::interdevice_observed(CommScheme::LocalPutLocalGet, 8192, 1);
-        let (_, lprg_trace, _) =
-            pingpong::interdevice_observed(CommScheme::LocalPutRemoteGet, 8192, 1);
-        vscc_bench::export_observability(
+        // Sampled runs: counter tracks (tunnel busy-fraction, MPB window
+        // occupancy, commtask busy-fraction, ...) ride the Chrome trace,
+        // and the vDMA run's series is the `VSCC_TIMESERIES` export.
+        let cadence = des::obs::DEFAULT_CADENCE;
+        let (_, vdma_trace, vdma_reg, vdma_ts) =
+            pingpong::interdevice_sampled(CommScheme::LocalPutLocalGet, 8192, 1, cadence);
+        let (_, lprg_trace, _, lprg_ts) =
+            pingpong::interdevice_sampled(CommScheme::LocalPutRemoteGet, 8192, 1, cadence);
+        vscc_bench::export_observability_sampled(
             &vdma_reg,
             &[("vdma-8K", &vdma_trace), ("lprg-8K", &lprg_trace)],
+            &[("vdma-8K", &vdma_ts), ("lprg-8K", &lprg_ts)],
         );
     }
 }

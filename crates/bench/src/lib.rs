@@ -9,7 +9,7 @@
 
 use std::sync::Mutex;
 
-use des::obs::{Registry, METRICS_ENV, TRACE_ENV};
+use des::obs::{Registry, TimeSeries, METRICS_ENV, TIMESERIES_ENV, TRACE_ENV};
 use des::trace::Trace;
 
 /// Print a figure/table banner. If a `VSCC_FAULTS` plan is active it is
@@ -65,7 +65,7 @@ pub fn headline_asserts() -> bool {
 /// this to skip the extra fully-traced run when nobody wants the output.
 pub fn observability_requested() -> bool {
     let set = |var: &str| std::env::var(var).map(|v| !v.is_empty()).unwrap_or(false);
-    set(TRACE_ENV) || set(METRICS_ENV)
+    set(TRACE_ENV) || set(METRICS_ENV) || set(TIMESERIES_ENV)
 }
 
 /// Honour the observability env vars at the end of a bench target: write
@@ -74,7 +74,21 @@ pub fn observability_requested() -> bool {
 /// DESIGN.md §"Observability"). Prints the paths written so the user can
 /// find the artifacts in the bench output.
 pub fn export_observability(registry: &Registry, traces: &[(&str, &Trace)]) {
-    match des::obs::export_trace_if_env(traces) {
+    export_observability_sampled(registry, traces, &[]);
+}
+
+/// [`export_observability`] for targets that also ran the virtual-time
+/// sampler: `series` pairs are merged into the Chrome trace as Perfetto
+/// counter tracks, and — when `VSCC_TIMESERIES=path` is set — the first
+/// series is written there as the windowed time-series export. Targets
+/// that pass no series print a hint instead of silently ignoring the
+/// request.
+pub fn export_observability_sampled(
+    registry: &Registry,
+    traces: &[(&str, &Trace)],
+    series: &[(&str, &TimeSeries)],
+) {
+    match des::obs::export_trace_if_env_with_tracks(traces, series) {
         Ok(Some(path)) => println!("[obs] Chrome trace written to {path} ({TRACE_ENV})"),
         Ok(None) => {}
         Err(e) => eprintln!("[obs] {TRACE_ENV} export failed: {e}"),
@@ -83,6 +97,20 @@ pub fn export_observability(registry: &Registry, traces: &[(&str, &Trace)]) {
         Ok(Some(path)) => println!("[obs] metrics snapshot written to {path} ({METRICS_ENV})"),
         Ok(None) => {}
         Err(e) => eprintln!("[obs] {METRICS_ENV} export failed: {e}"),
+    }
+    let timeseries_wanted = std::env::var(TIMESERIES_ENV).map(|v| !v.is_empty()).unwrap_or(false);
+    match series.first() {
+        Some((name, ts)) => match des::obs::export_timeseries_if_env(ts) {
+            Ok(Some(path)) => {
+                println!("[obs] time-series ({name}) written to {path} ({TIMESERIES_ENV})")
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("[obs] {TIMESERIES_ENV} export failed: {e}"),
+        },
+        None if timeseries_wanted => {
+            println!("[obs] {TIMESERIES_ENV} set but this target runs no sampler; no export")
+        }
+        None => {}
     }
 }
 

@@ -238,6 +238,10 @@ pub struct HostSide {
     /// Pre-interned per-device trace labels (`"commtask-d<N>"`): the hot
     /// forwarding paths clone an `Rc` instead of formatting per event.
     commtask_labels: Vec<Rc<str>>,
+    /// Per-device commtask busy cycles (`host.commtask.d<N>.busy_cycles`):
+    /// virtual time each daemon worker spends executing queued commands,
+    /// accumulated once per command so the hot path stays allocation-free.
+    commtask_busy: Vec<Counter>,
     /// Reusable scratch for WCB flush batches (drained immediately after
     /// each [`HostWcb::append_into`], never held across an await).
     wcb_ready: RefCell<Vec<crate::hostwcb::PendingRun>>,
@@ -288,6 +292,17 @@ impl HostSide {
         if let Some(plan) = &faults {
             fastack.attach_plan(plan.clone());
         }
+        let commtask_busy: Vec<Counter> = (0..n_devices)
+            .map(|d| {
+                let c = Counter::new();
+                registry
+                    .scoped("host")
+                    .scoped("commtask")
+                    .scoped(&format!("d{d}"))
+                    .adopt_counter("busy_cycles", &c);
+                c
+            })
+            .collect();
         Rc::new_cyclic(|me| HostSide {
             sim: sim.clone(),
             fabric,
@@ -307,6 +322,7 @@ impl HostSide {
             commtask_labels: (0..n_devices)
                 .map(|d| trace.intern(&format!("commtask-d{d}")))
                 .collect(),
+            commtask_busy,
             wcb_ready: RefCell::new(Vec::new()),
             trace,
             cfg,
@@ -372,9 +388,11 @@ impl HostSide {
     // Daemon workers
     // ------------------------------------------------------------------
 
-    async fn worker_loop(self: Rc<Self>, _device: DeviceId, rx: Receiver<HostCmd>) {
+    async fn worker_loop(self: Rc<Self>, device: DeviceId, rx: Receiver<HostCmd>) {
+        let busy = self.commtask_busy[device.0 as usize].clone();
         let mut last_vdma: Option<HostCmd> = None;
         while let Some(cmd) = rx.recv().await {
+            let cmd_start = self.sim.now();
             // Injected commtask stall: the daemon thread is descheduled for
             // the rest of the window before it touches the command.
             if let Some(plan) = &self.faults {
@@ -414,6 +432,7 @@ impl HostSide {
                 // Handled synchronously at MMIO arrival; never queued.
                 HostCmd::CacheInvalidate { .. } | HostCmd::RegisterBuffer { .. } => {}
             }
+            busy.add(self.sim.now() - cmd_start);
         }
     }
 

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use des::bytes::{pooled_with_capacity, Bytes, BytesMut};
-use des::obs::{CounterHandle, Registry};
+use des::obs::{CounterHandle, GaugeHandle, Registry};
 use scc::{GlobalCore, MPB_BYTES};
 
 /// One buffered contiguous write run for a destination, frozen for
@@ -60,6 +60,7 @@ pub struct HostWcb {
     granularity: usize,
     flushes: CounterHandle,
     merges: CounterHandle,
+    depth: GaugeHandle,
 }
 
 impl HostWcb {
@@ -71,16 +72,19 @@ impl HostWcb {
             granularity,
             flushes: CounterHandle::default(),
             merges: CounterHandle::default(),
+            depth: GaugeHandle::default(),
         }
     }
 
     /// Like [`HostWcb::new`], but with the counters registered in
-    /// `registry` under `host.wcb.{flushes, merges}`.
+    /// `registry` under `host.wcb.{flushes, merges, depth}` — `depth` is
+    /// the bytes currently buffered across all destinations.
     pub fn with_registry(granularity: usize, registry: &Registry) -> Self {
         let scope = registry.scoped("host").scoped("wcb");
         let mut wcb = Self::new(granularity);
         wcb.flushes = scope.register_counter("flushes");
         wcb.merges = scope.register_counter("merges");
+        wcb.depth = scope.register_gauge("depth");
         wcb
     }
 
@@ -108,6 +112,7 @@ impl HostWcb {
         ready: &mut Vec<PendingRun>,
     ) {
         let mut st = self.state.borrow_mut();
+        self.depth.add(data.len() as i64);
         let runs = st.pending.entry(dst).or_default();
         // Merge with the last run when contiguous (the combining part).
         match runs.last_mut() {
@@ -156,7 +161,9 @@ impl HostWcb {
                 runs.remove(i);
             }
         }
-        self.flushes.add((ready.len() - before) as u64);
+        let emitted = ready.len() - before;
+        self.flushes.add(emitted as u64);
+        self.depth.sub((emitted * self.granularity) as i64);
     }
 
     /// Drain everything buffered for `dst` (ordering flush before a flag
@@ -172,6 +179,7 @@ impl HostWcb {
             .map(|run| PendingRun { offset: run.offset, data: run.data.freeze() })
             .collect();
         self.flushes.add(out.len() as u64);
+        self.depth.sub(out.iter().map(|r| r.data.len() as i64).sum());
         out
     }
 
@@ -215,6 +223,20 @@ mod tests {
         w.append(dst(), 0, &[1; 256]);
         assert_eq!(reg.counter("host.wcb.flushes").get(), 1);
         assert_eq!(w.stats(), HostWcbStats { flushes: 1, merges: 0 });
+    }
+
+    #[test]
+    fn depth_gauge_tracks_buffered_bytes() {
+        let reg = Registry::new();
+        let w = HostWcb::with_registry(256, &reg);
+        let depth = reg.gauge("host.wcb.depth");
+        w.append(dst(), 0, &[1; 100]);
+        assert_eq!(depth.get(), 100);
+        w.append(dst(), 100, &[2; 300]); // crosses a granule: 256 flush
+        assert_eq!(depth.get(), 400 - 256);
+        assert_eq!(depth.get() as usize, w.buffered(dst()));
+        w.drain(dst());
+        assert_eq!(depth.get(), 0);
     }
 
     #[test]

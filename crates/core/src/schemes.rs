@@ -16,6 +16,7 @@
 //! deliver into the receiver's MPB.
 
 use des::fields;
+use des::obs::{GaugeHandle, Registry};
 use des::trace::Category;
 use rcce::layout::{self, CHUNK_BYTES};
 use rcce::protocol::{chunk_ranges, flag_wait_reached, LocalBoxFuture, PointToPoint};
@@ -63,13 +64,63 @@ impl CommScheme {
 
     /// The point-to-point protocol implementing this scheme.
     pub fn protocol(self) -> std::rc::Rc<dyn PointToPoint> {
+        self.protocol_with_windows(WindowGauges::default())
+    }
+
+    /// Like [`CommScheme::protocol`], but with MPB payload-window
+    /// occupancy gauges reporting into `registry` (`vscc.window.*`).
+    pub fn protocol_with_obs(self, registry: &Registry) -> std::rc::Rc<dyn PointToPoint> {
+        self.protocol_with_windows(WindowGauges::register(registry))
+    }
+
+    fn protocol_with_windows(self, windows: WindowGauges) -> std::rc::Rc<dyn PointToPoint> {
         match self {
             CommScheme::SimpleRouting => std::rc::Rc::new(rcce::BlockingProtocol::default()),
             CommScheme::RemotePutHwAck | CommScheme::RemotePutWcb => {
-                std::rc::Rc::new(RemotePutProtocol)
+                std::rc::Rc::new(RemotePutProtocol { windows })
             }
-            CommScheme::LocalPutRemoteGet => std::rc::Rc::new(CachedGetProtocol::default()),
-            CommScheme::LocalPutLocalGet => std::rc::Rc::new(VdmaProtocol::default()),
+            CommScheme::LocalPutRemoteGet => {
+                std::rc::Rc::new(CachedGetProtocol { windows, ..Default::default() })
+            }
+            CommScheme::LocalPutLocalGet => {
+                std::rc::Rc::new(VdmaProtocol { windows, ..Default::default() })
+            }
+        }
+    }
+}
+
+/// Pre-resolved occupancy gauges for the payload-window layout (DESIGN.md
+/// §4b), one per scheme window. Occupancy is "bytes put but not yet
+/// consumed": the producer side adds at the end of its put, the consumer
+/// side subtracts when it copies the bytes out (for the vDMA send slots,
+/// when the controller's drain flag confirms the slots were captured).
+/// Handles are resolved once at protocol construction, so the per-chunk
+/// update on the data path is a plain `Cell` add — no lookup, no
+/// allocation. Detached (default) handles make every update a no-op.
+#[derive(Clone, Default)]
+pub struct WindowGauges {
+    /// Direct-transfer slot (`DIRECT_OFF..DIRECT_OFF+DIRECT_MAX`).
+    pub direct: GaugeHandle,
+    /// Remote-put receive window (`REMOTE_PUT_OFF..` one chunk).
+    pub remote_put: GaugeHandle,
+    /// Cached-get local put window (`0..LPRG_CHUNK`).
+    pub lprg: GaugeHandle,
+    /// vDMA send slots (`0..2*VDMA_SLOT`).
+    pub vdma_send: GaugeHandle,
+    /// vDMA receive slots (`2*VDMA_SLOT..4*VDMA_SLOT`).
+    pub vdma_recv: GaugeHandle,
+}
+
+impl WindowGauges {
+    /// Resolve the gauges in `registry` under `vscc.window.<name>.bytes`.
+    pub fn register(registry: &Registry) -> Self {
+        let scope = registry.scoped("vscc").scoped("window");
+        WindowGauges {
+            direct: scope.scoped("direct").register_gauge("bytes"),
+            remote_put: scope.scoped("remote_put").register_gauge("bytes"),
+            lprg: scope.scoped("lprg").register_gauge("bytes"),
+            vdma_send: scope.scoped("vdma_send").register_gauge("bytes"),
+            vdma_recv: scope.scoped("vdma_recv").register_gauge("bytes"),
         }
     }
 }
@@ -116,7 +167,7 @@ fn direct_slot(who: scc::GlobalCore) -> MpbAddr {
 // schemes: grant → host-acked remote write → flag → local get.
 // ---------------------------------------------------------------------
 
-async fn direct_send(ctx: &RankCtx, dest: usize, data: &[u8], flow: u64) {
+async fn direct_send(ctx: &RankCtx, dest: usize, data: &[u8], flow: u64, windows: &WindowGauges) {
     let me = ctx.rank;
     let my = ctx.who();
     let peer = ctx.session.who(dest);
@@ -155,12 +206,13 @@ async fn direct_send(ctx: &RankCtx, dest: usize, data: &[u8], flow: u64) {
         || fields![bytes = data.len() as u64, target = "direct_slot"],
     );
     ctx.core.put_f(direct_slot(peer), data, f).await;
+    windows.direct.add(data.len() as i64);
     trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || &ctx.label);
     // b2: data-available signal.
     ctx.core.flag_write_f(layout::sent_flag(peer, me), cnt, f).await;
 }
 
-async fn direct_recv(ctx: &RankCtx, src: usize, buf: &mut [u8], flow: u64) {
+async fn direct_recv(ctx: &RankCtx, src: usize, buf: &mut [u8], flow: u64, windows: &WindowGauges) {
     let me = ctx.rank;
     let my = ctx.who();
     let peer = ctx.session.who(src);
@@ -198,6 +250,7 @@ async fn direct_recv(ctx: &RankCtx, src: usize, buf: &mut [u8], flow: u64) {
     );
     ctx.core.cl1invmb().await;
     ctx.core.get_f(direct_slot(my), buf, f).await;
+    windows.direct.sub(buf.len() as i64);
     trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || &ctx.label);
     ctx.recv_count.borrow_mut()[src] = cnt;
     ctx.inbound_lock.unlock();
@@ -210,7 +263,12 @@ async fn direct_recv(ctx: &RankCtx, src: usize, buf: &mut [u8], flow: u64) {
 /// Remote-put protocol: the sender writes chunks straight into the
 /// receiver's payload area; which posted-write machinery carries them
 /// (FPGA fast-ack or host WCB) is decided by the host fabric mode.
-pub struct RemotePutProtocol;
+#[derive(Default)]
+pub struct RemotePutProtocol {
+    /// Payload-window occupancy gauges (detached unless built via
+    /// [`CommScheme::protocol_with_obs`]).
+    pub windows: WindowGauges,
+}
 
 impl PointToPoint for RemotePutProtocol {
     fn send<'a>(
@@ -262,6 +320,7 @@ impl PointToPoint for RemotePutProtocol {
                     || fields![bytes = hi - lo, target = "remote_mpb"],
                 );
                 ctx.core.put_f(layout::payload(peer, REMOTE_PUT_OFF), &data[lo..hi], f).await;
+                self.windows.remote_put.add((hi - lo) as i64);
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
                     &ctx.label
                 });
@@ -320,6 +379,7 @@ impl PointToPoint for RemotePutProtocol {
                 );
                 ctx.core.cl1invmb().await;
                 ctx.core.get_f(layout::payload(my, REMOTE_PUT_OFF), &mut buf[lo..hi], f).await;
+                self.windows.remote_put.sub((hi - lo) as i64);
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || &ctx.label);
                 ctx.recv_count.borrow_mut()[src] = cnt;
             }
@@ -347,11 +407,14 @@ pub struct CachedGetProtocol {
     /// (ablation) leaves the receiver's reads to cold-miss in the host
     /// cache, which then fetches on demand — no overlap with the put.
     pub prefetch: bool,
+    /// Payload-window occupancy gauges (detached unless built via
+    /// [`CommScheme::protocol_with_obs`]).
+    pub windows: WindowGauges,
 }
 
 impl Default for CachedGetProtocol {
     fn default() -> Self {
-        CachedGetProtocol { direct_threshold: 96, prefetch: true }
+        CachedGetProtocol { direct_threshold: 96, prefetch: true, windows: WindowGauges::default() }
     }
 }
 
@@ -365,7 +428,7 @@ impl PointToPoint for CachedGetProtocol {
     ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             if data.len() <= self.direct_threshold {
-                return direct_send(ctx, dest, data, flow).await;
+                return direct_send(ctx, dest, data, flow, &self.windows).await;
             }
             let me = ctx.rank;
             let my = ctx.who();
@@ -416,6 +479,7 @@ impl PointToPoint for CachedGetProtocol {
                     || fields![bytes = hi - lo, target = "local_mpb"],
                 );
                 ctx.core.put_f(layout::payload(my, 0), &data[lo..hi], f).await;
+                self.windows.lprg.add((hi - lo) as i64);
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
                     &ctx.label
                 });
@@ -454,7 +518,7 @@ impl PointToPoint for CachedGetProtocol {
     ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             if buf.len() <= self.direct_threshold {
-                return direct_recv(ctx, src, buf, flow).await;
+                return direct_recv(ctx, src, buf, flow, &self.windows).await;
             }
             let me = ctx.rank;
             let my = ctx.who();
@@ -493,6 +557,7 @@ impl PointToPoint for CachedGetProtocol {
                 ctx.core.cl1invmb().await;
                 // Remote get, served by the host software cache.
                 ctx.core.get_f(layout::payload(peer, 0), &mut buf[lo..hi], f).await;
+                self.windows.lprg.sub((hi - lo) as i64);
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || &ctx.label);
                 ctx.recv_count.borrow_mut()[src] = cnt;
                 ctx.core.flag_write_f(layout::ready_flag(peer, me), cnt, f).await;
@@ -519,6 +584,9 @@ pub struct VdmaProtocol {
     /// Messages at or below this size take the direct path (§3.3:
     /// "about 32 B to 128 B dependent on the communication scheme").
     pub direct_threshold: usize,
+    /// Payload-window occupancy gauges (detached unless built via
+    /// [`CommScheme::protocol_with_obs`]).
+    pub windows: WindowGauges,
     /// Per-rank count of vDMA packets issued (the drain sequence): the
     /// sender spins on its `vdma_done` flag reaching `seq − 2` before
     /// reusing a send slot — the busy-wait of §3.3.
@@ -529,6 +597,7 @@ impl Default for VdmaProtocol {
     fn default() -> Self {
         VdmaProtocol {
             direct_threshold: 128,
+            windows: WindowGauges::default(),
             drain_issued: std::cell::RefCell::new(std::collections::HashMap::new()),
         }
     }
@@ -551,7 +620,7 @@ impl PointToPoint for VdmaProtocol {
     ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             if data.len() <= self.direct_threshold {
-                return direct_send(ctx, dest, data, flow).await;
+                return direct_send(ctx, dest, data, flow, &self.windows).await;
             }
             let me = ctx.rank;
             let my = ctx.who();
@@ -608,6 +677,7 @@ impl PointToPoint for VdmaProtocol {
                     || fields![bytes = hi - lo, slot = (gseq % 2) as u64],
                 );
                 ctx.core.put_f(sslot, &data[lo..hi], f).await;
+                self.windows.vdma_send.add((hi - lo) as i64);
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "sender_put", f, || {
                     &ctx.label
                 });
@@ -647,6 +717,8 @@ impl PointToPoint for VdmaProtocol {
                 || fields![flag = "drain+consumed", target = last_gseq],
             );
             flag_wait_reached(ctx, layout::vdma_done_flag(my), last_gseq).await;
+            // Every slot of this message is confirmed drained.
+            self.windows.vdma_send.sub(data.len() as i64);
             // And until the receiver's grants confirm the tail packets
             // were consumed (blocking RCCE semantics).
             flag_wait_reached(ctx, layout::ready_flag(my, dest), base.wrapping_add(n as u8)).await;
@@ -664,7 +736,7 @@ impl PointToPoint for VdmaProtocol {
     ) -> LocalBoxFuture<'a, ()> {
         Box::pin(async move {
             if buf.len() <= self.direct_threshold {
-                return direct_recv(ctx, src, buf, flow).await;
+                return direct_recv(ctx, src, buf, flow, &self.windows).await;
             }
             let me = ctx.rank;
             let my = ctx.who();
@@ -699,6 +771,7 @@ impl PointToPoint for VdmaProtocol {
                     || fields![flag = "sent", pkt = p0],
                 );
                 flag_wait_reached(ctx, layout::sent_flag(my, src), seq).await;
+                self.windows.vdma_recv.add((hi - lo) as i64);
                 trace
                     .end_f(ctx.core.sim().now(), Category::Protocol, "recv_poll", f, || &ctx.label);
                 // Local get out of my receive slot.
@@ -712,6 +785,7 @@ impl PointToPoint for VdmaProtocol {
                 );
                 ctx.core.cl1invmb().await;
                 ctx.core.get_f(recv_slot(my, p0 % 2), &mut buf[lo..hi], f).await;
+                self.windows.vdma_recv.sub((hi - lo) as i64);
                 trace.end_f(ctx.core.sim().now(), Category::Protocol, "recv_get", f, || &ctx.label);
                 if p0 + 3 <= n {
                     // Re-grant the slot just freed.

@@ -287,7 +287,20 @@ impl Vscc {
                 b.onchip_protocol(Rc::new(PipelinedProtocol::confined(0, send_window)))
             }
         };
-        b.interdevice_protocol(self.scheme.protocol())
+        b.interdevice_protocol(self.scheme.protocol_with_obs(&self.metrics))
+    }
+
+    /// Spawn the virtual-time metrics sampler ([`des::obs::timeseries`])
+    /// over this system's registry. Call it *after* building the session:
+    /// selection is resolved at spawn time, so `rcce.*` metrics (which
+    /// register with the session) are only tracked once they exist. The
+    /// returned series also tracks the global byte-pool occupancy as
+    /// `bytes.pool.free_buffers` (a thread-local gauge that must stay out
+    /// of the registry — the pool outlives any single run).
+    pub fn spawn_sampler(&self, spec: &des::obs::SamplerSpec) -> des::obs::TimeSeries {
+        let ts = des::obs::TimeSeries::spawn(&self.sim, &self.metrics, spec);
+        ts.track_gauge("bytes.pool.free_buffers", &des::bytes::global_pool_free_gauge());
+        ts
     }
 
     /// A session over every alive core.

@@ -28,6 +28,8 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::rc::{Rc, Weak};
 
+use crate::stats::Gauge;
+
 /// Smallest pooled class (covers flag bytes and MPB lines).
 const MIN_CLASS_BYTES: usize = 32;
 /// Largest pooled class; bigger buffers fall back to plain allocation.
@@ -61,6 +63,11 @@ struct PoolState {
     hits: u64,
     misses: u64,
     returned: u64,
+    /// Live mirror of the total parked free-list depth, for the
+    /// time-series sampler ([`Pool::free_gauge`]). Never registered in a
+    /// metrics registry: pool state is thread-local and persists across
+    /// runs on one thread, so it would break snapshot determinism.
+    free_gauge: Gauge,
 }
 
 /// Pool usage counters (host-side only; never feed the virtual clock).
@@ -100,6 +107,7 @@ impl Pool {
                 hits: 0,
                 misses: 0,
                 returned: 0,
+                free_gauge: Gauge::new(),
             })),
         }
     }
@@ -113,6 +121,7 @@ impl Pool {
                 match st.free[idx].pop() {
                     Some(buf) => {
                         st.hits += 1;
+                        st.free_gauge.sub(1);
                         buf
                     }
                     None => {
@@ -159,6 +168,13 @@ impl Pool {
     pub fn free_buffers(&self) -> usize {
         self.state.borrow().free.iter().map(Vec::len).sum()
     }
+
+    /// A live [`Gauge`] mirroring [`Pool::free_buffers`], for the
+    /// time-series sampler ([`crate::obs::TimeSeries::track_gauge`]).
+    /// Deliberately *not* registry material — see the field docs.
+    pub fn free_gauge(&self) -> Gauge {
+        self.state.borrow().free_gauge.clone()
+    }
 }
 
 fn return_to_pool(pool: &Weak<RefCell<PoolState>>, data: &mut Vec<u8>) {
@@ -174,6 +190,7 @@ fn return_to_pool(pool: &Weak<RefCell<PoolState>>, data: &mut Vec<u8>) {
                 if st.free[idx].len() < MAX_FREE_PER_CLASS {
                     st.returned += 1;
                     st.free[idx].push(std::mem::take(data));
+                    st.free_gauge.add(1);
                 }
             }
         }
@@ -205,6 +222,12 @@ pub fn pooled_copy(src: &[u8]) -> Bytes {
 /// Stats of the thread-local global pool.
 pub fn global_pool_stats() -> PoolStats {
     GLOBAL_POOL.with(|p| p.stats())
+}
+
+/// Free-buffer gauge of the thread-local global pool (see
+/// [`Pool::free_gauge`]).
+pub fn global_pool_free_gauge() -> Gauge {
+    GLOBAL_POOL.with(|p| p.free_gauge())
 }
 
 /// Shared storage. Dropping the last `Rc` returns the chunk to its pool.

@@ -54,7 +54,7 @@ struct LinkState {
     per_transfer: Cycles,
     bytes: Counter,
     transfers: Cell<u64>,
-    busy_cycles: Cell<Cycles>,
+    busy_cycles: Counter,
     /// Wire-free times of reservations not yet drained; its length at
     /// reservation time is the queue depth.
     pending: RefCell<VecDeque<Cycles>>,
@@ -90,7 +90,7 @@ impl Link {
                 per_transfer,
                 bytes: Counter::new(),
                 transfers: Cell::new(0),
-                busy_cycles: Cell::new(0),
+                busy_cycles: Counter::new(),
                 pending: RefCell::new(VecDeque::new()),
                 queue_depth: Gauge::new(),
                 latency_hist: Log2Histogram::new(),
@@ -99,10 +99,14 @@ impl Link {
     }
 
     /// Surface this link's instruments in `registry` under
-    /// `{bytes, transfers, queue_depth, latency_cycles}`; scope the
+    /// `{bytes, busy_cycles, queue_depth, latency_cycles}`; scope the
     /// registry first (e.g. `registry.scoped("pcie").scoped("link0")`).
+    /// The `busy_cycles` counter is the utilization numerator — the
+    /// time-series sampler turns its per-interval delta into the link's
+    /// busy-fraction curve.
     pub fn register_metrics(&self, registry: &Registry) {
         registry.adopt_counter("bytes", &self.state.bytes);
+        registry.adopt_counter("busy_cycles", &self.state.busy_cycles);
         registry.adopt_gauge("queue_depth", &self.state.queue_depth);
         registry.adopt_histogram("latency_cycles", &self.state.latency_hist);
     }
@@ -144,7 +148,7 @@ impl Link {
         st.busy_until.set(done);
         st.bytes.add(bytes);
         st.transfers.set(st.transfers.get() + 1);
-        st.busy_cycles.set(st.busy_cycles.get() + occupy);
+        st.busy_cycles.add(occupy);
         // Queue depth: reservations whose wire time has not yet elapsed,
         // including this one. Drained lazily at reservation time so the
         // gauge (and its high watermark) stay exact without timers.

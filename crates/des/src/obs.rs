@@ -23,10 +23,19 @@ use std::rc::Rc;
 use crate::stats::{Counter, Gauge, Log2Histogram};
 use crate::trace::{SpanPhase, Trace};
 
+pub mod timeseries;
+
+pub use timeseries::{
+    PointValue, SamplerSpec, SeriesExport, SeriesKind, TimeSeries, DEFAULT_CADENCE,
+};
+
 /// Environment variable naming the Chrome-trace output file.
 pub const TRACE_ENV: &str = "VSCC_TRACE";
 /// Environment variable naming the metrics-snapshot output file.
 pub const METRICS_ENV: &str = "VSCC_METRICS";
+/// Environment variable naming the time-series output file
+/// (`VSCC_TIMESERIES=out.json`; see [`timeseries`]).
+pub const TIMESERIES_ENV: &str = "VSCC_TIMESERIES";
 /// Environment variable enabling the critical-path attribution tables
 /// (see [`crate::critpath`]); any non-empty value turns them on.
 pub const CRITPATH_ENV: &str = "VSCC_CRITPATH";
@@ -367,8 +376,8 @@ impl Registry {
                         count: h.count(),
                         sum: h.sum(),
                         max: h.max(),
-                        p50: h.quantile_lower_bound(0.5),
-                        p99: h.quantile_lower_bound(0.99),
+                        p50: h.quantile_interpolated(0.5),
+                        p99: h.quantile_interpolated(0.99),
                         buckets: h.buckets(),
                     },
                 };
@@ -570,6 +579,19 @@ pub fn json_escape(s: &str) -> String {
 /// message's path. Flows with a single recorded hop are skipped — an
 /// arrow needs two ends.
 pub fn chrome_trace_json(processes: &[(&str, &Trace)]) -> String {
+    chrome_trace_json_with_tracks(processes, &[])
+}
+
+/// [`chrome_trace_json`], additionally merging sampled time-series as
+/// Perfetto *counter tracks* (`ph:"C"`): each `(track_name, series)`
+/// pair becomes one extra `pid` after the trace processes, every series
+/// in it one counter whose curve renders alongside the actor spans.
+/// Virtual-clock timestamps, name-sorted series, time-ordered points —
+/// the export stays byte-identical across identical runs.
+pub fn chrome_trace_json_with_tracks(
+    processes: &[(&str, &Trace)],
+    tracks: &[(&str, &timeseries::TimeSeries)],
+) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     let mut first = true;
     let mut push_line = |out: &mut String, line: String| {
@@ -685,6 +707,36 @@ pub fn chrome_trace_json(processes: &[(&str, &Trace)]) -> String {
             }
         });
     }
+    for (k, (tname, series)) in tracks.iter().enumerate() {
+        let pid = processes.len() + k;
+        push_line(
+            &mut out,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(tname)
+            ),
+        );
+        for s in series.series() {
+            for (t, v) in &s.points {
+                use timeseries::PointValue;
+                let args = match v {
+                    PointValue::Rate(r) => format!("\"rate\":{r}"),
+                    PointValue::Busy(pct) => format!("\"busy_pct\":{pct}"),
+                    PointValue::Level(l) => format!("\"level\":{l}"),
+                    PointValue::Window { count, p50, p99 } => {
+                        format!("\"count\":{count},\"p50\":{p50},\"p99\":{p99}")
+                    }
+                };
+                push_line(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"C\",\"ts\":{t},\"pid\":{pid},\"tid\":0,\"args\":{{{args}}}}}",
+                        json_escape(&s.name)
+                    ),
+                );
+            }
+        }
+    }
     out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
     out
 }
@@ -692,9 +744,18 @@ pub fn chrome_trace_json(processes: &[(&str, &Trace)]) -> String {
 /// If `VSCC_TRACE` is set, write the Chrome trace there and return the
 /// path written.
 pub fn export_trace_if_env(processes: &[(&str, &Trace)]) -> std::io::Result<Option<String>> {
+    export_trace_if_env_with_tracks(processes, &[])
+}
+
+/// [`export_trace_if_env`], with sampled time-series merged into the
+/// export as Perfetto counter tracks.
+pub fn export_trace_if_env_with_tracks(
+    processes: &[(&str, &Trace)],
+    tracks: &[(&str, &timeseries::TimeSeries)],
+) -> std::io::Result<Option<String>> {
     match std::env::var(TRACE_ENV) {
         Ok(path) if !path.is_empty() => {
-            std::fs::write(&path, chrome_trace_json(processes))?;
+            std::fs::write(&path, chrome_trace_json_with_tracks(processes, tracks))?;
             Ok(Some(path))
         }
         _ => Ok(None),
@@ -707,6 +768,20 @@ pub fn export_metrics_if_env(registry: &Registry) -> std::io::Result<Option<Stri
     match std::env::var(METRICS_ENV) {
         Ok(path) if !path.is_empty() => {
             std::fs::write(&path, registry.snapshot().to_json())?;
+            Ok(Some(path))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// If `VSCC_TIMESERIES` is set, write the time-series JSON there and
+/// return the path written.
+pub fn export_timeseries_if_env(
+    series: &timeseries::TimeSeries,
+) -> std::io::Result<Option<String>> {
+    match std::env::var(TIMESERIES_ENV) {
+        Ok(path) if !path.is_empty() => {
+            std::fs::write(&path, series.to_json())?;
             Ok(Some(path))
         }
         _ => Ok(None),
@@ -838,7 +913,9 @@ mod tests {
         match &snap.entries[1].1 {
             MetricValue::Histogram { count, p50, .. } => {
                 assert_eq!(*count, 1);
-                assert_eq!(*p50, 4);
+                // Interpolated within bucket [4, 8), clamped to the max
+                // recorded sample (5).
+                assert_eq!(*p50, 5);
             }
             other => panic!("expected histogram, got {other:?}"),
         }

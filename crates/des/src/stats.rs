@@ -190,6 +190,48 @@ impl Log2Histogram {
         }
         self.max.get()
     }
+
+    /// Interpolated quantile: linear interpolation *within* the bucket
+    /// containing quantile `q`, so nearby tail quantiles no longer
+    /// collapse onto the same bucket lower bound. Pure integer
+    /// arithmetic over the bucket counts — deterministic — and clamped
+    /// to the largest recorded sample.
+    pub fn quantile_interpolated(&self, q: f64) -> u64 {
+        log2_quantile_interpolated(&self.buckets.borrow(), self.count.get(), self.max.get(), q)
+    }
+}
+
+/// [`Log2Histogram::quantile_interpolated`] over a raw bucket-count
+/// slice (same bucket → value-range mapping). Shared with the windowed
+/// time-series sampler, which computes per-interval quantiles from
+/// *delta* bucket counts that never live in a histogram object.
+///
+/// `max` caps the result (pass the largest recorded sample, or
+/// `u64::MAX` when no per-window maximum is tracked).
+pub fn log2_quantile_interpolated(buckets: &[u64], total: u64, max: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut acc = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if acc + c >= target {
+            if i == 0 {
+                return 0;
+            }
+            // Bucket i spans [lo, 2*lo); place rank `into` (1..=c) of
+            // its `c` samples at the into/(c+1) point of the span.
+            let lo = 1u64 << (i - 1);
+            let into = target - acc;
+            let v = lo + ((lo as u128 * into as u128) / (c as u128 + 1)) as u64;
+            return v.min(max);
+        }
+        acc += c;
+    }
+    max
 }
 
 #[cfg(test)]
@@ -300,5 +342,67 @@ mod tests {
         let h = Log2Histogram::new();
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile_lower_bound(0.9), 0);
+        assert_eq!(h.quantile_interpolated(0.9), 0);
+    }
+
+    #[test]
+    fn interpolated_quantile_spreads_within_a_bucket() {
+        // 10 samples all in bucket 7 ([64, 128)): the lower-bound
+        // quantile collapses every q to 64, interpolation spreads ranks
+        // across the bucket while staying inside it.
+        let h = Log2Histogram::new();
+        for _ in 0..10 {
+            h.record(100);
+        }
+        assert_eq!(h.quantile_lower_bound(0.5), 64);
+        assert_eq!(h.quantile_lower_bound(0.99), 64);
+        let p50 = h.quantile_interpolated(0.5);
+        let p99 = h.quantile_interpolated(0.99);
+        assert!(p50 > 64 && p50 < 128, "p50 = {p50}");
+        assert!(p99 > p50, "p99 ({p99}) must exceed p50 ({p50})");
+        // Clamped to the largest recorded sample.
+        assert!(p99 <= 100);
+    }
+
+    #[test]
+    fn interpolated_quantile_is_deterministic_and_monotone() {
+        let h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let qs = [0.01, 0.25, 0.5, 0.9, 0.99, 1.0];
+        let vals: Vec<u64> = qs.iter().map(|&q| h.quantile_interpolated(q)).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be monotone: {vals:?}");
+        }
+        let again: Vec<u64> = qs.iter().map(|&q| h.quantile_interpolated(q)).collect();
+        assert_eq!(vals, again);
+        assert_eq!(*vals.last().unwrap(), 1000, "q=1.0 lands on the max");
+    }
+
+    #[test]
+    fn interpolated_quantile_zero_bucket_and_exact_singleton() {
+        let h = Log2Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile_interpolated(0.5), 0);
+        let h = Log2Histogram::new();
+        h.record(1);
+        // Bucket 1 is [1, 2): interpolation cannot leave it, and the
+        // max clamp pins the singleton to its exact value.
+        assert_eq!(h.quantile_interpolated(0.5), 1);
+    }
+
+    #[test]
+    fn interpolated_quantile_over_raw_buckets_matches_histogram() {
+        let h = Log2Histogram::new();
+        for v in [3u64, 5, 9, 9, 17, 40, 100] {
+            h.record(v);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(
+                log2_quantile_interpolated(&h.buckets(), h.count(), h.max(), q),
+                h.quantile_interpolated(q)
+            );
+        }
     }
 }

@@ -95,10 +95,12 @@ impl Rcce {
             self.ctx.label.clone()
         });
         metrics.send_lock_wait.add(self.now() - start);
+        let acquired = self.now();
         self.ctx.enter_send(flow);
         let proto = self.ctx.session.proto(me, dest);
         proto.send(&self.ctx, dest, data, flow).await;
         self.ctx.exit_send();
+        metrics.send_lock_hold.record(self.now() - acquired);
         lock.unlock();
         metrics.send_lat[size_class(data.len())].record(self.now() - start);
     }

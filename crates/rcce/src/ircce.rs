@@ -61,10 +61,12 @@ impl Rcce {
             let flow = ctx.session.next_send_flow(me, dest);
             let metrics = ctx.session.rcce_metrics();
             metrics.send_lock_wait.add(ctx.session.sim().now() - start);
+            let acquired = ctx.session.sim().now();
             ctx.enter_send(flow);
             let proto = ctx.session.proto(me, dest);
             proto.send(&ctx, dest, &data, flow).await;
             ctx.exit_send();
+            metrics.send_lock_hold.record(ctx.session.sim().now() - acquired);
             lock.unlock();
             metrics.send_lat[crate::session::size_class(data.len())]
                 .record(ctx.session.sim().now() - start);

@@ -65,6 +65,7 @@ pub async fn flag_wait_reached(ctx: &RankCtx, addr: scc::geometry::MpbAddr, targ
     let budget = ctx.session.poll_watchdog();
     let start = ctx.session.sim().now();
     loop {
+        ctx.session.rcce_metrics().poll_scans.inc();
         let v = ctx.core.flag_read(addr).await;
         if counter_reached(v, target) {
             return;

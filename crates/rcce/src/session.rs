@@ -57,6 +57,14 @@ pub(crate) struct RcceMetrics {
     pub send_lat: Vec<HistogramHandle>,
     pub recv_lat: Vec<HistogramHandle>,
     pub send_lock_wait: CounterHandle,
+    /// Cycles each send held its UE's single outgoing-send lock (the MPB
+    /// send buffer is one resource; the hold-time distribution is the
+    /// send-side serialization the paper's schemes compete on).
+    pub send_lock_hold: HistogramHandle,
+    /// Flag-poll loop iterations (`flag_wait_reached` wakeups that
+    /// re-read the flag); the time-series sampler turns the delta into a
+    /// poll scan rate.
+    pub poll_scans: CounterHandle,
     pub poll_timeouts: CounterHandle,
 }
 
@@ -73,6 +81,8 @@ impl RcceMetrics {
                 .map(|(label, _)| rcce.register_histogram(&format!("recv.lat_cycles.{label}")))
                 .collect(),
             send_lock_wait: rcce.register_counter("send.lock_wait_cycles"),
+            send_lock_hold: rcce.register_histogram("send.lock_hold_cycles"),
+            poll_scans: rcce.register_counter("poll.scans"),
             poll_timeouts: rcce.register_counter("poll_timeouts"),
         }
     }

@@ -1,4 +1,4 @@
-//! Diff two metrics exports to bisect a determinism bug.
+//! Diff two metrics (or time-series) exports to bisect a determinism bug.
 //!
 //! ```sh
 //! VSCC_METRICS=a.json cargo bench -p vscc-bench --bench fig6b_interdevice
@@ -7,12 +7,18 @@
 //! cargo run --example metrics_diff -- a.json b.json
 //! ```
 //!
+//! Two `VSCC_TIMESERIES` exports are detected automatically and diffed
+//! per series: the report names the first divergent sample (index and
+//! virtual timestamp), which bisects *when* two runs first disagreed,
+//! not just that their end-of-run totals differ.
+//!
 //! With no arguments the example demos the workflow on two in-process
 //! runs (vDMA vs software-cache ping-pong) and prints their delta.
 //!
 //! Both sides must be `VSCC_METRICS` exports ([`des::obs::Snapshot`]'s
-//! own deterministic JSON); the parser below reads exactly that format
-//! line by line — it is not a general JSON parser.
+//! own deterministic JSON) or both `VSCC_TIMESERIES` exports; the
+//! parsers below read exactly those formats line by line — they are not
+//! general JSON parsers.
 
 use des::obs::{MetricValue, Snapshot};
 use des::Sim;
@@ -64,6 +70,97 @@ fn parse_snapshot(json: &str) -> Snapshot {
     Snapshot { entries }
 }
 
+/// A `VSCC_TIMESERIES` export leads with its cadence header.
+fn is_timeseries_export(json: &str) -> bool {
+    json.lines().nth(1).map(|l| l.trim_start().starts_with("\"cadence\":")).unwrap_or(false)
+}
+
+/// One parsed series line of a `VSCC_TIMESERIES` export: the points are
+/// kept as raw number tuples (`[t, v]` or `[t, count, p50, p99]`) — a
+/// diff only needs equality and the timestamp.
+struct TsSeries {
+    name: String,
+    kind: String,
+    points: Vec<Vec<i64>>,
+}
+
+fn parse_ts_line(line: &str) -> Option<TsSeries> {
+    let line = line.trim().trim_end_matches(',');
+    let rest = line.strip_prefix('"')?;
+    let (name, rest) = rest.split_once("\": ")?;
+    let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (_, kind_tail) = body.split_once("\"kind\": \"")?;
+    let kind = kind_tail.split('"').next()?;
+    let (_, pts) = body.split_once("\"points\": [")?;
+    let pts = pts.strip_suffix(']')?;
+    let mut points = Vec::new();
+    if !pts.trim().is_empty() {
+        for p in pts.split("], [") {
+            let p = p.trim_start_matches('[').trim_end_matches(']');
+            let vals: Vec<i64> =
+                p.split(", ").map(|v| v.trim().parse()).collect::<Result<_, _>>().ok()?;
+            points.push(vals);
+        }
+    }
+    Some(TsSeries { name: name.to_string(), kind: kind.to_string(), points })
+}
+
+fn parse_timeseries(json: &str) -> Vec<TsSeries> {
+    json.lines()
+        .filter(|l| l.trim_start().starts_with("\"") && l.contains("\"points\":"))
+        .filter_map(parse_ts_line)
+        .collect()
+}
+
+/// Per-series diff of two time-series exports: report the first
+/// divergent sample of each series with its index and virtual
+/// timestamp. Returns the number of differing series.
+fn diff_timeseries(label_a: &str, a: &[TsSeries], label_b: &str, b: &[TsSeries]) -> usize {
+    let mut differing = 0;
+    let index_b: std::collections::HashMap<&str, &TsSeries> =
+        b.iter().map(|s| (s.name.as_str(), s)).collect();
+    for sa in a {
+        let Some(sb) = index_b.get(sa.name.as_str()) else {
+            println!("  {:<44} only in {label_a}", sa.name);
+            differing += 1;
+            continue;
+        };
+        if sa.kind != sb.kind {
+            println!("  {:<44} kind {} -> {}", sa.name, sa.kind, sb.kind);
+            differing += 1;
+            continue;
+        }
+        match sa.points.iter().zip(&sb.points).position(|(pa, pb)| pa != pb) {
+            Some(i) => {
+                let t = sa.points[i].first().copied().unwrap_or(0);
+                println!(
+                    "  {:<44} first divergent sample #{i} at t={t}: {:?} -> {:?}",
+                    sa.name, sa.points[i], sb.points[i]
+                );
+                differing += 1;
+            }
+            None if sa.points.len() != sb.points.len() => {
+                let i = sa.points.len().min(sb.points.len());
+                println!(
+                    "  {:<44} common prefix equal; sample count {} -> {} (diverges at #{i})",
+                    sa.name,
+                    sa.points.len(),
+                    sb.points.len()
+                );
+                differing += 1;
+            }
+            None => {}
+        }
+    }
+    for sb in b {
+        if !a.iter().any(|s| s.name == sb.name) {
+            println!("  {:<44} only in {label_b}", sb.name);
+            differing += 1;
+        }
+    }
+    differing
+}
+
 /// In-process fallback: one traced ping-pong per scheme.
 fn demo_snapshot(scheme: CommScheme) -> Snapshot {
     let sim = Sim::new();
@@ -87,17 +184,40 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (label_a, a, label_b, b) = match args.as_slice() {
         [pa, pb] => {
-            let read = |p: &str| {
-                let json =
-                    std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"));
-                let snap = parse_snapshot(&json);
+            let raw = |p: &str| {
+                std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"))
+            };
+            let (ja, jb) = (raw(pa), raw(pb));
+            match (is_timeseries_export(&ja), is_timeseries_export(&jb)) {
+                (true, true) => {
+                    let (sa, sb) = (parse_timeseries(&ja), parse_timeseries(&jb));
+                    assert!(!sa.is_empty(), "{pa} holds no series");
+                    assert!(!sb.is_empty(), "{pb} holds no series");
+                    println!("time-series diff ({pa} -> {pb}):\n");
+                    let n = diff_timeseries(pa, &sa, pb, &sb);
+                    if n == 0 {
+                        println!("  exports are identical ({} series)", sa.len());
+                    } else {
+                        println!("\n{n} series differ");
+                        std::process::exit(1);
+                    }
+                    return;
+                }
+                (false, false) => {}
+                _ => {
+                    eprintln!("cannot diff a VSCC_METRICS export against a VSCC_TIMESERIES one");
+                    std::process::exit(2);
+                }
+            }
+            let read = |json: &str, p: &str| {
+                let snap = parse_snapshot(json);
                 assert!(
                     !snap.entries.is_empty(),
                     "{p} holds no metrics (not a VSCC_METRICS export?)"
                 );
                 snap
             };
-            (pa.clone(), read(pa), pb.clone(), read(pb))
+            (pa.clone(), read(&ja, pa), pb.clone(), read(&jb, pb))
         }
         [] => {
             println!("(no files given; demoing on vDMA vs sw-cache ping-pong)\n");

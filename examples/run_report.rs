@@ -1,0 +1,324 @@
+//! Render a deterministic Markdown run report from the three
+//! observability exports of one run:
+//!
+//! ```sh
+//! VSCC_TRACE=trace.json VSCC_METRICS=metrics.json VSCC_TIMESERIES=ts.json \
+//!     cargo bench -p vscc-bench --bench fig6b_interdevice
+//! cargo run --example run_report -- trace.json metrics.json ts.json > report.md
+//! ```
+//!
+//! Sections: headline metrics, per-process critical-path attribution
+//! (the phase columns sum to each process's end-of-run time exactly),
+//! peak/mean utilization per sampled resource, and the windowed
+//! tail-latency table. Identical exports render an identical report —
+//! diffing two reports is a coarse first pass before reaching for
+//! `metrics_diff`.
+//!
+//! With no arguments the example demos on an in-process sampled vDMA
+//! ping-pong, rendering from the same JSON strings the env exports
+//! would have written.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use des::critpath::{self, Attribution};
+use des::obs::SamplerSpec;
+use des::Sim;
+use scc::geometry::CoreId;
+use vscc::{CommScheme, VsccBuilder};
+
+// ---- trace export parsing (the exact line format of
+// `des::obs::chrome_trace_json_with_tracks`, not a general JSON parser) ----
+
+/// First string value of `"key":"..."` in the line.
+fn jstr<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    rest.split('"').next()
+}
+
+/// First numeric value of `"key":N` in the line.
+fn jnum(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct TraceReport {
+    /// Per-process (pid order): name, end-of-run time, attribution over
+    /// `[0, end]`.
+    processes: Vec<(String, u64, Attribution)>,
+    events: usize,
+}
+
+fn parse_trace(json: &str) -> TraceReport {
+    let mut names: BTreeMap<u64, String> = BTreeMap::new();
+    let mut ends: BTreeMap<u64, u64> = BTreeMap::new();
+    // Counter-track pids reuse the run's name but hold only `ph:"C"`
+    // samples; they have no spans to attribute, so keep them out of the
+    // critical-path table.
+    let mut has_spans: BTreeMap<u64, bool> = BTreeMap::new();
+    // Open-span stacks per (pid, tid, kind) — spans nest like a call
+    // stack within one actor, exactly as `des::critpath` matches them.
+    let mut open: BTreeMap<(u64, u64, String), Vec<u64>> = BTreeMap::new();
+    let mut spans: BTreeMap<u64, Vec<(u64, u64, critpath::Phase)>> = BTreeMap::new();
+    let mut events = 0usize;
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.ends_with('}') {
+            continue;
+        }
+        let (Some(name), Some(ph), Some(pid)) =
+            (jstr(line, "name"), jstr(line, "ph"), jnum(line, "pid"))
+        else {
+            continue;
+        };
+        if ph == "M" {
+            if name == "process_name" {
+                // The process name lives in the metadata args.
+                if let Some(p) = line.find("\"args\":{\"name\":\"") {
+                    let tail = &line[p + 16..];
+                    names.insert(pid, tail.split('"').next().unwrap_or("?").to_string());
+                }
+            }
+            continue;
+        }
+        events += 1;
+        let ts = jnum(line, "ts").unwrap_or(0);
+        let end = ends.entry(pid).or_insert(0);
+        *end = (*end).max(ts);
+        if ph != "C" {
+            has_spans.insert(pid, true);
+        }
+        let Some(phase) = critpath::phase_of_kind(name) else { continue };
+        let tid = jnum(line, "tid").unwrap_or(0);
+        match ph {
+            "B" => open.entry((pid, tid, name.to_string())).or_default().push(ts),
+            "E" => {
+                if let Some(t0) = open.get_mut(&(pid, tid, name.to_string())).and_then(Vec::pop) {
+                    spans.entry(pid).or_default().push((t0, ts, phase));
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unmatched begins attribute to their process's end of run.
+    for ((pid, _, kind), stack) in open {
+        let end = ends.get(&pid).copied().unwrap_or(0);
+        let phase = critpath::phase_of_kind(&kind).expect("only vocabulary kinds are stacked");
+        for t0 in stack {
+            if t0 < end {
+                spans.entry(pid).or_default().push((t0, end, phase));
+            }
+        }
+    }
+    let processes = names
+        .iter()
+        .filter(|(pid, _)| has_spans.get(pid).copied().unwrap_or(false))
+        .map(|(pid, name)| {
+            let end = ends.get(pid).copied().unwrap_or(0);
+            let intervals = spans.get(pid).cloned().unwrap_or_default();
+            (name.clone(), end, critpath::attribute(&intervals, 0, end))
+        })
+        .collect();
+    TraceReport { processes, events }
+}
+
+// ---- metrics export parsing (counters only; the report's headline) ----
+
+fn parse_counters(json: &str) -> Vec<(String, u64)> {
+    json.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            let rest = line.strip_prefix('"')?;
+            let (name, body) = rest.split_once("\": ")?;
+            if !body.contains("\"type\": \"counter\"") {
+                return None;
+            }
+            let (_, tail) = body.split_once("\"value\": ")?;
+            let v = tail.trim_end_matches('}').parse().ok()?;
+            Some((name.to_string(), v))
+        })
+        .collect()
+}
+
+/// The counters worth a headline row: traffic volume per fabric
+/// resource plus the host's classification totals.
+fn is_headline(name: &str) -> bool {
+    (name.starts_with("pcie.") && name.ends_with(".bytes"))
+        || (name.starts_with("scc.") && (name.ends_with(".reads") || name.ends_with(".writes")))
+        || matches!(
+            name,
+            "host.routed_lines"
+                | "host.vdma_ops"
+                | "host.cache_updates"
+                | "host.direct_writes"
+                | "host.flag_forwards"
+                | "rcce.poll.scans"
+        )
+}
+
+// ---- time-series export parsing (same format `metrics_diff` reads) ----
+
+struct TsSeries {
+    name: String,
+    kind: String,
+    points: Vec<Vec<u64>>,
+}
+
+fn parse_timeseries(json: &str) -> (u64, Vec<TsSeries>) {
+    let cadence = json
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"cadence\": ").map(|v| v.trim_end_matches(',')))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let series = json
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            let rest = line.strip_prefix('"')?;
+            let (name, rest) = rest.split_once("\": ")?;
+            let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+            let kind = body.split_once("\"kind\": \"")?.1.split('"').next()?;
+            let pts = body.split_once("\"points\": [")?.1.strip_suffix(']')?;
+            let mut points = Vec::new();
+            if !pts.trim().is_empty() {
+                for p in pts.split("], [") {
+                    let p = p.trim_start_matches('[').trim_end_matches(']');
+                    points.push(
+                        p.split(", ").map(|v| v.trim().parse()).collect::<Result<_, _>>().ok()?,
+                    );
+                }
+            }
+            Some(TsSeries { name: name.to_string(), kind: kind.to_string(), points })
+        })
+        .collect();
+    (cadence, series)
+}
+
+/// Mean of `vals` in tenths (deterministic integer arithmetic).
+fn mean_tenths(vals: impl Iterator<Item = u64>) -> (u64, u64) {
+    let (mut sum, mut n) = (0u64, 0u64);
+    for v in vals {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        return (0, 0);
+    }
+    let t = (sum * 10 + n / 2) / n;
+    (t / 10, t % 10)
+}
+
+// ---- report rendering ----
+
+fn render_report(trace_json: &str, metrics_json: &str, ts_json: &str) -> String {
+    let trace = parse_trace(trace_json);
+    let counters = parse_counters(metrics_json);
+    let (cadence, series) = parse_timeseries(ts_json);
+    let mut md = String::from("# vSCC run report\n\n");
+    let _ = writeln!(
+        md,
+        "{} trace process(es), {} events; sampler cadence {cadence} cycles, {} series.",
+        trace.processes.len(),
+        trace.events,
+        series.len()
+    );
+
+    md.push_str("\n## Headline metrics\n\n| counter | value |\n|---|---:|\n");
+    for (name, v) in counters.iter().filter(|(n, _)| is_headline(n)) {
+        let _ = writeln!(md, "| `{name}` | {v} |");
+    }
+
+    md.push_str("\n## Critical path\n\n");
+    md.push_str("Cycles of each process's `[0, end]` window attributed per phase\n");
+    md.push_str("(columns sum to the end-of-run time exactly):\n\n```text\n");
+    let rows: Vec<(String, Attribution)> = trace
+        .processes
+        .iter()
+        .map(|(name, end, attr)| (format!("{name} (end {end})"), *attr))
+        .collect();
+    md.push_str(&critpath::render_table("process", &rows));
+    md.push_str("```\n");
+
+    md.push_str("\n## Utilization\n\n| resource | kind | mean | peak |\n|---|---|---:|---:|\n");
+    for s in series.iter().filter(|s| s.kind == "busy") {
+        let peak = s.points.iter().map(|p| p[1]).max().unwrap_or(0);
+        let (m, t) = mean_tenths(s.points.iter().map(|p| p[1]));
+        let _ = writeln!(md, "| `{}` | busy | {m}.{t} % | {peak} % |", s.name);
+    }
+    for s in series.iter().filter(|s| s.kind == "level") {
+        let peak = s.points.iter().map(|p| p[1]).max().unwrap_or(0);
+        let (m, t) = mean_tenths(s.points.iter().map(|p| p[1]));
+        let _ = writeln!(md, "| `{}` | level | {m}.{t} | {peak} |", s.name);
+    }
+
+    md.push_str("\n## Windowed tail latency\n\n");
+    md.push_str("Per-window (reset-on-sample) histogram quantiles; `p50`/`p99`\n");
+    md.push_str("are the worst single window's interpolated quantiles:\n\n");
+    md.push_str(
+        "| series | active windows | count | worst p50 | worst p99 |\n|---|---:|---:|---:|---:|\n",
+    );
+    for s in series.iter().filter(|s| s.kind == "window") {
+        let active = s.points.iter().filter(|p| p[1] > 0).count();
+        let count: u64 = s.points.iter().map(|p| p[1]).sum();
+        let p50 = s.points.iter().map(|p| p[2]).max().unwrap_or(0);
+        let p99 = s.points.iter().map(|p| p[3]).max().unwrap_or(0);
+        let _ = writeln!(md, "| `{}` | {active} | {count} | {p50} | {p99} |", s.name);
+    }
+    md
+}
+
+/// In-process fallback: one sampled vDMA ping-pong, exported to the same
+/// three JSON strings the env exports would write.
+fn demo_exports() -> (String, String, String) {
+    let sim = Sim::new();
+    let reg = des::obs::Registry::new();
+    let v = VsccBuilder::new(&sim, 2)
+        .scheme(CommScheme::LocalPutLocalGet)
+        .metrics_registry(&reg)
+        .trace_categories(&des::trace::Category::ALL)
+        .build();
+    let a = v.devices[0].global(CoreId(0));
+    let b = v.devices[1].global(CoreId(0));
+    let s = v.session_builder().participants(vec![a, b]).build();
+    let ts = v.spawn_sampler(&SamplerSpec::every(des::obs::DEFAULT_CADENCE));
+    s.run_app(|r| async move {
+        if r.id() == 0 {
+            r.send(&vec![0xC3u8; 8192], 1).await;
+        } else {
+            let mut buf = vec![0u8; 8192];
+            r.recv(&mut buf, 0).await;
+        }
+    })
+    .expect("demo run");
+    ts.finish(sim.now());
+    let trace = v.trace().clone();
+    (
+        des::obs::chrome_trace_json_with_tracks(&[("vdma-8K", &trace)], &[("vdma-8K", &ts)]),
+        reg.snapshot().to_json(),
+        ts.to_json(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_json, metrics_json, ts_json) = match args.as_slice() {
+        [t, m, s] => {
+            let raw = |p: &str| {
+                std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"))
+            };
+            (raw(t), raw(m), raw(s))
+        }
+        [] => {
+            eprintln!("(no files given; demoing on a sampled vDMA 8 KiB ping-pong)");
+            demo_exports()
+        }
+        _ => {
+            eprintln!("usage: run_report [trace.json metrics.json timeseries.json]");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", render_report(&trace_json, &metrics_json, &ts_json));
+}

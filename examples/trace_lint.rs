@@ -1,0 +1,235 @@
+//! Lint a `VSCC_TRACE` Chrome-trace export for structural invariants:
+//!
+//! * timestamps are monotone per track — per `(pid, counter name)` for
+//!   `ph:"C"` counter samples, and per `(pid, tid)` for span End /
+//!   Instant events (which are always recorded at the current virtual
+//!   time; Begins may legitimately step back, because wire-occupancy
+//!   spans are opened retroactively once the arrival time is known);
+//! * every `ph:"E"` closes a matching open `ph:"B"` of the same kind on
+//!   its track with `begin ts <= end ts`, and no span is left open at
+//!   end of export;
+//! * every flow arrow that starts (`ph:"s"`) also finishes (`ph:"f"`),
+//!   and vice versa;
+//! * counter-track sample values are numeric and non-negative.
+//!
+//! ```sh
+//! VSCC_TRACE=trace.json cargo bench -p vscc-bench --bench fig6b_interdevice
+//! cargo run --example trace_lint -- trace.json
+//! ```
+//!
+//! With no arguments the example lints a self-generated export (a
+//! sampled 8 KiB fig6b-style ping-pong with counter tracks merged), so
+//! `scripts/check.sh` can gate the exporter without a bench run.
+//! Exit status: 0 clean, 1 violations found.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use des::obs::SamplerSpec;
+use des::Sim;
+use scc::geometry::CoreId;
+use vscc::{CommScheme, VsccBuilder};
+
+/// First string value of `"key":"..."` in the line.
+fn jstr<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    rest.split('"').next()
+}
+
+/// First numeric value of `"key":N` in the line.
+fn jnum(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn lint(json: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    // Last timestamp per span track (pid, tid) and per counter series
+    // (pid, name).
+    let mut span_last: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut counter_last: BTreeMap<(u64, String), u64> = BTreeMap::new();
+    // Open-span stacks per (pid, tid, kind) — the same matching
+    // discipline `des::critpath` uses, tolerant of retroactive Begins.
+    let mut open: BTreeMap<(u64, u64, String), Vec<u64>> = BTreeMap::new();
+    let mut flow_starts: BTreeSet<u64> = BTreeSet::new();
+    let mut flow_finishes: BTreeSet<u64> = BTreeSet::new();
+    let mut events = 0usize;
+    let mut counters = 0usize;
+    for (lineno, line) in json.lines().enumerate() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.ends_with('}') {
+            continue;
+        }
+        let Some(ph) = jstr(line, "ph") else { continue };
+        if ph == "M" {
+            continue;
+        }
+        events += 1;
+        let pid = jnum(line, "pid").unwrap_or(0);
+        let tid = jnum(line, "tid").unwrap_or(0);
+        let Some(ts) = jnum(line, "ts") else {
+            violations.push(format!("line {}: event without numeric ts", lineno + 1));
+            continue;
+        };
+        match ph {
+            "B" | "E" | "i" => {
+                let name = jstr(line, "name").unwrap_or("?");
+                if ph != "B" {
+                    // Ends and instants record at the current virtual
+                    // time, so per actor they must never step back.
+                    let last = span_last.entry((pid, tid)).or_insert(0);
+                    if ts < *last {
+                        violations.push(format!(
+                            "line {}: pid {pid} tid {tid}: ts {ts} steps back from {}",
+                            lineno + 1,
+                            *last
+                        ));
+                    }
+                    *last = (*last).max(ts);
+                }
+                match ph {
+                    "B" => open.entry((pid, tid, name.to_string())).or_default().push(ts),
+                    "E" => match open
+                        .get_mut(&(pid, tid, name.to_string()))
+                        .and_then(Vec::pop)
+                    {
+                        Some(t0) if t0 <= ts => {}
+                        Some(t0) => violations.push(format!(
+                            "line {}: pid {pid} tid {tid}: \"{name}\" ends at {ts} before its begin {t0}",
+                            lineno + 1
+                        )),
+                        None => violations.push(format!(
+                            "line {}: pid {pid} tid {tid}: E \"{name}\" without open B",
+                            lineno + 1
+                        )),
+                    },
+                    _ => {}
+                }
+            }
+            "s" | "t" | "f" => {
+                let Some(id) = jnum(line, "id") else {
+                    violations.push(format!("line {}: flow event without id", lineno + 1));
+                    continue;
+                };
+                if ph == "s" {
+                    flow_starts.insert(id);
+                }
+                if ph == "f" {
+                    flow_finishes.insert(id);
+                }
+            }
+            "C" => {
+                counters += 1;
+                let name = jstr(line, "name").unwrap_or("?").to_string();
+                let last = counter_last.entry((pid, name.clone())).or_insert(0);
+                if ts < *last {
+                    violations.push(format!(
+                        "line {}: counter \"{name}\": ts {ts} steps back from {}",
+                        lineno + 1,
+                        *last
+                    ));
+                }
+                *last = (*last).max(ts);
+                // Every args value must be a non-negative number. The
+                // exporter writes integers only, so `-` or a non-digit
+                // value byte is a violation.
+                let Some(p) = line.find("\"args\":{") else {
+                    violations
+                        .push(format!("line {}: counter \"{name}\" without args", lineno + 1));
+                    continue;
+                };
+                let body = line[p + 8..].trim_end_matches('}');
+                for pair in body.split(',') {
+                    let Some((_, v)) = pair.split_once(':') else { continue };
+                    if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                        violations.push(format!(
+                            "line {}: counter \"{name}\": non-numeric or negative value {v}",
+                            lineno + 1
+                        ));
+                    }
+                }
+            }
+            other => {
+                violations.push(format!("line {}: unknown phase \"{other}\"", lineno + 1));
+            }
+        }
+    }
+    for ((pid, tid, kind), stack) in open {
+        for t0 in stack {
+            violations.push(format!("pid {pid} tid {tid}: \"{kind}\" opened at {t0} never closed"));
+        }
+    }
+    for id in flow_starts.difference(&flow_finishes) {
+        violations.push(format!("flow {id}: started (ph:\"s\") but never finished (ph:\"f\")"));
+    }
+    for id in flow_finishes.difference(&flow_starts) {
+        violations.push(format!("flow {id}: finished (ph:\"f\") but never started (ph:\"s\")"));
+    }
+    if events == 0 {
+        violations.push("no events found (not a VSCC_TRACE export?)".to_string());
+    }
+    println!(
+        "linted {events} events ({counters} counter samples, {} counter series, {} flows)",
+        counter_last.len(),
+        flow_starts.union(&flow_finishes).count()
+    );
+    violations
+}
+
+/// Self-generated export for the no-argument mode: a sampled 8 KiB
+/// fig6b-style ping-pong with its counter tracks merged in.
+fn demo_export() -> String {
+    let sim = Sim::new();
+    let reg = des::obs::Registry::new();
+    let v = VsccBuilder::new(&sim, 2)
+        .scheme(CommScheme::LocalPutLocalGet)
+        .metrics_registry(&reg)
+        .trace_categories(&des::trace::Category::ALL)
+        .build();
+    let a = v.devices[0].global(CoreId(0));
+    let b = v.devices[1].global(CoreId(0));
+    let s = v.session_builder().participants(vec![a, b]).build();
+    let ts = v.spawn_sampler(&SamplerSpec::every(des::obs::DEFAULT_CADENCE));
+    s.run_app(|r| async move {
+        if r.id() == 0 {
+            r.send(&vec![0x5Au8; 8192], 1).await;
+        } else {
+            let mut buf = vec![0u8; 8192];
+            r.recv(&mut buf, 0).await;
+        }
+    })
+    .expect("demo run");
+    ts.finish(sim.now());
+    let trace = v.trace().clone();
+    des::obs::chrome_trace_json_with_tracks(&[("vdma-8K", &trace)], &[("vdma-8K", &ts)])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (label, json) = match args.as_slice() {
+        [p] => (
+            p.clone(),
+            std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}")),
+        ),
+        [] => {
+            println!("(no file given; linting a self-generated sampled ping-pong export)");
+            ("self-generated export".to_string(), demo_export())
+        }
+        _ => {
+            eprintln!("usage: trace_lint [trace.json]");
+            std::process::exit(2);
+        }
+    };
+    let violations = lint(&json);
+    if violations.is_empty() {
+        println!("{label}: clean");
+    } else {
+        for v in &violations {
+            println!("  {v}");
+        }
+        println!("{label}: {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}

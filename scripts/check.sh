@@ -22,6 +22,14 @@ cargo test --workspace -q
 echo "== chaos smoke (fixed-seed fault plan, recovery end to end) =="
 cargo test -q --test chaos smoke_fixed_seed
 
+echo "== trace lint (structural invariants of a sampled fig6b-style export) =="
+# No argument: the example generates a small sampled inter-device export
+# (counter tracks included) in-process and lints it; exit 1 on violation.
+cargo run -q --example trace_lint
+
+echo "== cadence-sweep smoke (two cadences, same run, same final snapshot) =="
+cargo test -q --test observability cadence_sweep
+
 if [ "${VSCC_PERF_SKIP:-}" = "1" ]; then
     echo "== perf smoke: skipped (VSCC_PERF_SKIP=1) =="
 else

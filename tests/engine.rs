@@ -46,7 +46,7 @@ fn golden_fig6b_shaped_run_is_byte_identical_and_pinned() {
     assert_eq!(metrics_a, metrics_b, "metrics export must not vary between identical runs");
 
     const GOLDEN_TRACE_FNV: u64 = 0xbdaa_7789_9200_0888;
-    const GOLDEN_METRICS_FNV: u64 = 0xd029_9c62_9b9f_f35b;
+    const GOLDEN_METRICS_FNV: u64 = 0xf773_1122_ab3d_7593;
     assert_eq!(
         fnv1a(trace_a.as_bytes()),
         GOLDEN_TRACE_FNV,

@@ -48,6 +48,32 @@ fn render_exports() -> (String, String) {
     (traces, metrics)
 }
 
+/// The `VSCC_TIMESERIES` export golden: the two headline schemes,
+/// sampled at the default cadence. Rendered on a dedicated thread
+/// because the pool-occupancy series reads the thread-local chunk pool
+/// — a fresh thread pins its starting state.
+fn render_timeseries() -> String {
+    std::thread::spawn(|| {
+        let mut out = String::new();
+        for (name, scheme) in [
+            ("local_put_remote_get", CommScheme::LocalPutRemoteGet),
+            ("local_put_local_get", CommScheme::LocalPutLocalGet),
+        ] {
+            let (point, _, _, ts) = vscc_apps::pingpong::interdevice_sampled(
+                scheme,
+                8192,
+                1,
+                des::obs::DEFAULT_CADENCE,
+            );
+            out.push_str(&format!("=== {name} size=8192 cycles={} ===\n", point.cycles));
+            out.push_str(&ts.to_json());
+        }
+        out
+    })
+    .join()
+    .expect("render thread")
+}
+
 fn goldens_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
 }
@@ -82,6 +108,24 @@ fn interdevice_exports_are_byte_identical_to_goldens() {
 
     assert_exports_equal("trace", &want_traces, &traces);
     assert_exports_equal("metrics", &want_metrics, &metrics);
+}
+
+#[test]
+fn interdevice_timeseries_export_matches_golden() {
+    let timeseries = render_timeseries();
+    let path = goldens_dir().join("fig6b_timeseries_exports.txt");
+
+    if std::env::var("VSCC_GOLDEN_REGEN").map(|v| v == "1").unwrap_or(false) {
+        std::fs::create_dir_all(goldens_dir()).unwrap();
+        std::fs::write(&path, &timeseries).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {} ({e}); run with VSCC_GOLDEN_REGEN=1 to create it", path.display())
+    });
+    assert_exports_equal("timeseries", &want, &timeseries);
 }
 
 /// Byte-compare with a diff-friendly failure: report the first

@@ -187,6 +187,150 @@ fn flight_recorder_is_bounded_and_deterministic() {
     assert!(dump_a.contains("evicted by the flight recorder"), "the dump must flag the eviction");
 }
 
+// ---- time-series plane (DESIGN.md §5f) ----
+
+/// Drop the sampler's own `obs.*` footprint from a snapshot, leaving the
+/// metrics the simulation itself produced.
+fn non_obs(snap: des::obs::Snapshot) -> Vec<(String, des::obs::MetricValue)> {
+    snap.entries.into_iter().filter(|(name, _)| !name.starts_with("obs.")).collect()
+}
+
+#[test]
+fn timeseries_export_is_byte_identical_across_runs() {
+    // The pool-occupancy gauge reads the thread-local chunk pool, whose
+    // state persists across runs within a thread — byte-identity is
+    // defined per fresh thread, which is how the benches run too.
+    let run = || {
+        std::thread::spawn(|| {
+            let (_, trace, _, ts) = pingpong::interdevice_sampled(
+                CommScheme::LocalPutLocalGet,
+                8192,
+                2,
+                des::obs::DEFAULT_CADENCE,
+            );
+            (
+                ts.to_json(),
+                des::obs::chrome_trace_json_with_tracks(
+                    &[("pingpong", &trace)],
+                    &[("pingpong", &ts)],
+                ),
+            )
+        })
+        .join()
+        .expect("run thread")
+    };
+    let (ts_a, trace_a) = run();
+    let (ts_b, trace_b) = run();
+    assert_eq!(ts_a, ts_b, "VSCC_TIMESERIES export must be deterministic");
+    assert_eq!(trace_a, trace_b, "counter-track trace export must be deterministic");
+    // Sanity: the acceptance-criteria tracks ride both exports.
+    for name in [
+        "pcie.link0.egress.busy_cycles",
+        "vscc.window.vdma_send.bytes",
+        "host.commtask.d0.busy_cycles",
+        "bytes.pool.free_buffers",
+    ] {
+        assert!(ts_a.contains(name), "{name} missing from the time-series export");
+        assert!(trace_a.contains(name), "{name} missing from the trace counter tracks");
+    }
+    assert!(trace_a.contains("\"ph\":\"C\""), "counter samples must use ph:\"C\"");
+}
+
+#[test]
+fn sampler_does_not_perturb_the_run() {
+    // Same workload bare, traced, and traced + sampled: the virtual
+    // completion time and every non-`obs.*` metric must match exactly.
+    let plain = pingpong::interdevice(CommScheme::LocalPutLocalGet, 8192, 2);
+    let (observed, _, reg_observed) =
+        pingpong::interdevice_observed(CommScheme::LocalPutLocalGet, 8192, 2);
+    let (sampled, _, reg_sampled, ts) = pingpong::interdevice_sampled(
+        CommScheme::LocalPutLocalGet,
+        8192,
+        2,
+        des::obs::DEFAULT_CADENCE,
+    );
+    assert!(ts.samples() > 0, "the sampler must actually have fired");
+    assert_eq!(plain, sampled, "the sampler daemon must not shift the virtual clock");
+    assert_eq!(observed, sampled, "sampling on top of tracing must change nothing");
+    assert_eq!(
+        non_obs(reg_observed.snapshot()),
+        non_obs(reg_sampled.snapshot()),
+        "sampling must not move any non-obs metric"
+    );
+}
+
+#[test]
+fn windowed_quantiles_match_scalar_oracle() {
+    let reg = des::obs::Registry::new();
+    let h = reg.register_histogram("lat");
+    let ts = des::obs::TimeSeries::manual(0, &reg, &des::obs::SamplerSpec::every(100));
+    // Three windows with very different shapes; the middle one is empty,
+    // so a leak across the reset would be unmissable.
+    let windows: [&[u64]; 3] = [&[5, 9, 13, 200], &[], &[1000, 1001, 1002, 40_000]];
+    let mut t = 0;
+    for w in &windows {
+        for &v in *w {
+            h.record(v);
+        }
+        t += 100;
+        ts.sample_now(t);
+    }
+    let series = ts.series();
+    let s = series.iter().find(|s| s.name == "lat").expect("histogram series tracked");
+    assert_eq!(s.points.len(), windows.len());
+    for ((_, point), w) in s.points.iter().zip(&windows) {
+        let des::obs::PointValue::Window { count, p50, p99 } = *point else {
+            panic!("histogram series must sample Window points, got {point:?}")
+        };
+        assert_eq!(count, w.len() as u64, "window count must be the interval's recordings");
+        // Oracle 1: a fresh histogram holding only this window's values
+        // must give the exact same interpolated quantiles (proves the
+        // delta-bucket reset discipline leaks nothing across windows).
+        let oracle = des::stats::Log2Histogram::new();
+        for &v in *w {
+            oracle.record(v);
+        }
+        let expect =
+            |q: f64| des::stats::log2_quantile_interpolated(&oracle.buckets(), count, u64::MAX, q);
+        assert_eq!(p50, expect(0.5), "window {w:?}");
+        assert_eq!(p99, expect(0.99), "window {w:?}");
+        // Oracle 2: the log2 buckets bound each quantile within a factor
+        // of two of the true scalar quantile.
+        if !w.is_empty() {
+            let mut sorted = w.to_vec();
+            sorted.sort_unstable();
+            let scalar = |q: f64| sorted[((w.len() as f64 * q).ceil() as usize).max(1) - 1];
+            for (got, q) in [(p50, 0.5), (p99, 0.99)] {
+                let want = scalar(q);
+                assert!(
+                    got / 2 <= want && got >= want / 2,
+                    "q={q}: interpolated {got} vs scalar {want} in {w:?}"
+                );
+            }
+        } else {
+            assert_eq!((p50, p99), (0, 0), "an empty window has no quantiles");
+        }
+    }
+}
+
+#[test]
+fn cadence_sweep_changes_only_the_sampling() {
+    // Two very different cadences over the identical workload: the run's
+    // outcome and every non-obs metric must be byte-identical — only the
+    // number of samples may differ.
+    let run =
+        |cadence| pingpong::interdevice_sampled(CommScheme::LocalPutRemoteGet, 8192, 2, cadence);
+    let (p_fast, _, reg_fast, ts_fast) = run(10_000);
+    let (p_slow, _, reg_slow, ts_slow) = run(40_000);
+    assert!(ts_fast.samples() > ts_slow.samples(), "a faster cadence takes more samples");
+    assert_eq!(p_fast, p_slow, "the cadence must not shift the virtual clock");
+    assert_eq!(
+        non_obs(reg_fast.snapshot()),
+        non_obs(reg_slow.snapshot()),
+        "the cadence must not move any non-obs metric"
+    );
+}
+
 #[test]
 fn category_filter_is_selective() {
     // A Protocol-only trace over the same run records protocol spans but
