@@ -148,6 +148,42 @@ pub fn interdevice_sampled(
     (point(&sim, size, reps), trace, reg, ts)
 }
 
+/// Like [`interdevice`], but running under an installed
+/// [`des::audit::Audit`] stream: every scheduler decision of the run is
+/// folded into per-epoch chain hashes at `cadence` cycles per epoch
+/// (ready for `VSCC_AUDIT` export). `zoom` selects an epoch whose raw
+/// decisions are kept and whose window arms every trace category
+/// (`VSCC_AUDIT_ZOOM`); `faults` optionally runs the whole thing under
+/// a seeded fault plan, so two audits differing only in the seed can be
+/// bisected to the first divergent decision.
+pub fn interdevice_audited(
+    scheme: CommScheme,
+    size: usize,
+    reps: usize,
+    cadence: u64,
+    zoom: Option<u64>,
+    faults: Option<des::faultplan::FaultSpec>,
+) -> (PingPongPoint, des::audit::Audit) {
+    let audit = match zoom {
+        Some(epoch) => des::audit::Audit::with_zoom(cadence, epoch),
+        None => des::audit::Audit::new(cadence),
+    };
+    let guard = audit.install();
+    let sim = Sim::new();
+    let mut b = VsccBuilder::new(&sim, 2).scheme(scheme);
+    if let Some(spec) = faults {
+        b = b.faults(spec);
+    }
+    let v = b.build();
+    audit.register_trace(v.trace());
+    let a = v.devices[0].global(CoreId(0));
+    let b = v.devices[1].global(CoreId(0));
+    let s = v.session_builder().participants(vec![a, b]).build();
+    s.run_app(move |r| bounce(r, size, reps)).expect("inter-device ping-pong");
+    drop(guard);
+    (point(&sim, size, reps), audit)
+}
+
 /// Inter-device ping-pong on a system of `n_devices` (the extra devices
 /// only add fabric structure; the traffic stays on one pair).
 pub fn interdevice_on(

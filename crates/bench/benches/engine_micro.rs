@@ -185,6 +185,12 @@ mod harness {
     /// Allocation gate: fail when a data-path scenario allocates more
     /// than this multiple of the committed allocations-per-message.
     const ALLOC_GATE_RATIO: f64 = 1.20;
+    /// Audit-overhead gate: the audited data-path run must keep at least
+    /// this fraction of its audit-off twin's events/sec (i.e. the
+    /// hash-chained audit stream may cost at most ~10 %). The twin is
+    /// measured back-to-back in the same process, so the ratio is the
+    /// audit tax itself, not host drift.
+    const AUDIT_GATE_RATIO: f64 = 0.90;
 
     struct Outcome {
         name: &'static str,
@@ -404,6 +410,54 @@ mod harness {
         datapath("datapath/interdevice_8k_swcache", CommScheme::LocalPutRemoteGet, 8192)
     }
 
+    /// Audit-stream overhead pair: the vDMA data-path ping-pong bare and
+    /// with the hash-chained audit stream installed (`VSCC_AUDIT`). The
+    /// audited run folds every scheduler decision into the FNV chain, so
+    /// its events/sec against the bare twin is exactly the per-decision
+    /// audit cost. The samples are interleaved (off, on, off, on, ...)
+    /// so host-frequency drift hits both sides alike and the min-based
+    /// ratio stays meaningful on a busy machine.
+    fn audit_pair() -> (Outcome, Outcome) {
+        const REPS: usize = 36;
+        let run_off = || {
+            let sim = interdevice_pingpong(CommScheme::LocalPutLocalGet, 8192, REPS);
+            engine_events(&sim)
+        };
+        let run_on = || {
+            let audit = des::audit::Audit::new(des::audit::DEFAULT_EPOCH_CYCLES);
+            let guard = audit.install();
+            let sim = interdevice_pingpong(CommScheme::LocalPutLocalGet, 8192, REPS);
+            drop(guard);
+            assert!(audit.total_decisions() > 0, "the audited twin must fold decisions");
+            black_box(audit.chain());
+            engine_events(&sim)
+        };
+        let n = samples(8);
+        let mut ev_off = run_off(); // warmup, untimed
+        let mut ev_on = run_on();
+        let (mut t_off, mut t_on) = (Vec::with_capacity(n), Vec::with_capacity(n));
+        for _ in 0..n {
+            let start = Instant::now();
+            ev_off = black_box(run_off());
+            t_off.push(start.elapsed().as_nanos() as f64);
+            let start = Instant::now();
+            ev_on = black_box(run_on());
+            t_on.push(start.elapsed().as_nanos() as f64);
+        }
+        let outcome = |name, times: &[f64], events| Outcome {
+            name,
+            samples: n,
+            mean_ns: times.iter().sum::<f64>() / times.len() as f64,
+            min_ns: times.iter().copied().fold(f64::INFINITY, f64::min),
+            events,
+            allocs_per_msg: None,
+        };
+        (
+            outcome("audit/interdevice_8k_vdma_off", &t_off, ev_off),
+            outcome("audit/interdevice_8k_vdma_audited", &t_on, ev_on),
+        )
+    }
+
     fn samples(full: usize) -> usize {
         if std::env::var("VSCC_PERF_FAST").map(|v| v == "1").unwrap_or(false) {
             3
@@ -474,6 +528,7 @@ mod harness {
             "scenario", "samples", "mean", "min", "events", "events/sec", "allocs/msg"
         );
 
+        let (audit_off, audit_on) = audit_pair();
         let outcomes = vec![
             spawn_delay_10k(),
             timer_cancel_churn(),
@@ -483,6 +538,8 @@ mod harness {
             interned_trace(),
             datapath_1k(),
             datapath_8k(),
+            audit_off,
+            audit_on,
         ];
         for o in &outcomes {
             let allocs = match o.allocs_per_msg {
@@ -529,6 +586,25 @@ mod harness {
             );
         }
 
+        let gate = std::env::var("VSCC_PERF_GATE").map(|v| v == "1").unwrap_or(false);
+        let (audit_off, audit_on) = (&outcomes[8], &outcomes[9]);
+        let audit_ratio = audit_on.events_per_sec() / audit_off.events_per_sec();
+        println!();
+        println!("audit-stream overhead (hash-chained scheduler audit, VSCC_AUDIT):");
+        println!(
+            "  off {:>14.0} ev/s   on {:>14.0} ev/s   ratio {audit_ratio:.3}x (gate >= {AUDIT_GATE_RATIO:.2}x)",
+            audit_off.events_per_sec(),
+            audit_on.events_per_sec(),
+        );
+        if gate && audit_ratio < AUDIT_GATE_RATIO {
+            eprintln!(
+                "PERF GATE FAILED: audit stream costs {:.1}% events/sec (budget {:.0}%)",
+                (1.0 - audit_ratio) * 100.0,
+                (1.0 - AUDIT_GATE_RATIO) * 100.0
+            );
+            std::process::exit(1);
+        }
+
         let out_path = match std::env::var("VSCC_PERF_OUT") {
             Ok(p) => std::path::PathBuf::from(p),
             Err(_) => repo_root().join("target/BENCH_engine.json"),
@@ -536,7 +612,6 @@ mod harness {
         write_json(&outcomes, &out_path);
         println!("wrote {}", out_path.display());
 
-        let gate = std::env::var("VSCC_PERF_GATE").map(|v| v == "1").unwrap_or(false);
         let baseline_path = repo_root().join("BENCH_engine.json");
         match std::fs::read_to_string(&baseline_path) {
             Ok(text) => {

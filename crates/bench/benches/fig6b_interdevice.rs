@@ -108,4 +108,21 @@ fn main() {
             &[("vdma-8K", &vdma_ts), ("lprg-8K", &lprg_ts)],
         );
     }
+
+    if vscc_bench::audit_requested() {
+        // VSCC_AUDIT=out.json: re-run the vDMA 8 KiB point under the
+        // hash-chained scheduler audit stream and export the per-epoch
+        // digests (byte-identical across reruns). VSCC_AUDIT_ZOOM=<epoch>
+        // additionally dumps that epoch's raw decisions for bisection;
+        // an active VSCC_FAULTS plan rides along, seed and all.
+        let (_, audit) = pingpong::interdevice_audited(
+            CommScheme::LocalPutLocalGet,
+            8192,
+            1,
+            des::audit::DEFAULT_EPOCH_CYCLES,
+            vscc_bench::audit_zoom_from_env(),
+            des::faultplan::spec_from_env(),
+        );
+        vscc_bench::export_audit(&audit);
+    }
 }

@@ -9,7 +9,7 @@
 
 use std::sync::Mutex;
 
-use des::obs::{Registry, TimeSeries, METRICS_ENV, TIMESERIES_ENV, TRACE_ENV};
+use des::obs::{Registry, TimeSeries, AUDIT_ENV, METRICS_ENV, TIMESERIES_ENV, TRACE_ENV};
 use des::trace::Trace;
 
 /// Print a figure/table banner. If a `VSCC_FAULTS` plan is active it is
@@ -111,6 +111,33 @@ pub fn export_observability_sampled(
             println!("[obs] {TIMESERIES_ENV} set but this target runs no sampler; no export")
         }
         None => {}
+    }
+}
+
+/// Whether `VSCC_AUDIT` asks for an audit-stream export. Benches use
+/// this to skip the extra audited run when nobody wants the output.
+pub fn audit_requested() -> bool {
+    des::obs::audit_requested()
+}
+
+/// The `VSCC_AUDIT_ZOOM=<epoch>` zoom target, if set.
+pub fn audit_zoom_from_env() -> Option<u64> {
+    des::obs::audit_zoom_from_env()
+}
+
+/// Honour `VSCC_AUDIT` at the end of a bench target: write the audit
+/// stream there and print the path (and the active zoom window, if
+/// any), mirroring [`export_observability`].
+pub fn export_audit(audit: &des::audit::Audit) {
+    match des::obs::export_audit_if_env(audit) {
+        Ok(Some(path)) => match audit_zoom_from_env() {
+            Some(epoch) => {
+                println!("[obs] audit stream (zoom epoch {epoch}) written to {path} ({AUDIT_ENV})")
+            }
+            None => println!("[obs] audit stream written to {path} ({AUDIT_ENV})"),
+        },
+        Ok(None) => {}
+        Err(e) => eprintln!("[obs] {AUDIT_ENV} export failed: {e}"),
     }
 }
 

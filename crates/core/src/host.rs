@@ -458,6 +458,7 @@ impl HostSide {
         flow: Option<u64>,
         retries: &Counter,
     ) -> Option<Bytes> {
+        des::audit::record_payload(self.sim.now(), data);
         let Some(plan) = &self.faults else {
             return Some(data.clone());
         };

@@ -96,7 +96,12 @@ impl<T> Sender<T> {
                 }
             })
             .await;
-        self.state.borrow_mut().queue.push_back(value);
+        let depth = {
+            let mut st = self.state.borrow_mut();
+            st.queue.push_back(value);
+            st.queue.len()
+        };
+        crate::audit::record(crate::audit::DecisionKind::ChanSend, depth as u64, 0);
         self.notify_recv.notify_all();
     }
 
@@ -109,7 +114,9 @@ impl<T> Sender<T> {
             }
         }
         st.queue.push_back(value);
+        let depth = st.queue.len();
         drop(st);
+        crate::audit::record(crate::audit::DecisionKind::ChanSend, depth as u64, 0);
         self.notify_recv.notify_all();
         Ok(())
     }
@@ -133,7 +140,9 @@ impl<T> Receiver<T> {
             {
                 let mut st = self.state.borrow_mut();
                 if let Some(v) = st.queue.pop_front() {
+                    let depth = st.queue.len();
                     drop(st);
+                    crate::audit::record(crate::audit::DecisionKind::ChanRecv, depth as u64, 0);
                     self.notify_send.notify_all();
                     return Some(v);
                 }
@@ -153,8 +162,14 @@ impl<T> Receiver<T> {
 
     /// Non-blocking dequeue.
     pub fn try_recv(&self) -> Option<T> {
-        let v = self.state.borrow_mut().queue.pop_front();
+        let (v, depth) = {
+            let mut st = self.state.borrow_mut();
+            let v = st.queue.pop_front();
+            let depth = st.queue.len();
+            (v, depth)
+        };
         if v.is_some() {
+            crate::audit::record(crate::audit::DecisionKind::ChanRecv, depth as u64, 0);
             self.notify_send.notify_all();
         }
         v

@@ -462,6 +462,12 @@ impl Sim {
             }
         };
         self.inner.stat_spawned.set(self.inner.stat_spawned.get() + 1);
+        crate::audit::record_at(
+            self.inner.now.get(),
+            crate::audit::DecisionKind::Spawn,
+            id as u64,
+            name as u64,
+        );
         if !daemon {
             self.inner.live.set(self.inner.live.get() + 1);
         }
@@ -492,12 +498,28 @@ impl Sim {
 
     fn register_timer(&self, deadline: Cycles, target: WakeTarget) -> TimerId {
         self.inner.stat_timers_set.set(self.inner.stat_timers_set.get() + 1);
-        self.inner.timers.borrow_mut().insert(deadline, target)
+        let mut timers = self.inner.timers.borrow_mut();
+        let seq = timers.next_seq();
+        let id = timers.insert(deadline, target);
+        crate::audit::record_at(
+            self.inner.now.get(),
+            crate::audit::DecisionKind::TimerArm,
+            deadline,
+            seq,
+        );
+        id
     }
 
     fn cancel_timer(&self, id: TimerId) {
         if self.inner.timers.borrow_mut().cancel(id) {
             self.inner.stat_timers_cancelled.set(self.inner.stat_timers_cancelled.get() + 1);
+            let (idx, generation) = id.parts();
+            crate::audit::record_at(
+                self.inner.now.get(),
+                crate::audit::DecisionKind::TimerCancel,
+                idx as u64,
+                generation as u64,
+            );
         }
     }
 
@@ -521,6 +543,12 @@ impl Sim {
                 if slot.live && !slot.queued {
                     slot.queued = true;
                     ready.push_back(id);
+                    crate::audit::record_at(
+                        self.inner.now.get(),
+                        crate::audit::DecisionKind::Wake,
+                        id as u64,
+                        0,
+                    );
                 }
             }
         }
@@ -558,22 +586,42 @@ impl Sim {
                 return Ok(self.inner.now.get());
             }
             // No runnable task: advance time to the next live timer.
-            let fired = self.inner.timers.borrow_mut().pop_next();
+            let fired = {
+                let mut timers = self.inner.timers.borrow_mut();
+                timers.pop_next().map(|(d, t)| (d, t, timers.last_popped_seq()))
+            };
             match fired {
-                Some((deadline, target)) => {
+                Some((deadline, target, seq)) => {
                     debug_assert!(deadline >= self.inner.now.get());
                     if deadline > self.inner.horizon.get() {
                         return Err(SimError::HorizonExceeded(self.inner.horizon.get()));
                     }
                     self.inner.now.set(deadline.max(self.inner.now.get()));
+                    crate::audit::record_at(
+                        self.inner.now.get(),
+                        crate::audit::DecisionKind::TimerFire,
+                        deadline,
+                        seq,
+                    );
                     self.fire_timer(target);
                     // Fire every timer that shares this deadline before
                     // polling, so same-timestamp wakeups are batched
                     // deterministically.
                     loop {
-                        let next = self.inner.timers.borrow_mut().pop_next_at(deadline);
+                        let next = {
+                            let mut timers = self.inner.timers.borrow_mut();
+                            timers.pop_next_at(deadline).map(|t| (t, timers.last_popped_seq()))
+                        };
                         match next {
-                            Some(t) => self.fire_timer(t),
+                            Some((t, seq)) => {
+                                crate::audit::record_at(
+                                    self.inner.now.get(),
+                                    crate::audit::DecisionKind::TimerFire,
+                                    deadline,
+                                    seq,
+                                );
+                                self.fire_timer(t);
+                            }
                             None => break,
                         }
                     }
@@ -607,6 +655,12 @@ impl Sim {
                     if slot.live && !slot.queued {
                         slot.queued = true;
                         self.inner.ready.borrow_mut().push_back(id);
+                        crate::audit::record_at(
+                            self.inner.now.get(),
+                            crate::audit::DecisionKind::Wake,
+                            id as u64,
+                            0,
+                        );
                     }
                 }
             }
@@ -635,6 +689,12 @@ impl Sim {
             slot.task.take().expect("live task has runner")
         };
         self.inner.stat_polls.set(self.inner.stat_polls.get() + 1);
+        crate::audit::record_at(
+            self.inner.now.get(),
+            crate::audit::DecisionKind::Poll,
+            id as u64,
+            0,
+        );
         let hub = &self.inner.hub;
         hub.current.set(id);
         // SAFETY: the hub waker borrows `self.inner.hub`, which outlives

@@ -351,6 +351,7 @@ impl FaultPlan {
     }
 
     fn note(&self, now: Cycles, kind: &'static str, flow: Option<u64>) {
+        crate::audit::record_fault(now, kind, flow.unwrap_or(0));
         self.trace.instant_f(now, Category::Fault, kind, flow, || "fault", Vec::new);
     }
 

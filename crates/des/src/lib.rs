@@ -28,6 +28,7 @@
 //! assert_eq!(sim.now(), 100);
 //! ```
 
+pub mod audit;
 pub mod bytes;
 pub mod channel;
 pub mod critpath;

@@ -159,6 +159,12 @@ impl Link {
         pending.push_back(done);
         st.queue_depth.set(pending.len() as i64);
         st.latency_hist.record(done + st.latency - now);
+        crate::audit::record_at(
+            now,
+            crate::audit::DecisionKind::LinkReserve,
+            bytes,
+            done + st.latency,
+        );
         Reservation { wire_free: done, arrival: done + st.latency }
     }
 

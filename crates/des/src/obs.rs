@@ -46,6 +46,13 @@ pub const FLIGHT_ENV: &str = "VSCC_FLIGHT";
 /// (`VSCC_FAULTS=<spec>`; see [`crate::faultplan::FaultSpec::parse`] for
 /// the grammar).
 pub const FAULTS_ENV: &str = "VSCC_FAULTS";
+/// Environment variable naming the audit-stream output file
+/// (`VSCC_AUDIT=out.json`; see [`crate::audit`]).
+pub const AUDIT_ENV: &str = "VSCC_AUDIT";
+/// Environment variable selecting the audit zoom epoch
+/// (`VSCC_AUDIT_ZOOM=<epoch>`; raw decisions are recorded and every
+/// trace category armed only inside that epoch).
+pub const AUDIT_ZOOM_ENV: &str = "VSCC_AUDIT_ZOOM";
 
 /// Whether `VSCC_CRITPATH` asks for critical-path tables.
 pub fn critpath_requested() -> bool {
@@ -55,6 +62,16 @@ pub fn critpath_requested() -> bool {
 /// The `VSCC_FLIGHT=N` flight-recorder bound, if set to a positive count.
 pub fn flight_capacity_from_env() -> Option<usize> {
     std::env::var(FLIGHT_ENV).ok()?.parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Whether `VSCC_AUDIT` asks for an audit-stream export.
+pub fn audit_requested() -> bool {
+    std::env::var(AUDIT_ENV).map(|v| !v.is_empty()).unwrap_or(false)
+}
+
+/// The `VSCC_AUDIT_ZOOM=<epoch>` zoom target, if set.
+pub fn audit_zoom_from_env() -> Option<u64> {
+    std::env::var(AUDIT_ZOOM_ENV).ok()?.parse().ok()
 }
 
 /// One registered instrument.
@@ -782,6 +799,18 @@ pub fn export_timeseries_if_env(
     match std::env::var(TIMESERIES_ENV) {
         Ok(path) if !path.is_empty() => {
             std::fs::write(&path, series.to_json())?;
+            Ok(Some(path))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// If `VSCC_AUDIT` is set, write the audit-stream JSON there and return
+/// the path written.
+pub fn export_audit_if_env(audit: &crate::audit::Audit) -> std::io::Result<Option<String>> {
+    match std::env::var(AUDIT_ENV) {
+        Ok(path) if !path.is_empty() => {
+            std::fs::write(&path, audit.to_json())?;
             Ok(Some(path))
         }
         _ => Ok(None),

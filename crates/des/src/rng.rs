@@ -68,6 +68,7 @@ impl DetRng {
         s[0] ^= s[3];
         s[2] ^= t;
         s[3] = s[3].rotate_left(45);
+        crate::audit::record(crate::audit::DecisionKind::RngDraw, result, 0);
         result
     }
 

@@ -68,6 +68,9 @@ impl Category {
         1 << self as u8
     }
 
+    /// Mask with every category enabled (what `&Category::ALL` builds).
+    pub(crate) const ALL_MASK: u8 = (1 << Category::ALL.len()) - 1;
+
     /// Lower-case name, as exported.
     pub fn name(self) -> &'static str {
         match self {
@@ -237,7 +240,9 @@ impl fmt::Display for TraceEvent {
 
 struct TraceInner {
     events: RefCell<Vec<TraceEvent>>,
-    mask: u8,
+    /// Enabled-category bitmask. A `Cell` so the audit zoom window can
+    /// arm every category inside its epoch and restore the mask after.
+    mask: Cell<u8>,
     /// Flight-recorder bound: keep only the last N events.
     capacity: Option<usize>,
     /// Events evicted by the flight-recorder bound.
@@ -314,7 +319,7 @@ impl Trace {
         Trace {
             inner: Some(Rc::new(TraceInner {
                 events: RefCell::new(Vec::new()),
-                mask,
+                mask: Cell::new(mask),
                 capacity,
                 dropped: Cell::new(0),
                 actors: RefCell::new(HashSet::new()),
@@ -340,8 +345,22 @@ impl Trace {
     /// Whether events of `cat` are being collected.
     pub fn enabled_for(&self, cat: Category) -> bool {
         match &self.inner {
-            Some(inner) => inner.mask & cat.bit() != 0,
+            Some(inner) => inner.mask.get() & cat.bit() != 0,
             None => false,
+        }
+    }
+
+    /// Current enabled-category bitmask (0 for a disabled trace).
+    pub(crate) fn category_mask(&self) -> u8 {
+        self.inner.as_ref().map(|i| i.mask.get()).unwrap_or(0)
+    }
+
+    /// Replace the enabled-category bitmask. Used by the audit zoom
+    /// window to arm every category inside one epoch; a no-op on a
+    /// disabled trace (there is no event storage to arm).
+    pub(crate) fn set_category_mask(&self, mask: u8) {
+        if let Some(inner) = &self.inner {
+            inner.mask.set(mask);
         }
     }
 
@@ -370,7 +389,7 @@ impl Trace {
         fields: impl FnOnce() -> Fields,
     ) {
         if let Some(inner) = &self.inner {
-            if inner.mask & cat.bit() != 0 {
+            if inner.mask.get() & cat.bit() != 0 {
                 let actor = inner.resolve(actor().into());
                 let mut events = inner.events.borrow_mut();
                 if let Some(cap) = inner.capacity {

@@ -50,6 +50,14 @@ pub struct TimerId {
     generation: u32,
 }
 
+impl TimerId {
+    /// `(slab index, generation)` — the audit stream's stable identity
+    /// for a cancelled timer.
+    pub(crate) fn parts(self) -> (u32, u32) {
+        (self.idx, self.generation)
+    }
+}
+
 struct Entry<P> {
     deadline: Cycles,
     seq: u64,
@@ -80,6 +88,9 @@ pub struct TimerWheel<P> {
     spare_slots: Vec<Vec<u32>>,
     /// Reusable `load_firing` scratch (seq-sort staging).
     batch: Vec<u32>,
+    /// Sequence number of the entry most recently popped; read by the
+    /// audit stream to identify which timer fired.
+    last_popped_seq: u64,
 }
 
 /// Cap on recycled slot vectors; enough for every occupied slot of a
@@ -120,7 +131,18 @@ impl<P> TimerWheel<P> {
             firing_deadline: 0,
             spare_slots: Vec::new(),
             batch: Vec::new(),
+            last_popped_seq: 0,
         }
+    }
+
+    /// Sequence number the next [`Self::insert`] will assign.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence number of the most recently popped entry.
+    pub(crate) fn last_popped_seq(&self) -> u64 {
+        self.last_popped_seq
     }
 
     /// Empty `level`/`slot`, handing its vector back for iteration. The
@@ -221,6 +243,7 @@ impl<P> TimerWheel<P> {
     fn pop_front_validated(&mut self) -> (Cycles, P) {
         let idx = self.firing.pop_front().expect("peek positioned a live entry");
         let payload = self.slab[idx as usize].payload.take().expect("peek validated liveness");
+        self.last_popped_seq = self.slab[idx as usize].seq;
         self.release(idx);
         self.live -= 1;
         (self.firing_deadline, payload)

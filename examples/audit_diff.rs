@@ -1,0 +1,97 @@
+//! Diff two `VSCC_AUDIT` exports and report where they first diverge.
+//!
+//! ```sh
+//! VSCC_AUDIT=a.json cargo bench -p vscc-bench --bench fig6b_interdevice
+//! VSCC_AUDIT=b.json cargo bench -p vscc-bench --bench fig6b_interdevice
+//! cargo run --example audit_diff -- a.json b.json
+//! ```
+//!
+//! Identical exports exit 0. Diverging exports exit 1 and name the first
+//! divergent *epoch* (chain hashes differ) — or, when both exports carry
+//! a `VSCC_AUDIT_ZOOM` window, the first divergent *decision* (kind,
+//! operands, cycle), which pinpoints the exact scheduler step where two
+//! runs parted ways. The full bisection is therefore two reruns: diff
+//! the plain exports for the epoch, re-run both zoomed on it, diff again
+//! for the decision.
+//!
+//! With no arguments the example audits a self-generated inter-device
+//! ping-pong twice and diffs the two exports (they must match), so
+//! `scripts/check.sh` can gate the audit plane without a bench run.
+//! Exit status: 0 identical, 1 divergent, 2 usage or parse error.
+
+use des::audit;
+use vscc::CommScheme;
+use vscc_apps::pingpong;
+
+fn demo_export() -> String {
+    let (_, audit) = pingpong::interdevice_audited(
+        CommScheme::LocalPutLocalGet,
+        8192,
+        1,
+        audit::DEFAULT_EPOCH_CYCLES,
+        None,
+        None,
+    );
+    audit.to_json()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (labels, a, b) = match args.as_slice() {
+        [a, b] => {
+            let read = |p: &str| {
+                std::fs::read_to_string(p).unwrap_or_else(|e| {
+                    eprintln!("cannot read {p}: {e}");
+                    std::process::exit(2);
+                })
+            };
+            ((a.clone(), b.clone()), read(a), read(b))
+        }
+        [] => {
+            println!("(no files given; diffing two self-generated audited ping-pong runs)");
+            (("run A".to_string(), "run B".to_string()), demo_export(), demo_export())
+        }
+        _ => {
+            eprintln!("usage: audit_diff <a.json> <b.json>");
+            std::process::exit(2);
+        }
+    };
+    let parse = |label: &str, json: &str| {
+        audit::parse_export(json).unwrap_or_else(|e| {
+            eprintln!("{label}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let pa = parse(&labels.0, &a);
+    let pb = parse(&labels.1, &b);
+    println!(
+        "{}: {} epochs, {} zoomed decisions; {}: {} epochs, {} zoomed decisions",
+        labels.0,
+        pa.rows.len(),
+        pa.zoom.len(),
+        labels.1,
+        pb.rows.len(),
+        pb.zoom.len()
+    );
+    match audit::diff(&pa, &pb) {
+        Ok(None) => {
+            println!("identical: final chain {}", pa.final_chain);
+        }
+        Ok(Some(divergence)) => {
+            println!("{divergence}");
+            if matches!(divergence, audit::Divergence::Epoch { .. }) && pa.zoom.is_empty() {
+                if let audit::Divergence::Epoch { epoch, .. } = &divergence {
+                    println!(
+                        "hint: re-run both sides with VSCC_AUDIT_ZOOM={epoch} to capture the \
+                         raw decisions of that epoch, then diff again"
+                    );
+                }
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("cannot compare: {e}");
+            std::process::exit(2);
+        }
+    }
+}

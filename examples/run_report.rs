@@ -7,7 +7,10 @@
 //! cargo run --example run_report -- trace.json metrics.json ts.json > report.md
 //! ```
 //!
-//! Sections: headline metrics, per-process critical-path attribution
+//! Sections: headline metrics, faults & recovery (rendered only when the
+//! metrics export carries non-zero `pcie.fault.*` / `host.retry.*` /
+//! `host.fallback.*` counters, i.e. a `VSCC_FAULTS` plan actually fired),
+//! per-process critical-path attribution
 //! (the phase columns sum to each process's end-of-run time exactly),
 //! peak/mean utilization per sampled resource, and the windowed
 //! tail-latency table. Identical exports render an identical report —
@@ -143,6 +146,15 @@ fn parse_counters(json: &str) -> Vec<(String, u64)> {
         .collect()
 }
 
+/// The counters of the fault/recovery plane (`VSCC_FAULTS` runs). They
+/// are registered (at zero) even on clean runs, so the section gates on
+/// at least one being non-zero, not on mere presence.
+fn is_fault_counter(name: &str) -> bool {
+    name.starts_with("pcie.fault.")
+        || name.starts_with("host.retry.")
+        || name.starts_with("host.fallback.")
+}
+
 /// The counters worth a headline row: traffic volume per fabric
 /// resource plus the host's classification totals.
 fn is_headline(name: &str) -> bool {
@@ -229,6 +241,29 @@ fn render_report(trace_json: &str, metrics_json: &str, ts_json: &str) -> String 
     md.push_str("\n## Headline metrics\n\n| counter | value |\n|---|---:|\n");
     for (name, v) in counters.iter().filter(|(n, _)| is_headline(n)) {
         let _ = writeln!(md, "| `{name}` | {v} |");
+    }
+
+    // Rendered only for runs where the fault plane actually fired: the
+    // counters exist (at zero) on clean runs too, so gate on activity.
+    let faults: Vec<&(String, u64)> =
+        counters.iter().filter(|(n, _)| is_fault_counter(n)).collect();
+    if faults.iter().any(|(_, v)| *v > 0) {
+        md.push_str("\n## Faults & recovery\n\n");
+        let injected: u64 =
+            faults.iter().filter(|(n, _)| n.starts_with("pcie.fault.")).map(|(_, v)| v).sum();
+        let responses: u64 =
+            faults.iter().filter(|(n, _)| !n.starts_with("pcie.fault.")).map(|(_, v)| v).sum();
+        let giveups =
+            faults.iter().find(|(n, _)| n == "host.retry.giveups").map(|(_, v)| *v).unwrap_or(0);
+        let _ = writeln!(
+            md,
+            "A fault plan was active: {injected} injection(s), {responses} recovery \
+             action(s), {giveups} giveup(s).\n"
+        );
+        md.push_str("| counter | value |\n|---|---:|\n");
+        for (name, v) in faults {
+            let _ = writeln!(md, "| `{name}` | {v} |");
+        }
     }
 
     md.push_str("\n## Critical path\n\n");

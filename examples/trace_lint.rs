@@ -12,14 +12,23 @@
 //!   and vice versa;
 //! * counter-track sample values are numeric and non-negative.
 //!
+//! A `VSCC_TIMESERIES` export (auto-detected by its `"cadence":` header
+//! line) is linted against the sampler's invariants instead:
+//!
+//! * series appear sorted by name (the exporter's deterministic order);
+//! * sample timestamps never step back within a series;
+//! * `busy` tracks are integer percents bounded to [0, 100];
+//! * `rate` and `window` values are non-negative integers.
+//!
 //! ```sh
 //! VSCC_TRACE=trace.json cargo bench -p vscc-bench --bench fig6b_interdevice
 //! cargo run --example trace_lint -- trace.json
 //! ```
 //!
 //! With no arguments the example lints a self-generated export (a
-//! sampled 8 KiB fig6b-style ping-pong with counter tracks merged), so
-//! `scripts/check.sh` can gate the exporter without a bench run.
+//! sampled 8 KiB fig6b-style ping-pong with counter tracks merged) plus
+//! the same run's time-series export, so `scripts/check.sh` can gate
+//! both exporters without a bench run.
 //! Exit status: 0 clean, 1 violations found.
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -178,9 +187,125 @@ fn lint(json: &str) -> Vec<String> {
     violations
 }
 
+/// Whether `json` is a `VSCC_TIMESERIES` export: its second line is the
+/// `"cadence":` header (a Chrome trace opens with `"traceEvents"`).
+fn is_timeseries_export(json: &str) -> bool {
+    json.lines().nth(1).is_some_and(|l| l.trim_start().starts_with("\"cadence\":"))
+}
+
+/// String value of `"key": "..."` with the timeseries exporter's space
+/// after the colon.
+fn jstr_spaced<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    rest.split('"').next()
+}
+
+/// Numeric value of `"key": N` (tolerating the timeseries exporter's
+/// space after the colon); `-` prefixes are accepted for gauge levels.
+fn jnum_spaced(line: &str, key: &str) -> Option<i64> {
+    let pat = format!("\"{key}\":");
+    let rest = line[line.find(&pat)? + pat.len()..].trim_start();
+    let end = rest
+        .char_indices()
+        .find(|&(i, c)| !(c.is_ascii_digit() || (i == 0 && c == '-')))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Lint a `VSCC_TIMESERIES` export (see module docs for the checks).
+fn lint_timeseries(json: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut points_total = 0usize;
+    if json.lines().nth(1).and_then(|l| jnum_spaced(l, "cadence")).is_none() {
+        violations.push("missing or non-numeric \"cadence\" header".to_string());
+    }
+    for (lineno, line) in json.lines().enumerate() {
+        let line = line.trim().trim_end_matches(',');
+        // Series lines look like: "name": {"kind": "rate", "points": [...]}
+        let Some(kind) = jstr_spaced(line, "kind") else { continue };
+        let Some(name) = line.strip_prefix('"').and_then(|r| r.split('"').next()) else {
+            continue;
+        };
+        names.push(name.to_string());
+        let Some(p) = line.find("\"points\": [") else {
+            violations.push(format!("line {}: series \"{name}\" without points", lineno + 1));
+            continue;
+        };
+        let body = line[p + 11..].trim_end_matches(['}', ']']);
+        let mut last_t: Option<i64> = None;
+        for tuple in body.split("], [") {
+            let tuple = tuple.trim_matches(['[', ']', ' ']);
+            if tuple.is_empty() {
+                continue;
+            }
+            points_total += 1;
+            let fields: Vec<Option<i64>> =
+                tuple.split(", ").map(|f| f.parse::<i64>().ok()).collect();
+            let Some(&Some(t)) = fields.first() else {
+                violations.push(format!(
+                    "line {}: series \"{name}\": non-numeric timestamp in [{tuple}]",
+                    lineno + 1
+                ));
+                continue;
+            };
+            if last_t.is_some_and(|prev| t < prev) {
+                violations.push(format!(
+                    "line {}: series \"{name}\": ts {t} steps back from {}",
+                    lineno + 1,
+                    last_t.unwrap()
+                ));
+            }
+            last_t = Some(t);
+            let values = &fields[1..];
+            if values.is_empty() || values.iter().any(Option::is_none) {
+                violations.push(format!(
+                    "line {}: series \"{name}\": non-numeric value in [{tuple}]",
+                    lineno + 1
+                ));
+                continue;
+            }
+            match kind {
+                "busy" => {
+                    if values.iter().any(|v| !(0..=100).contains(&v.unwrap())) {
+                        violations.push(format!(
+                            "line {}: busy series \"{name}\": percent outside [0, 100] in [{tuple}]",
+                            lineno + 1
+                        ));
+                    }
+                }
+                "rate" | "window" => {
+                    if values.iter().any(|v| v.unwrap() < 0) {
+                        violations.push(format!(
+                            "line {}: {kind} series \"{name}\": negative value in [{tuple}]",
+                            lineno + 1
+                        ));
+                    }
+                }
+                // Gauge levels are legitimately signed.
+                "level" => {}
+                other => violations.push(format!(
+                    "line {}: series \"{name}\": unknown kind \"{other}\"",
+                    lineno + 1
+                )),
+            }
+        }
+    }
+    if !names.windows(2).all(|w| w[0] <= w[1]) {
+        violations.push("series are not sorted by name".to_string());
+    }
+    if names.is_empty() {
+        violations.push("no series found (not a VSCC_TIMESERIES export?)".to_string());
+    }
+    println!("linted {} series ({points_total} samples)", names.len());
+    violations
+}
+
 /// Self-generated export for the no-argument mode: a sampled 8 KiB
 /// fig6b-style ping-pong with its counter tracks merged in.
-fn demo_export() -> String {
+fn demo_export() -> (String, String) {
     let sim = Sim::new();
     let reg = des::obs::Registry::new();
     let v = VsccBuilder::new(&sim, 2)
@@ -203,33 +328,47 @@ fn demo_export() -> String {
     .expect("demo run");
     ts.finish(sim.now());
     let trace = v.trace().clone();
-    des::obs::chrome_trace_json_with_tracks(&[("vdma-8K", &trace)], &[("vdma-8K", &ts)])
+    let chrome =
+        des::obs::chrome_trace_json_with_tracks(&[("vdma-8K", &trace)], &[("vdma-8K", &ts)]);
+    (chrome, ts.to_json())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (label, json) = match args.as_slice() {
-        [p] => (
+    // (label, export) pairs to lint; each dispatches on its own format.
+    let inputs: Vec<(String, String)> = match args.as_slice() {
+        [p] => vec![(
             p.clone(),
             std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}")),
-        ),
+        )],
         [] => {
             println!("(no file given; linting a self-generated sampled ping-pong export)");
-            ("self-generated export".to_string(), demo_export())
+            let (chrome, ts) = demo_export();
+            vec![
+                ("self-generated trace export".to_string(), chrome),
+                ("self-generated time-series export".to_string(), ts),
+            ]
         }
         _ => {
-            eprintln!("usage: trace_lint [trace.json]");
+            eprintln!("usage: trace_lint [trace.json | timeseries.json]");
             std::process::exit(2);
         }
     };
-    let violations = lint(&json);
-    if violations.is_empty() {
-        println!("{label}: clean");
-    } else {
-        for v in &violations {
-            println!("  {v}");
+    let mut total = 0usize;
+    for (label, json) in &inputs {
+        let violations =
+            if is_timeseries_export(json) { lint_timeseries(json) } else { lint(json) };
+        if violations.is_empty() {
+            println!("{label}: clean");
+        } else {
+            for v in &violations {
+                println!("  {v}");
+            }
+            println!("{label}: {} violation(s)", violations.len());
+            total += violations.len();
         }
-        println!("{label}: {} violation(s)", violations.len());
+    }
+    if total > 0 {
         std::process::exit(1);
     }
 }

@@ -30,6 +30,18 @@ cargo run -q --example trace_lint
 echo "== cadence-sweep smoke (two cadences, same run, same final snapshot) =="
 cargo test -q --test observability cadence_sweep
 
+echo "== audit smoke (two audited fig6b runs must export identical digests) =="
+# VSCC_AUDIT makes the fig6b target re-run its vDMA 8 KiB point under the
+# hash-chained scheduler audit stream and export the per-epoch digests.
+# Two back-to-back runs (separate processes) must be byte-identical:
+# audit_diff exits 0 on identity, 1 on divergence (killing the script).
+AUDIT_TMP="$(mktemp -d)"
+trap 'rm -rf "$AUDIT_TMP"' EXIT
+VSCC_AUDIT="$AUDIT_TMP/a.json" cargo bench -p vscc-bench --bench fig6b_interdevice >/dev/null
+VSCC_AUDIT="$AUDIT_TMP/b.json" cargo bench -p vscc-bench --bench fig6b_interdevice >/dev/null
+cmp -s "$AUDIT_TMP/a.json" "$AUDIT_TMP/b.json" || { echo "audit exports not byte-identical"; exit 1; }
+cargo run -q --example audit_diff -- "$AUDIT_TMP/a.json" "$AUDIT_TMP/b.json"
+
 if [ "${VSCC_PERF_SKIP:-}" = "1" ]; then
     echo "== perf smoke: skipped (VSCC_PERF_SKIP=1) =="
 else
@@ -38,7 +50,9 @@ else
     # if any scenario's events/sec drops >30% below the committed
     # baseline, or a datapath scenario's allocations-per-message rises
     # >20% above it (the alloc counter is deterministic, so that gate is
-    # noise-free). Wall-clock only — the virtual clock never sees it.
+    # noise-free), or the audited data-path twin loses >10% events/sec
+    # against its audit-off twin (the audit-overhead budget).
+    # Wall-clock only — the virtual clock never sees it.
     # Set VSCC_PERF_SKIP=1 on noisy/shared machines.
     VSCC_PERF_FAST=1 VSCC_PERF_GATE=1 cargo bench -p vscc-bench --bench engine_micro
 fi

@@ -74,6 +74,34 @@ fn render_timeseries() -> String {
     .expect("render thread")
 }
 
+/// The `VSCC_AUDIT` export golden: the two headline schemes audited at
+/// the default epoch cadence. Rendered on a dedicated thread because
+/// the audit sink is thread-local and the runs must start from a fresh
+/// chunk-pool state, exactly like the time-series golden.
+fn render_audit() -> String {
+    std::thread::spawn(|| {
+        let mut out = String::new();
+        for (name, scheme) in [
+            ("local_put_remote_get", CommScheme::LocalPutRemoteGet),
+            ("local_put_local_get", CommScheme::LocalPutLocalGet),
+        ] {
+            let (point, audit) = vscc_apps::pingpong::interdevice_audited(
+                scheme,
+                8192,
+                1,
+                des::audit::DEFAULT_EPOCH_CYCLES,
+                None,
+                None,
+            );
+            out.push_str(&format!("=== {name} size=8192 cycles={} ===\n", point.cycles));
+            out.push_str(&audit.to_json());
+        }
+        out
+    })
+    .join()
+    .expect("render thread")
+}
+
 fn goldens_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
 }
@@ -126,6 +154,24 @@ fn interdevice_timeseries_export_matches_golden() {
         panic!("missing golden {} ({e}); run with VSCC_GOLDEN_REGEN=1 to create it", path.display())
     });
     assert_exports_equal("timeseries", &want, &timeseries);
+}
+
+#[test]
+fn interdevice_audit_export_matches_golden() {
+    let audit = render_audit();
+    let path = goldens_dir().join("fig6b_audit_exports.txt");
+
+    if std::env::var("VSCC_GOLDEN_REGEN").map(|v| v == "1").unwrap_or(false) {
+        std::fs::create_dir_all(goldens_dir()).unwrap();
+        std::fs::write(&path, &audit).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {} ({e}); run with VSCC_GOLDEN_REGEN=1 to create it", path.display())
+    });
+    assert_exports_equal("audit", &want, &audit);
 }
 
 /// Byte-compare with a diff-friendly failure: report the first

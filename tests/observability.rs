@@ -9,7 +9,9 @@
 //! 3. Zero cost when disabled — a disabled trace must not even evaluate
 //!    the label/field closures.
 
+use des::audit::{self, DecisionKind};
 use des::trace::Category;
+use proptest::prelude::*;
 use vscc::CommScheme;
 use vscc_apps::pingpong;
 
@@ -329,6 +331,200 @@ fn cadence_sweep_changes_only_the_sampling() {
         non_obs(reg_slow.snapshot()),
         "the cadence must not move any non-obs metric"
     );
+}
+
+// ---- audit plane (DESIGN.md §5g) ----
+
+/// Fold `decisions` through a fresh audit stream and return the final
+/// chain hash (the detection-power oracle: any change to the decision
+/// sequence must move this value).
+fn chain_of(decisions: &[(u64, DecisionKind, u64, u64)]) -> u64 {
+    let a = audit::Audit::new(audit::DEFAULT_EPOCH_CYCLES);
+    let guard = a.install();
+    for &(cycle, kind, x, y) in decisions {
+        audit::record_at(cycle, kind, x, y);
+    }
+    drop(guard);
+    a.chain()
+}
+
+#[test]
+fn audit_export_is_byte_identical_across_fresh_threads() {
+    // The audit sink is thread-local; a fresh thread per run is exactly
+    // how the benches and the golden render it.
+    let run = || {
+        std::thread::spawn(|| {
+            let (_, audit) = pingpong::interdevice_audited(
+                CommScheme::LocalPutLocalGet,
+                8192,
+                1,
+                audit::DEFAULT_EPOCH_CYCLES,
+                None,
+                None,
+            );
+            audit.to_json()
+        })
+        .join()
+        .expect("run thread")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "VSCC_AUDIT export must be deterministic");
+    assert!(a.contains("\"schema\": \"vscc-audit-v1\""));
+    // The stream really covers the engine: scheduler, timers, payloads.
+    for kind in ["spawn", "poll", "wake", "timer_arm", "timer_fire", "payload"] {
+        assert!(a.contains(&format!("\"{kind}\":")), "no {kind} decisions audited");
+    }
+    assert_eq!(audit::diff_exports(&a, &b), Ok(None));
+}
+
+#[test]
+fn audit_does_not_perturb_the_run() {
+    // Same workload bare and audited: the virtual completion time must
+    // match exactly — the audit stream reads decisions, it never makes
+    // them.
+    let plain = pingpong::interdevice(CommScheme::LocalPutLocalGet, 8192, 2);
+    let (audited, audit) = pingpong::interdevice_audited(
+        CommScheme::LocalPutLocalGet,
+        8192,
+        2,
+        audit::DEFAULT_EPOCH_CYCLES,
+        None,
+        None,
+    );
+    assert!(audit.total_decisions() > 0, "the audited run must actually fold decisions");
+    assert_eq!(plain, audited, "auditing must not shift the virtual clock");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    /// Detection power: swapping two adjacent timer firings — the
+    /// classic wheel-ordering bug — flips the epoch digest.
+    #[test]
+    fn audit_detects_a_timer_reorder(
+        prefix in proptest::collection::vec(
+            (0usize..audit::KIND_COUNT, 0u64..1 << 32, 0u64..1 << 32), 0..16),
+        deadlines in proptest::collection::vec(1u64..1_000_000, 2..12),
+        swap in 0usize..10,
+    ) {
+        let mut base: Vec<(u64, DecisionKind, u64, u64)> = prefix
+            .iter()
+            .map(|&(k, a, b)| (0, DecisionKind::ALL[k], a, b))
+            .collect();
+        let fires = prefix.len();
+        // Timer pops carry (deadline, wheel seq): every pop is distinct.
+        base.extend(
+            deadlines.iter().enumerate().map(|(seq, &d)| {
+                (0, DecisionKind::TimerFire, d, seq as u64)
+            }),
+        );
+        let i = fires + swap % (deadlines.len() - 1);
+        let mut reordered = base.clone();
+        reordered.swap(i, i + 1);
+        prop_assert!(
+            chain_of(&base) != chain_of(&reordered),
+            "swapping timer pops {} and {} must change the digest", i, i + 1
+        );
+    }
+
+    /// Detection power: one extra (spurious) wake-up changes the digest.
+    #[test]
+    fn audit_detects_an_extra_wake(
+        base in proptest::collection::vec(
+            (0usize..audit::KIND_COUNT, 0u64..1 << 32, 0u64..1 << 32), 1..24),
+        at in 0usize..24,
+        task in 0u64..64,
+    ) {
+        let decisions: Vec<(u64, DecisionKind, u64, u64)> = base
+            .iter()
+            .map(|&(k, a, b)| (0, DecisionKind::ALL[k], a, b))
+            .collect();
+        let mut with_extra = decisions.clone();
+        with_extra.insert(at % (decisions.len() + 1), (0, DecisionKind::Wake, task, 0));
+        prop_assert!(
+            chain_of(&decisions) != chain_of(&with_extra),
+            "an injected wake must change the digest"
+        );
+    }
+
+    /// Detection power: flipping a single payload byte at a tunnel
+    /// boundary changes the epoch digest (the payload digest rides the
+    /// chain, so data corruption is as visible as scheduling drift).
+    #[test]
+    fn audit_detects_a_flipped_payload_byte(
+        bytes in proptest::collection::vec(any::<u8>(), 1..512),
+        flip in 0usize..512,
+        bit in 0u8..8,
+    ) {
+        let digest = |payload: &[u8]| {
+            let a = audit::Audit::new(audit::DEFAULT_EPOCH_CYCLES);
+            let guard = a.install();
+            audit::record_payload(0, payload);
+            drop(guard);
+            a.chain()
+        };
+        let mut flipped = bytes.clone();
+        let i = flip % bytes.len();
+        flipped[i] ^= 1 << bit;
+        prop_assert!(
+            digest(&bytes) != digest(&flipped),
+            "flipping byte {} must change the digest", i
+        );
+    }
+}
+
+/// The acceptance scenario: two runs differing ONLY in the fault-plan
+/// seed, bisected in two passes — plain exports name the first divergent
+/// epoch, zoomed reruns name the exact first divergent decision.
+#[test]
+fn seeded_divergence_is_bisected_to_the_first_decision() {
+    let run = |seed: u64, zoom: Option<u64>| {
+        std::thread::spawn(move || {
+            let spec = des::faultplan::FaultSpec::parse(&format!(
+                "seed={seed},corrupt=0.2,recovery=on,watchdog=20000000"
+            ))
+            .expect("valid fault spec");
+            let (_, audit) = pingpong::interdevice_audited(
+                CommScheme::LocalPutLocalGet,
+                8192,
+                1,
+                audit::DEFAULT_EPOCH_CYCLES,
+                zoom,
+                Some(spec),
+            );
+            audit.to_json()
+        })
+        .join()
+        .expect("run thread")
+    };
+
+    // Pass 1: plain exports -> first divergent epoch.
+    let (a, b) = (run(1, None), run(2, None));
+    let divergence = audit::diff_exports(&a, &b).expect("comparable exports");
+    let Some(audit::Divergence::Epoch { epoch, a: ca, b: cb }) = divergence else {
+        panic!("two seeds must diverge at epoch granularity, got {divergence:?}")
+    };
+    assert!(ca.is_some() && cb.is_some(), "both sides fold decisions in the divergent epoch");
+
+    // Pass 2: re-run both zoomed on that epoch -> first divergent decision.
+    let (az, bz) = (run(1, Some(epoch)), run(2, Some(epoch)));
+    assert!(az.contains("\"zoom_dropped\": 0"), "the zoom ring must hold the whole epoch");
+    assert!(bz.contains("\"zoom_dropped\": 0"), "the zoom ring must hold the whole epoch");
+    let divergence = audit::diff_exports(&az, &bz).expect("comparable zoomed exports");
+    let Some(audit::Divergence::Decision { index, a: da, b: db }) = divergence else {
+        panic!("zoomed exports must diverge at decision granularity, got {divergence:?}")
+    };
+    let (da, db) = (da.expect("side A decision"), db.expect("side B decision"));
+    // The runs differ only in the fault RNG seed, so the exact first
+    // divergent decision is the first fault-plan RNG draw: same kind,
+    // same virtual cycle, different drawn word.
+    assert_eq!(da.kind, "rng_draw", "decision #{index}: {da}");
+    assert_eq!(db.kind, "rng_draw", "decision #{index}: {db}");
+    assert_eq!(da.cycle, db.cycle, "the diverging draw happens at the same virtual time");
+    assert_ne!(da.a, db.a, "the drawn words must differ between seeds");
+    // And the decision really sits inside the named epoch.
+    let cadence = audit::DEFAULT_EPOCH_CYCLES;
+    assert!(da.cycle >= epoch * cadence && da.cycle < (epoch + 1) * cadence);
 }
 
 #[test]
