@@ -59,6 +59,10 @@ struct Recovered {
     retransmits: u64,
     demotions: u64,
     fallback_writes: u64,
+    /// Pairs probed back to the fast path (DESIGN.md §5h).
+    promotions: u64,
+    /// Mean demote→re-promote span in kcycles (0 when nothing healed).
+    heal_kcycles: f64,
     mbps: f64,
 }
 
@@ -98,12 +102,33 @@ fn stream_recovered(n_devices: u8, volume: usize, seed: u64) -> Recovered {
         .expect("recovered stream must complete");
     let end = out.iter().map(|&(_, t)| t).max().unwrap_or(0);
     let (_writes, lost) = v.host.fastack.stats();
+    // Mean demote→re-promote span across the run's health transitions:
+    // how long a demoted pair spends earning its way back (§5h).
+    let transitions = v.host.health.transitions();
+    let mut last_demote: std::collections::BTreeMap<(u8, u8), u64> = Default::default();
+    let (mut spans, mut healed) = (0u64, 0u64);
+    for t in &transitions {
+        match t.trigger {
+            "demote" => {
+                last_demote.insert(t.pair, t.time);
+            }
+            "promote" => {
+                if let Some(d) = last_demote.remove(&t.pair) {
+                    spans += t.time - d;
+                    healed += 1;
+                }
+            }
+            _ => {}
+        }
+    }
     Recovered {
         verified: out.iter().all(|&(ok, _)| ok),
         lost_acks: lost,
         retransmits: v.host.rstats.fastack_retransmits.get(),
         demotions: v.host.rstats.demotions.get(),
         fallback_writes: v.host.rstats.fallback_writes.get(),
+        promotions: v.host.health.promotions.get(),
+        heal_kcycles: if healed > 0 { spans as f64 / healed as f64 / 1000.0 } else { 0.0 },
         mbps: des::time::CORE_FREQ.mbytes_per_sec(volume as u64, end.max(1)),
     }
 }
@@ -170,7 +195,15 @@ fn main() {
         "\n{}",
         vscc_bench::header(
             "devices (with recovery)",
-            &["MB/s".into(), "lost".into(), "retrans".into(), "demoted".into(), "fb_writes".into()]
+            &[
+                "MB/s".into(),
+                "lost".into(),
+                "retrans".into(),
+                "demoted".into(),
+                "fb_writes".into(),
+                "healed".into(),
+                "t_heal(k)".into(),
+            ]
         )
     );
     let mut recovered_any_losses = 0u64;
@@ -194,6 +227,8 @@ fn main() {
                     r.retransmits as f64,
                     r.demotions as f64,
                     r.fallback_writes as f64,
+                    r.promotions as f64,
+                    r.heal_kcycles,
                 ]
             )
         );

@@ -18,7 +18,6 @@
 //!   with one daemon worker per device processing MMIO commands in order.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
 use std::rc::{Rc, Weak};
 
 use des::bytes::{pooled, Bytes};
@@ -36,6 +35,7 @@ use scc::geometry::{DeviceId, GlobalCore, MpbAddr};
 use scc::remote::{LocalBoxFuture, RegisterLine, RemoteFabric};
 use scc::LINE_BYTES;
 
+use crate::health::{HealthTracker, HealthTransition, PairHealth};
 use crate::hostwcb::HostWcb;
 use crate::mmio::{self, HostCmd};
 use crate::schemes::CommScheme;
@@ -98,6 +98,18 @@ pub struct RecoveryConfig {
     /// the commtask demotes the pair from remote-put to the host-acked
     /// path.
     pub fallback_threshold: u32,
+    /// Base interval between health-probe canaries on a demoted pair
+    /// (0 derives `probe_interval_base` from the model).
+    pub probe_interval: Cycles,
+    /// Cap of the exponential probe backoff (0 derives
+    /// `probe_interval_max` from the model).
+    pub probe_backoff_max: Cycles,
+    /// Consecutive successful canaries before a demoted pair re-promotes
+    /// to the fast path.
+    pub promote_after: u32,
+    /// Demotions of one pair before it is quarantined (permanent
+    /// fallback, prober retired).
+    pub quarantine_after: u32,
 }
 
 impl Default for RecoveryConfig {
@@ -109,6 +121,10 @@ impl Default for RecoveryConfig {
             backoff_max: 0,
             max_retries: 6,
             fallback_threshold: 3,
+            probe_interval: 0,
+            probe_backoff_max: 0,
+            promote_after: 3,
+            quarantine_after: 5,
         }
     }
 }
@@ -126,6 +142,12 @@ impl RecoveryConfig {
         }
         if self.backoff_max == 0 {
             self.backoff_max = 16 * self.backoff_base;
+        }
+        if self.probe_interval == 0 {
+            self.probe_interval = model.probe_interval_base();
+        }
+        if self.probe_backoff_max == 0 {
+            self.probe_backoff_max = model.probe_interval_max();
         }
         self
     }
@@ -226,10 +248,11 @@ pub struct HostSide {
     pub recovery: RecoveryConfig,
     /// The installed fault plan (`None` on the zero-perturbation path).
     faults: Option<Rc<FaultPlan>>,
-    /// Device pairs demoted from remote-put to the host-acked path.
-    demoted: RefCell<HashSet<(u8, u8)>>,
-    /// Consecutive lossy posted-write bursts per device pair.
-    ack_streak: RefCell<HashMap<(u8, u8), u32>>,
+    /// Per-pair health FSM, probe schedule, and RT estimates (the
+    /// self-healing plane — DESIGN.md §5h). Always constructed; its
+    /// metrics register only when a fault plan is active, and probers
+    /// only spawn after a demotion, so fault-free runs are untouched.
+    pub health: HealthTracker,
     /// Per-destination-device delivery chain: each posted delivery
     /// (payload forward or flag forward) swaps in a fresh latch and waits
     /// on its predecessor's, so installs happen in issue order even when
@@ -280,11 +303,15 @@ impl HostSide {
         let rstats = RecoveryStats::default();
         rstats.register(registry);
         let recovery = cfg.recovery.clone().resolve(&cfg.model, &cfg.faults);
+        let health = HealthTracker::new();
         // An inactive spec builds no plan: every fault hook stays on its
-        // zero-cost `None` path and no RNG stream is ever created.
+        // zero-cost `None` path and no RNG stream is ever created. The
+        // health metrics follow the same rule — registered only when a
+        // plan is active, so fault-free snapshots stay byte-identical.
         let faults = cfg.faults.is_active().then(|| {
             let plan = Rc::new(FaultPlan::new(cfg.faults.clone(), trace.clone()));
             plan.register_metrics(registry);
+            health.register(registry);
             fabric.set_faults(&plan);
             plan
         });
@@ -314,8 +341,7 @@ impl HostSide {
             rstats,
             recovery,
             faults,
-            demoted: RefCell::new(HashSet::new()),
-            ack_streak: RefCell::new(HashMap::new()),
+            health,
             delivery_chain: (0..n_devices)
                 .map(|_| RefCell::new(Rc::new(des::sync::Latch::new(0))))
                 .collect(),
@@ -450,9 +476,14 @@ impl HostSide {
     /// transfer delivers whatever the wire produced), or `None` when the
     /// transfer is lost for good — dropped without recovery, or retries
     /// exhausted. Without a plan this is a zero-cost pass-through.
+    ///
+    /// `pair` keys the adaptive retry timeout: once the health tracker
+    /// has RT samples for the pair, its EWMA-derived budget (clamped to
+    /// the model's floor/ceiling) replaces the static 4×RT default.
     async fn tunnel_transfer(
         &self,
         dev: DeviceId,
+        pair: (u8, u8),
         to_device: bool,
         data: &Bytes,
         flow: Option<u64>,
@@ -481,8 +512,15 @@ impl HostSide {
                         // check fails) downstream.
                         return None;
                     }
-                    // Nothing arrives; the per-request timer expires.
-                    sim.delay(self.recovery.timeout_cycles).await;
+                    // Nothing arrives; the per-request timer expires
+                    // (adaptive per-pair budget once samples exist).
+                    sim.delay(self.health.timeout_for(
+                        pair,
+                        self.recovery.timeout_cycles,
+                        self.cfg.model.adaptive_timeout_floor(),
+                        self.cfg.model.adaptive_timeout_ceiling(),
+                    ))
+                    .await;
                 }
                 Some(TlpFault::Corrupt) => {
                     let mut wire = data.clone();
@@ -550,7 +588,14 @@ impl HostSide {
             let buf =
                 self.device(owner.device).mpb(owner.core).read_bytes(offset as usize + lo, hi - lo);
             let delivered = match self
-                .tunnel_transfer(owner.device, false, &buf, flow, &self.rstats.prefetch_retries)
+                .tunnel_transfer(
+                    owner.device,
+                    (owner.device.0, owner.device.0),
+                    false,
+                    &buf,
+                    flow,
+                    &self.rstats.prefetch_retries,
+                )
                 .await
             {
                 Some(bytes) => bytes,
@@ -690,8 +735,21 @@ impl HostSide {
         self.trace.end_f(sim.now(), Category::Pcie, "pcie_wire", flow, || {
             self.commtask_label(src.device.0)
         });
-        let delivered =
-            self.tunnel_transfer(dst.device, true, &data, flow, &self.rstats.vdma_retries).await;
+        if self.faults.is_some() {
+            // Feed the pair's RT estimate with the measured wire window
+            // (faulty runs only: the fault-free path stays untouched).
+            self.health.note_rt_sample((src.device.0, dst.device.0), sim.now() - wire_start);
+        }
+        let delivered = self
+            .tunnel_transfer(
+                dst.device,
+                (src.device.0, dst.device.0),
+                true,
+                &data,
+                flow,
+                &self.rstats.vdma_retries,
+            )
+            .await;
         if delivered.is_none() && self.recovery.enabled {
             // Retries exhausted: deliver nothing — neither payload nor
             // completion flag — so the receiver's poll watchdog turns the
@@ -805,14 +863,28 @@ impl HostSide {
     ) {
         let sim = self.sim.clone();
         let host = self.clone();
+        let pair = (src.device.0, addr.owner.device.0);
+        let issue = sim.now();
         self.fabric.host_mem.reserve(&sim, data.len() as u64);
         let arrival = self.fabric.port(addr.owner.device).ingress.reserve(&sim, data.len() as u64);
+        if self.faults.is_some() {
+            // Observed transfer window (queueing + wire) feeds the pair's
+            // adaptive-timeout EWMA; fault-free runs never sample.
+            self.health.note_rt_sample(pair, arrival - issue);
+        }
         let (prev, next) = self.delivery_ticket(addr.owner.device);
         self.sim.spawn_named("payload-forward", async move {
             prev.wait().await;
             sim.delay_until(arrival).await;
             let Some(bytes) = host
-                .tunnel_transfer(addr.owner.device, true, &data, flow, &host.rstats.payload_retries)
+                .tunnel_transfer(
+                    addr.owner.device,
+                    pair,
+                    true,
+                    &data,
+                    flow,
+                    &host.rstats.payload_retries,
+                )
                 .await
             else {
                 // Lost for good. The chain latch is deliberately left
@@ -989,7 +1061,7 @@ impl RemoteFabric for HostSide {
                 }
                 CommScheme::RemotePutHwAck => {
                     let pair = (src.device.0, addr.owner.device.0);
-                    if self.demoted.borrow().contains(&pair) {
+                    if self.health.is_fallback(pair) {
                         // Demoted pair: the unstable posted stream is
                         // replaced by the safe host-acked forward (the
                         // local-put delivery path). Slower, but every
@@ -1233,35 +1305,118 @@ impl HostSide {
         self.me.upgrade().expect("HostSide alive while its methods run")
     }
 
-    /// Device pairs the commtask has demoted from remote-put to the
-    /// host-acked fallback path, as `(src_device, dst_device)` ids.
+    /// Device pairs currently routed through the host-acked fallback path
+    /// (Degraded, Probing, or Quarantined), as `(src_device, dst_device)`
+    /// ids, sorted.
     pub fn demoted_pairs(&self) -> Vec<(u8, u8)> {
-        let mut v: Vec<_> = self.demoted.borrow().iter().copied().collect();
-        v.sort_unstable();
-        v
+        self.health.fallback_pairs()
+    }
+
+    /// Snapshot of every tracked pair's health state, sorted by pair.
+    pub fn health_states(&self) -> Vec<((u8, u8), PairHealth)> {
+        self.health.states()
     }
 
     /// Track consecutive lossy posted-write bursts per device pair; at
     /// the configured threshold the pair is demoted to the host-acked
-    /// fallback path and the transition recorded.
+    /// fallback path, the transition recorded, and a canary prober
+    /// spawned to earn the pair's way back (DESIGN.md §5h).
     fn note_ack_result(self: &Rc<Self>, pair: (u8, u8), lossy: bool, flow: Option<u64>) {
-        let mut streaks = self.ack_streak.borrow_mut();
-        let streak = streaks.entry(pair).or_insert(0);
-        if !lossy {
-            *streak = 0;
+        if !self.health.note_ack_burst(pair, lossy, self.recovery.fallback_threshold) {
             return;
         }
-        *streak += 1;
-        if *streak >= self.recovery.fallback_threshold && self.demoted.borrow_mut().insert(pair) {
-            self.rstats.demotions.inc();
-            self.trace.instant_f(
+        let tr = self
+            .health
+            .demote(
                 self.sim.now(),
-                Category::Fault,
-                "fallback_demote",
-                flow,
-                || "host-recovery",
-                || fields![src_dev = pair.0 as u64, dst_dev = pair.1 as u64],
-            );
+                pair,
+                self.recovery.probe_interval,
+                self.recovery.quarantine_after,
+            )
+            .expect("note_ack_burst fired on a Healthy pair");
+        self.rstats.demotions.inc();
+        // The legacy Fault-category instant stays for trace consumers
+        // that predate the Health category.
+        self.trace.instant_f(
+            self.sim.now(),
+            Category::Fault,
+            "fallback_demote",
+            flow,
+            || "host-recovery",
+            || fields![src_dev = pair.0 as u64, dst_dev = pair.1 as u64],
+        );
+        self.emit_health(&tr, flow);
+        if self.health.state(pair) == PairHealth::Degraded {
+            self.spawn_prober(pair);
         }
+    }
+
+    /// Record a health transition as a `Health`-category trace instant
+    /// and an audit-stream fault decision (so audited reruns bisect
+    /// divergent healing behaviour like any other scheduler decision).
+    fn emit_health(&self, tr: &HealthTransition, flow: Option<u64>) {
+        des::audit::record_fault(tr.time, tr.trigger, ((tr.pair.0 as u64) << 8) | tr.pair.1 as u64);
+        let trigger = tr.trigger;
+        let (from, to) = (tr.from, tr.to);
+        let pair = tr.pair;
+        self.trace.instant_f(
+            tr.time,
+            Category::Health,
+            trigger,
+            flow,
+            || "host-health",
+            || {
+                fields![
+                    src_dev = pair.0 as u64,
+                    dst_dev = pair.1 as u64,
+                    from = from.name(),
+                    to = to.name()
+                ]
+            },
+        );
+    }
+
+    /// Spawn the canary prober daemon for a freshly demoted pair. One
+    /// prober per pair at a time (`try_start_prober` claims it); the
+    /// daemon retires when the pair re-promotes or quarantines. Probes
+    /// are one-line egress transfers on the source port judged by the
+    /// fast-ack model's *probe* stream, so they never perturb the
+    /// application-visible RNG sequences or ack counters.
+    fn spawn_prober(self: &Rc<Self>, pair: (u8, u8)) {
+        if !self.health.try_start_prober(pair) {
+            return;
+        }
+        let this = self.rc_self();
+        let sim = self.sim.clone();
+        self.sim.spawn_daemon(format!("health-probe-d{}-d{}", pair.0, pair.1), async move {
+            loop {
+                sim.delay(this.health.probe_interval(pair)).await;
+                let Some(tr) = this.health.begin_probe(sim.now(), pair) else {
+                    // Promoted or quarantined since the last wake-up.
+                    break;
+                };
+                this.emit_health(&tr, None);
+                let sport = this.fabric.port(DeviceId(pair.0));
+                sport.egress.transfer(&sim, LINE_BYTES as u64).await;
+                sim.delay(this.cfg.model.sw_answer_cycles).await;
+                if this.fastack.on_probe_write(sim.now()) {
+                    let tr = this.health.note_probe_fail(
+                        sim.now(),
+                        pair,
+                        this.recovery.probe_backoff_max,
+                    );
+                    this.emit_health(&tr, None);
+                } else if let Some(tr) = this.health.note_probe_ok(
+                    sim.now(),
+                    pair,
+                    this.recovery.promote_after,
+                    this.recovery.probe_interval,
+                ) {
+                    this.emit_health(&tr, None);
+                    break;
+                }
+            }
+            this.health.prober_done(pair);
+        });
     }
 }

@@ -18,12 +18,16 @@
 //!   registers fused into one 32 B write ([`mmio`], [`host`]), enabling the
 //!   new *local-put / local-get* scheme;
 //! * a **direct-transfer threshold** recovering low latency for small
-//!   messages (§3.3).
+//!   messages (§3.3);
+//! * a **self-healing communication plane** ([`health`]) layered over the
+//!   recovery path: per-pair health FSM, canary re-promotion probing, and
+//!   adaptive retry timeouts (beyond the paper — DESIGN.md §5h).
 //!
 //! [`schemes`] packages all of this as drop-in inter-device protocols for
 //! the RCCE session layer; [`system`] builds complete vSCC machines.
 
 pub mod async_ext;
+pub mod health;
 pub mod host;
 pub mod hostwcb;
 pub mod mmio;

@@ -110,6 +110,15 @@ impl VsccBuilder {
         self
     }
 
+    /// Replace the whole recovery configuration (thresholds, probe
+    /// cadence, promotion/quarantine counts — see
+    /// [`host::RecoveryConfig`](crate::host::RecoveryConfig)). Zero
+    /// timing fields still derive from the PCIe model at build time.
+    pub fn recovery_config(mut self, cfg: crate::host::RecoveryConfig) -> Self {
+        self.host_cfg.recovery = cfg;
+        self
+    }
+
     /// Abort any single RCCE flag wait exceeding `limit` cycles with a
     /// diagnosed timeout (threads through to sessions built from this
     /// system).

@@ -40,11 +40,34 @@
 //! mmio_stuck=0.001       register write silently dropped
 //! mmio_garble=0.001      register write bit-flipped in flight
 //! stall=5000@300000      commtask stalls 5000 cycles every 300000
+//! until=3000000          global end: no fault fires at/after this cycle
 //! recovery=on            enable the host recovery layer (default off)
 //! watchdog=2000000       flag-poll watchdog budget in cycles
 //! ```
 //!
 //! Example: `VSCC_FAULTS=seed=3,corrupt=0.01,recovery=on,watchdog=2000000`.
+//!
+//! ## Phase bounds
+//!
+//! Every injection key can carry a trailing `@<start>..<end>` [`Phase`]
+//! bound restricting it to a virtual-clock window: the fault fires only
+//! for `start <= now < end` (either side may be omitted — `@..50000`
+//! means "until cycle 50 000", `@50000..` means "from cycle 50 000 on").
+//! `until=<cycle>` bounds *all* keys at once. Examples:
+//!
+//! ```text
+//! ackloss=0.9@..3000000      ack storm that ends at cycle 3 000 000
+//! drop=0.05@1000000..2000000 drops only inside the window
+//! delay=0.1:2000@..50000     per-key phase composes with `:`-values
+//! linkdown=1000@200000@0..9000000   ...and with `@`-window values
+//! ```
+//!
+//! Out-of-phase cycles draw from no RNG stream at all — a phase bound is
+//! pure clock arithmetic, so the draw sequence inside the window is
+//! independent of how much fault-free time surrounds it. This is what
+//! lets a *storm-then-quiet* plan model a transient fault burst that
+//! ends, which the self-healing layer (`vscc::health`) needs in order to
+//! demonstrate demote → probe → re-promote arcs.
 
 use std::cell::RefCell;
 use std::fmt;
@@ -54,6 +77,46 @@ use crate::rng::DetRng;
 use crate::stats::Counter;
 use crate::time::Cycles;
 use crate::trace::{Category, Trace};
+
+/// A virtual-clock window bounding one injection key: the fault fires
+/// only while `start <= now < end`. [`Phase::ALWAYS`] (the default) is
+/// unbounded. Parsed from a trailing `@<start>..<end>` on the key's
+/// value; both sides optional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase {
+    /// First cycle (inclusive) at which the fault may fire.
+    pub start: Cycles,
+    /// First cycle (exclusive) at which it stops firing; `None` = never.
+    pub end: Option<Cycles>,
+}
+
+impl Phase {
+    /// The unbounded phase: active on every cycle.
+    pub const ALWAYS: Phase = Phase { start: 0, end: None };
+
+    /// Whether `now` falls inside this phase.
+    pub fn contains(&self, now: Cycles) -> bool {
+        now >= self.start && self.end.is_none_or(|e| now < e)
+    }
+
+    /// The canonical `@start..end` suffix, empty for [`Phase::ALWAYS`].
+    fn suffix(&self) -> String {
+        if *self == Phase::ALWAYS {
+            String::new()
+        } else {
+            match self.end {
+                Some(end) => format!("@{}..{}", self.start, end),
+                None => format!("@{}..", self.start),
+            }
+        }
+    }
+}
+
+impl Default for Phase {
+    fn default() -> Self {
+        Phase::ALWAYS
+    }
+}
 
 /// Seeded fault-injection configuration. Plain data: carried in host
 /// configs, comparable, and parseable from the `VSCC_FAULTS` env spec.
@@ -85,6 +148,24 @@ pub struct FaultSpec {
     pub stall_duration: Cycles,
     /// Period of the commtask stall windows.
     pub stall_period: Cycles,
+    /// Phase bound of the TLP drop fault.
+    pub tlp_drop_phase: Phase,
+    /// Phase bound of the TLP corruption fault.
+    pub tlp_corrupt_phase: Phase,
+    /// Phase bound of the TLP delay fault.
+    pub tlp_delay_phase: Phase,
+    /// Phase bound of the link-down windows.
+    pub link_phase: Phase,
+    /// Phase bound of the injected fast-ack loss.
+    pub ack_phase: Phase,
+    /// Phase bound of the stuck-MMIO fault.
+    pub mmio_stuck_phase: Phase,
+    /// Phase bound of the garbled-MMIO fault.
+    pub mmio_garble_phase: Phase,
+    /// Phase bound of the commtask stall windows.
+    pub stall_phase: Phase,
+    /// Global end of all injection: no fault fires at/after this cycle.
+    pub until: Option<Cycles>,
     /// Enable the host recovery layer (checksum verify + retry/backoff,
     /// MMIO guard verify + re-issue, fast-ack retransmit + fallback).
     pub recovery: bool,
@@ -109,6 +190,15 @@ impl FaultSpec {
             mmio_garble_p: 0.0,
             stall_duration: 0,
             stall_period: 0,
+            tlp_drop_phase: Phase::ALWAYS,
+            tlp_corrupt_phase: Phase::ALWAYS,
+            tlp_delay_phase: Phase::ALWAYS,
+            link_phase: Phase::ALWAYS,
+            ack_phase: Phase::ALWAYS,
+            mmio_stuck_phase: Phase::ALWAYS,
+            mmio_garble_phase: Phase::ALWAYS,
+            stall_phase: Phase::ALWAYS,
+            until: None,
             recovery: false,
             watchdog: None,
         }
@@ -152,29 +242,79 @@ impl FaultSpec {
             }
             Ok((dur, per))
         }
+        fn phase(key: &str, s: &str) -> Result<Phase, String> {
+            let (start, end) = s
+                .split_once("..")
+                .ok_or_else(|| format!("{key}: expected @<start>..<end> phase, got {s:?}"))?;
+            let start = if start.is_empty() { 0 } else { cycles(key, start)? };
+            let end = if end.is_empty() { None } else { Some(cycles(key, end)?) };
+            if let Some(e) = end {
+                if e <= start {
+                    return Err(format!("{key}: phase end {e} must exceed start {start}"));
+                }
+            }
+            Ok(Phase { start, end })
+        }
+        /// Split a trailing `@start..end` phase bound off `v`, if present.
+        /// Only the *last* `@` segment is a candidate, and only when it
+        /// contains `..` — so window values like `1000@200000` (and
+        /// phased windows like `1000@200000@0..9000`) parse unambiguously.
+        fn split_phase<'v>(key: &str, v: &'v str) -> Result<(&'v str, Phase), String> {
+            match v.rsplit_once('@') {
+                Some((base, tail)) if tail.contains("..") => Ok((base, phase(key, tail)?)),
+                _ => Ok((v, Phase::ALWAYS)),
+            }
+        }
 
         let mut out = FaultSpec::none();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (key, value) =
                 part.split_once('=').ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+            let (value, key_phase) = split_phase(key, value)?;
+            if key_phase != Phase::ALWAYS
+                && matches!(key, "seed" | "until" | "recovery" | "watchdog")
+            {
+                return Err(format!("{key}: key does not take a @start..end phase bound"));
+            }
             match key {
                 "seed" => out.seed = cycles("seed", value)?,
-                "drop" => out.tlp_drop_p = prob("drop", value)?,
-                "corrupt" => out.tlp_corrupt_p = prob("corrupt", value)?,
+                "drop" => {
+                    out.tlp_drop_p = prob("drop", value)?;
+                    out.tlp_drop_phase = key_phase;
+                }
+                "corrupt" => {
+                    out.tlp_corrupt_p = prob("corrupt", value)?;
+                    out.tlp_corrupt_phase = key_phase;
+                }
                 "delay" => {
                     let (p, cyc) = value
                         .split_once(':')
                         .ok_or_else(|| format!("delay: expected <p>:<cycles>, got {value:?}"))?;
                     out.tlp_delay_p = prob("delay", p)?;
                     out.tlp_delay_cycles = cycles("delay", cyc)?;
+                    out.tlp_delay_phase = key_phase;
                 }
                 "linkdown" => {
                     (out.link_down_duration, out.link_down_period) = window("linkdown", value)?;
+                    out.link_phase = key_phase;
                 }
-                "ackloss" => out.ack_loss_p = prob("ackloss", value)?,
-                "mmio_stuck" => out.mmio_stuck_p = prob("mmio_stuck", value)?,
-                "mmio_garble" => out.mmio_garble_p = prob("mmio_garble", value)?,
-                "stall" => (out.stall_duration, out.stall_period) = window("stall", value)?,
+                "ackloss" => {
+                    out.ack_loss_p = prob("ackloss", value)?;
+                    out.ack_phase = key_phase;
+                }
+                "mmio_stuck" => {
+                    out.mmio_stuck_p = prob("mmio_stuck", value)?;
+                    out.mmio_stuck_phase = key_phase;
+                }
+                "mmio_garble" => {
+                    out.mmio_garble_p = prob("mmio_garble", value)?;
+                    out.mmio_garble_phase = key_phase;
+                }
+                "stall" => {
+                    (out.stall_duration, out.stall_period) = window("stall", value)?;
+                    out.stall_phase = key_phase;
+                }
+                "until" => out.until = Some(cycles("until", value)?),
                 "recovery" => {
                     out.recovery = match value {
                         "on" | "true" | "1" => true,
@@ -200,28 +340,58 @@ impl fmt::Display for FaultSpec {
         };
         put(f, format!("seed={}", self.seed))?;
         if self.tlp_drop_p > 0.0 {
-            put(f, format!("drop={}", self.tlp_drop_p))?;
+            put(f, format!("drop={}{}", self.tlp_drop_p, self.tlp_drop_phase.suffix()))?;
         }
         if self.tlp_corrupt_p > 0.0 {
-            put(f, format!("corrupt={}", self.tlp_corrupt_p))?;
+            put(f, format!("corrupt={}{}", self.tlp_corrupt_p, self.tlp_corrupt_phase.suffix()))?;
         }
         if self.tlp_delay_p > 0.0 {
-            put(f, format!("delay={}:{}", self.tlp_delay_p, self.tlp_delay_cycles))?;
+            put(
+                f,
+                format!(
+                    "delay={}:{}{}",
+                    self.tlp_delay_p,
+                    self.tlp_delay_cycles,
+                    self.tlp_delay_phase.suffix()
+                ),
+            )?;
         }
         if self.link_down_duration > 0 {
-            put(f, format!("linkdown={}@{}", self.link_down_duration, self.link_down_period))?;
+            put(
+                f,
+                format!(
+                    "linkdown={}@{}{}",
+                    self.link_down_duration,
+                    self.link_down_period,
+                    self.link_phase.suffix()
+                ),
+            )?;
         }
         if self.ack_loss_p > 0.0 {
-            put(f, format!("ackloss={}", self.ack_loss_p))?;
+            put(f, format!("ackloss={}{}", self.ack_loss_p, self.ack_phase.suffix()))?;
         }
         if self.mmio_stuck_p > 0.0 {
-            put(f, format!("mmio_stuck={}", self.mmio_stuck_p))?;
+            put(f, format!("mmio_stuck={}{}", self.mmio_stuck_p, self.mmio_stuck_phase.suffix()))?;
         }
         if self.mmio_garble_p > 0.0 {
-            put(f, format!("mmio_garble={}", self.mmio_garble_p))?;
+            put(
+                f,
+                format!("mmio_garble={}{}", self.mmio_garble_p, self.mmio_garble_phase.suffix()),
+            )?;
         }
         if self.stall_duration > 0 {
-            put(f, format!("stall={}@{}", self.stall_duration, self.stall_period))?;
+            put(
+                f,
+                format!(
+                    "stall={}@{}{}",
+                    self.stall_duration,
+                    self.stall_period,
+                    self.stall_phase.suffix()
+                ),
+            )?;
+        }
+        if let Some(u) = self.until {
+            put(f, format!("until={u}"))?;
         }
         if self.recovery {
             put(f, "recovery=on".to_string())?;
@@ -287,6 +457,9 @@ pub struct FaultPlan {
     mmio_rng: RefCell<DetRng>,
     ack_rng: RefCell<DetRng>,
     garble_rng: RefCell<DetRng>,
+    /// Dedicated stream for health-probe canary writes, so probe traffic
+    /// can never shift the draw sequence any application write sees.
+    probe_rng: RefCell<DetRng>,
     trace: Trace,
     /// Tunnel transfers dropped (`pcie.fault.tlp_dropped`).
     pub tlp_dropped: Counter,
@@ -319,6 +492,7 @@ impl FaultPlan {
             mmio_rng: RefCell::new(root.fork(2)),
             ack_rng: RefCell::new(root.fork(3)),
             garble_rng: RefCell::new(root.fork(4)),
+            probe_rng: RefCell::new(root.fork(5)),
             spec,
             trace,
             tlp_dropped: Counter::new(),
@@ -355,22 +529,38 @@ impl FaultPlan {
         self.trace.instant_f(now, Category::Fault, kind, flow, || "fault", Vec::new);
     }
 
+    /// Whether `key_phase` (and the global `until=` bound) admits an
+    /// injection at `now`. Pure clock arithmetic: out-of-phase cycles
+    /// cost no RNG draw.
+    fn in_phase(&self, key_phase: Phase, now: Cycles) -> bool {
+        key_phase.contains(now) && self.spec.until.is_none_or(|u| now < u)
+    }
+
     /// Draw the fault (if any) for one tunnel payload transfer. At most
     /// one fault fires per transfer, checked drop → corrupt → delay; a
-    /// zero rate skips its draw entirely.
+    /// zero rate (or an out-of-phase cycle) skips its draw entirely.
     pub fn tlp_fault(&self, now: Cycles, flow: Option<u64>) -> Option<TlpFault> {
         let mut rng = self.tlp_rng.borrow_mut();
-        if self.spec.tlp_drop_p > 0.0 && rng.chance(self.spec.tlp_drop_p) {
+        if self.spec.tlp_drop_p > 0.0
+            && self.in_phase(self.spec.tlp_drop_phase, now)
+            && rng.chance(self.spec.tlp_drop_p)
+        {
             self.tlp_dropped.inc();
             self.note(now, "tlp_drop", flow);
             return Some(TlpFault::Drop);
         }
-        if self.spec.tlp_corrupt_p > 0.0 && rng.chance(self.spec.tlp_corrupt_p) {
+        if self.spec.tlp_corrupt_p > 0.0
+            && self.in_phase(self.spec.tlp_corrupt_phase, now)
+            && rng.chance(self.spec.tlp_corrupt_p)
+        {
             self.tlp_corrupted.inc();
             self.note(now, "tlp_corrupt", flow);
             return Some(TlpFault::Corrupt);
         }
-        if self.spec.tlp_delay_p > 0.0 && rng.chance(self.spec.tlp_delay_p) {
+        if self.spec.tlp_delay_p > 0.0
+            && self.in_phase(self.spec.tlp_delay_phase, now)
+            && rng.chance(self.spec.tlp_delay_p)
+        {
             self.tlp_delayed.inc();
             self.note(now, "tlp_delay", flow);
             return Some(TlpFault::Delay(self.spec.tlp_delay_cycles));
@@ -398,6 +588,9 @@ impl FaultPlan {
     /// link comes back up. Pure arithmetic over the clock — no RNG, no
     /// timers when the window spec is zero.
     pub fn link_down_until(&self, now: Cycles) -> Option<Cycles> {
+        if !self.in_phase(self.spec.link_phase, now) {
+            return None;
+        }
         Self::window_end(now, self.spec.link_down_duration, self.spec.link_down_period).inspect(
             |_| {
                 self.link_down_waits.inc();
@@ -408,6 +601,9 @@ impl FaultPlan {
 
     /// If `now` falls in a commtask stall window, when the stall ends.
     pub fn stall_until(&self, now: Cycles) -> Option<Cycles> {
+        if !self.in_phase(self.spec.stall_phase, now) {
+            return None;
+        }
         Self::window_end(now, self.spec.stall_duration, self.spec.stall_period).inspect(|_| {
             self.commtask_stalls.inc();
             self.note(now, "commtask_stall", None);
@@ -425,12 +621,18 @@ impl FaultPlan {
     /// Draw the fault (if any) for one MMIO register write.
     pub fn mmio_fault(&self, now: Cycles) -> Option<MmioFault> {
         let mut rng = self.mmio_rng.borrow_mut();
-        if self.spec.mmio_stuck_p > 0.0 && rng.chance(self.spec.mmio_stuck_p) {
+        if self.spec.mmio_stuck_p > 0.0
+            && self.in_phase(self.spec.mmio_stuck_phase, now)
+            && rng.chance(self.spec.mmio_stuck_p)
+        {
             self.mmio_stuck.inc();
             self.note(now, "mmio_stuck", None);
             return Some(MmioFault::Stuck);
         }
-        if self.spec.mmio_garble_p > 0.0 && rng.chance(self.spec.mmio_garble_p) {
+        if self.spec.mmio_garble_p > 0.0
+            && self.in_phase(self.spec.mmio_garble_phase, now)
+            && rng.chance(self.spec.mmio_garble_p)
+        {
             self.mmio_garbled.inc();
             self.note(now, "mmio_garble", None);
             return Some(MmioFault::Garble);
@@ -440,8 +642,20 @@ impl FaultPlan {
 
     /// Draw the injected extra fast-ack loss for one posted write. Uses
     /// its own stream so `FastAck`'s legacy draw sequence is untouched.
-    pub fn extra_ack_loss(&self) -> bool {
-        self.spec.ack_loss_p > 0.0 && self.ack_rng.borrow_mut().chance(self.spec.ack_loss_p)
+    pub fn extra_ack_loss(&self, now: Cycles) -> bool {
+        self.spec.ack_loss_p > 0.0
+            && self.in_phase(self.spec.ack_phase, now)
+            && self.ack_rng.borrow_mut().chance(self.spec.ack_loss_p)
+    }
+
+    /// Draw the injected ack loss for one health-probe canary write.
+    /// Same rate and phase bounds as [`FaultPlan::extra_ack_loss`], but a
+    /// dedicated stream: however many probes the health layer sends, the
+    /// draw sequence seen by application writes is unchanged.
+    pub fn probe_ack_loss(&self, now: Cycles) -> bool {
+        self.spec.ack_loss_p > 0.0
+            && self.in_phase(self.spec.ack_phase, now)
+            && self.probe_rng.borrow_mut().chance(self.spec.ack_loss_p)
     }
 
     /// Record one lost fast-ack (base instability or injected) in
@@ -494,6 +708,82 @@ mod tests {
         assert!(FaultSpec::parse("delay=0.1").is_err());
         assert!(FaultSpec::parse("bogus=1").is_err());
         assert!(FaultSpec::parse("recovery=maybe").is_err());
+        // Phase bounds: empty window, backwards window, non-phase key.
+        assert!(FaultSpec::parse("drop=0.1@500..500").is_err());
+        assert!(FaultSpec::parse("drop=0.1@900..500").is_err());
+        assert!(FaultSpec::parse("drop=0.1@a..b").is_err());
+        assert!(FaultSpec::parse("seed=7@1..2").is_err());
+        assert!(FaultSpec::parse("until=5@1..2").is_err());
+        assert!(FaultSpec::parse("until=x").is_err());
+    }
+
+    #[test]
+    fn parse_phase_bounds() {
+        let s = FaultSpec::parse(
+            "seed=3,drop=0.05@1000..2000,delay=0.1:2000@..50000,\
+             linkdown=1000@200000@0..9000000,ackloss=0.9@30000..,until=3000000",
+        )
+        .unwrap();
+        assert_eq!(s.tlp_drop_phase, Phase { start: 1000, end: Some(2000) });
+        assert_eq!(s.tlp_delay_phase, Phase { start: 0, end: Some(50_000) });
+        assert_eq!(s.link_phase, Phase { start: 0, end: Some(9_000_000) });
+        assert_eq!((s.link_down_duration, s.link_down_period), (1000, 200_000));
+        assert_eq!(s.ack_phase, Phase { start: 30_000, end: None });
+        assert_eq!(s.until, Some(3_000_000));
+        // Display → parse roundtrip with every phase shape present.
+        assert_eq!(FaultSpec::parse(&s.to_string()).unwrap(), s);
+    }
+
+    #[test]
+    fn phases_gate_draws_without_touching_streams() {
+        // A storm that ends: in-window draws match an unbounded plan's
+        // draws exactly (the phase gate sits before the RNG), and
+        // out-of-window cycles draw nothing.
+        let bounded = FaultSpec::parse("seed=9,drop=0.5@100..200").unwrap();
+        let unbounded = FaultSpec::parse("seed=9,drop=0.5").unwrap();
+        let pb = FaultPlan::new(bounded, Trace::disabled());
+        let pu = FaultPlan::new(unbounded, Trace::disabled());
+        for now in 0..300u64 {
+            let b = pb.tlp_fault(now, None);
+            if (100..200).contains(&now) {
+                assert_eq!(b, pu.tlp_fault(now, None));
+            } else {
+                assert_eq!(b, None, "fault fired out of phase at {now}");
+            }
+        }
+        assert!(pb.tlp_dropped.get() > 0);
+    }
+
+    #[test]
+    fn until_ends_all_injection() {
+        let spec = FaultSpec::parse("seed=2,ackloss=1.0,until=50").unwrap();
+        let plan = FaultPlan::new(spec, Trace::disabled());
+        assert!(plan.extra_ack_loss(49));
+        assert!(!plan.extra_ack_loss(50));
+        assert!(!plan.extra_ack_loss(1_000_000));
+        assert!(plan.probe_ack_loss(49));
+        assert!(!plan.probe_ack_loss(50));
+    }
+
+    #[test]
+    fn probe_stream_is_independent_of_ack_stream() {
+        // Interleaving probe draws between ack draws must not change the
+        // ack sequence (and vice versa): separate forked streams.
+        let spec = FaultSpec::parse("seed=6,ackloss=0.5").unwrap();
+        let plain: Vec<bool> = {
+            let plan = FaultPlan::new(spec.clone(), Trace::disabled());
+            (0..200).map(|i| plan.extra_ack_loss(i)).collect()
+        };
+        let interleaved: Vec<bool> = {
+            let plan = FaultPlan::new(spec, Trace::disabled());
+            (0..200)
+                .map(|i| {
+                    let _ = plan.probe_ack_loss(i);
+                    plan.extra_ack_loss(i)
+                })
+                .collect()
+        };
+        assert_eq!(plain, interleaved);
     }
 
     #[test]
@@ -520,7 +810,8 @@ mod tests {
         for i in 0..1000u64 {
             assert_eq!(plan.tlp_fault(i, None), None);
             assert_eq!(plan.mmio_fault(i), None);
-            assert!(!plan.extra_ack_loss());
+            assert!(!plan.extra_ack_loss(i));
+            assert!(!plan.probe_ack_loss(i));
             assert_eq!(plan.link_down_until(i), None);
             assert_eq!(plan.stall_until(i), None);
         }

@@ -51,17 +51,21 @@ pub enum Category {
     /// Injected faults and the recovery actions they trigger (drops,
     /// corruption, retries, fallback demotions, watchdog trips).
     Fault,
+    /// Per-pair health-FSM transitions and canary probes of the
+    /// self-healing layer (demote, probe, re-promote, quarantine).
+    Health,
 }
 
 impl Category {
     /// All categories, in declaration order.
-    pub const ALL: [Category; 6] = [
+    pub const ALL: [Category; 7] = [
         Category::Protocol,
         Category::Pcie,
         Category::Vdma,
         Category::Mpb,
         Category::App,
         Category::Fault,
+        Category::Health,
     ];
 
     fn bit(self) -> u8 {
@@ -80,6 +84,7 @@ impl Category {
             Category::Mpb => "mpb",
             Category::App => "app",
             Category::Fault => "fault",
+            Category::Health => "health",
         }
     }
 }

@@ -83,6 +83,11 @@ pub struct FastAck {
     enabled: bool,
     coupled_devices: usize,
     rng: RefCell<DetRng>,
+    /// Dedicated base-instability stream for health-probe canary writes.
+    /// Probes draw from here (and from the plan's probe stream), never
+    /// from `rng`, so probe traffic cannot shift the legacy sequence —
+    /// and merely seeding this at construction draws nothing at all.
+    probe_rng: RefCell<DetRng>,
     writes: Counter,
     failures: Counter,
     lost: RefCell<Vec<LostAck>>,
@@ -99,6 +104,7 @@ impl FastAck {
             enabled,
             coupled_devices,
             rng: RefCell::new(DetRng::seed_from(seed ^ 0xFA57_ACC5)),
+            probe_rng: RefCell::new(DetRng::seed_from(seed ^ 0x0009_B0BE_CA9A_21E5)),
             writes: Counter::new(),
             failures: Counter::new(),
             lost: RefCell::new(Vec::new()),
@@ -140,7 +146,7 @@ impl FastAck {
         // only when the base probability is non-zero.
         let base_lost = p > 0.0 && self.rng.borrow_mut().chance(p);
         let plan = self.plan.borrow();
-        let injected_lost = plan.as_ref().is_some_and(|pl| pl.extra_ack_loss());
+        let injected_lost = plan.as_ref().is_some_and(|pl| pl.extra_ack_loss(now));
         if !(base_lost || injected_lost) {
             return false;
         }
@@ -153,6 +159,20 @@ impl FastAck {
             pl.note_ack_lost(now, flow);
         }
         true
+    }
+
+    /// Account one health-probe canary write at `now`; returns `true` if
+    /// its ack was lost. Probes see the same loss *rates* as application
+    /// writes — base instability plus any injected `ackloss=` (with its
+    /// phase bounds) — but draw from dedicated streams and touch neither
+    /// the posted-write counters nor the lost-ack log, so a probing run's
+    /// application-visible behaviour is unchanged and [`FastAck::check`]
+    /// never blames probe traffic.
+    pub fn on_probe_write(&self, now: Cycles) -> bool {
+        let p = self.loss_probability();
+        let base_lost = p > 0.0 && self.probe_rng.borrow_mut().chance(p);
+        let injected_lost = self.plan.borrow().as_ref().is_some_and(|pl| pl.probe_ack_loss(now));
+        base_lost || injected_lost
     }
 
     /// (posted writes, lost acks) so far.
@@ -265,6 +285,42 @@ mod tests {
         assert_eq!(bare, with_plan, "zero-rate plan must not shift the legacy draw stream");
         assert_eq!(plan.ack_lost.get(), with_plan as u64);
         assert_eq!(trace.events_in(Category::Fault).len(), with_plan);
+    }
+
+    #[test]
+    fn probe_writes_do_not_perturb_application_stream_or_counters() {
+        // Same seed, probes interleaved: the application-write loss
+        // pattern and the (writes, failures) stats must be identical.
+        let spec = FaultSpec::parse("seed=3,ackloss=0.2").unwrap();
+        let run = |probe: bool| {
+            let plan = Rc::new(FaultPlan::new(spec.clone(), Trace::disabled()));
+            let fa = FastAck::new(true, 4, 11);
+            fa.attach_plan(plan);
+            let losses: Vec<bool> = (0..20_000u64)
+                .map(|i| {
+                    if probe {
+                        let _ = fa.on_probe_write(i);
+                    }
+                    fa.on_posted_write(i, None)
+                })
+                .collect();
+            (losses, fa.stats())
+        };
+        let (plain, plain_stats) = run(false);
+        let (probed, probed_stats) = run(true);
+        assert_eq!(plain, probed, "probe draws leaked into the application stream");
+        assert_eq!(plain_stats, probed_stats, "probes moved the posted-write counters");
+    }
+
+    #[test]
+    fn probe_writes_see_injected_loss() {
+        let spec = FaultSpec::parse("seed=8,ackloss=0.5").unwrap();
+        let plan = Rc::new(FaultPlan::new(spec, Trace::disabled()));
+        let fa = FastAck::new(true, 2, 1); // base p = 0 at 2 devices
+        fa.attach_plan(plan);
+        let losses = (0..1000u64).filter(|&i| fa.on_probe_write(i)).count();
+        assert!(losses > 300, "injected loss must hit probes too (got {losses})");
+        assert_eq!(fa.stats(), (0, 0), "probes must not count as posted writes");
     }
 
     #[test]

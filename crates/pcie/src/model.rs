@@ -105,6 +105,38 @@ impl PcieModel {
     pub fn retry_backoff_base(&self) -> Cycles {
         self.routed_line_round_trip()
     }
+
+    /// Floor of the *adaptive* per-pair retry timeout (one routed round
+    /// trip): however fast a pair's measured RT gets, a timeout below one
+    /// legitimate round trip would retry live transfers.
+    pub fn adaptive_timeout_floor(&self) -> Cycles {
+        self.routed_line_round_trip()
+    }
+
+    /// Ceiling of the adaptive per-pair retry timeout (eight routed round
+    /// trips): congestion can stretch the EWMA arbitrarily, but a genuine
+    /// loss must still resolve well inside any watchdog budget, so the
+    /// budget never exceeds 2× the static default.
+    pub fn adaptive_timeout_ceiling(&self) -> Cycles {
+        8 * self.routed_line_round_trip()
+    }
+
+    /// Base interval between health-probe canaries on a demoted pair
+    /// (sixteen routed round trips ≈ 160 k cycles): rare enough that
+    /// probe traffic is negligible against any application stream, dense
+    /// enough that a pair re-promotes within ~1 M cycles of a fault storm
+    /// ending (K consecutive successes at this spacing).
+    pub fn probe_interval_base(&self) -> Cycles {
+        16 * self.routed_line_round_trip()
+    }
+
+    /// Cap of the exponential probe backoff (sixteen base intervals):
+    /// a pair that keeps failing its canaries is re-tested ever more
+    /// rarely, but never less than once per ~2.5 M cycles — hysteresis
+    /// against flapping without permanent abandonment.
+    pub fn probe_interval_max(&self) -> Cycles {
+        16 * self.probe_interval_base()
+    }
 }
 
 #[cfg(test)]
@@ -133,5 +165,23 @@ mod tests {
     fn host_answer_is_much_faster_than_routing() {
         let m = PcieModel::default();
         assert!(m.host_answered_round_trip() * 4 < m.routed_line_round_trip());
+    }
+
+    #[test]
+    fn adaptive_timeout_band_brackets_static_default() {
+        let m = PcieModel::default();
+        assert!(m.adaptive_timeout_floor() <= m.retry_timeout_cycles());
+        assert!(m.retry_timeout_cycles() <= m.adaptive_timeout_ceiling());
+        assert!(m.adaptive_timeout_floor() >= m.routed_line_round_trip());
+    }
+
+    #[test]
+    fn probe_intervals_are_sparse_and_bounded() {
+        let m = PcieModel::default();
+        // Probes must be rare against the data path…
+        assert!(m.probe_interval_base() >= 8 * m.routed_line_round_trip());
+        // …but the backoff cap keeps re-testing alive.
+        assert!(m.probe_interval_max() <= 64 * m.probe_interval_base());
+        assert!(m.probe_interval_max() > m.probe_interval_base());
     }
 }

@@ -153,6 +153,37 @@ fn is_fault_counter(name: &str) -> bool {
     name.starts_with("pcie.fault.")
         || name.starts_with("host.retry.")
         || name.starts_with("host.fallback.")
+        || name.starts_with("host.health.")
+}
+
+/// One health-FSM transition as exported in the Chrome trace
+/// (`"cat":"health"` instants — DESIGN.md §5h).
+struct HealthEvent {
+    ts: u64,
+    trigger: String,
+    pair: (u64, u64),
+    from: String,
+    to: String,
+}
+
+/// Health-transition timeline from the trace export, in time order (the
+/// export is already time-ordered per process).
+fn parse_health(json: &str) -> Vec<HealthEvent> {
+    json.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            if !line.contains("\"cat\":\"health\"") {
+                return None;
+            }
+            Some(HealthEvent {
+                ts: jnum(line, "ts")?,
+                trigger: jstr(line, "name")?.to_string(),
+                pair: (jnum(line, "src_dev")?, jnum(line, "dst_dev")?),
+                from: jstr(line, "from")?.to_string(),
+                to: jstr(line, "to")?.to_string(),
+            })
+        })
+        .collect()
 }
 
 /// The counters worth a headline row: traffic volume per fabric
@@ -263,6 +294,32 @@ fn render_report(trace_json: &str, metrics_json: &str, ts_json: &str) -> String 
         md.push_str("| counter | value |\n|---|---:|\n");
         for (name, v) in faults {
             let _ = writeln!(md, "| `{name}` | {v} |");
+        }
+
+        // The self-healing plane's transition timeline (DESIGN.md §5h),
+        // when the trace carries Health-category instants.
+        let health = parse_health(trace_json);
+        if !health.is_empty() {
+            md.push_str(
+                "\n### Health transitions\n\n| cycle | pair | transition | trigger |\n\
+                 |---:|---|---|---|\n",
+            );
+            for e in &health {
+                let _ = writeln!(
+                    md,
+                    "| {} | d{}→d{} | {} → {} | {} |",
+                    e.ts, e.pair.0, e.pair.1, e.from, e.to, e.trigger
+                );
+            }
+            // Final state per pair: replay of the timeline.
+            let mut last: BTreeMap<(u64, u64), &str> = BTreeMap::new();
+            for e in &health {
+                last.insert(e.pair, &e.to);
+            }
+            md.push_str("\n### Final pair health\n\n| pair | state |\n|---|---|\n");
+            for (pair, state) in &last {
+                let _ = writeln!(md, "| d{}→d{} | {state} |", pair.0, pair.1);
+            }
         }
     }
 

@@ -22,6 +22,18 @@ cargo test --workspace -q
 echo "== chaos smoke (fixed-seed fault plan, recovery end to end) =="
 cargo test -q --test chaos smoke_fixed_seed
 
+echo "== heal-and-repromote smoke (storm-then-quiet must end re-promoted) =="
+# A seeded ack-loss storm demotes the pair; once the plan goes quiet the
+# canary probes must earn it back: promotions > 0, zero pairs still
+# demoted at exit, and the audited rerun byte-identical (DESIGN.md §5h).
+cargo test -q --test chaos demoted_pair_heals_after_the_storm_ends
+
+echo "== golden exports (fault-free runs byte-identical to committed goldens) =="
+# The health plane must be inert without an active fault plan: any drift
+# in these fixed-seed trace/metrics/timeseries/audit exports means the
+# recovery layer perturbed a clean run.
+cargo test -q --test golden_exports
+
 echo "== trace lint (structural invariants of a sampled fig6b-style export) =="
 # No argument: the example generates a small sampled inter-device export
 # (counter tracks included) in-process and lints it; exit 1 on violation.

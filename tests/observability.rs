@@ -552,3 +552,77 @@ fn category_filter_is_selective() {
     assert!(events.iter().any(|e| e.cat == Category::Protocol));
     assert!(events.iter().all(|e| e.cat == Category::Protocol));
 }
+
+#[test]
+fn health_transitions_ride_trace_metrics_and_timeseries() {
+    // The healing scenario from `tests/chaos.rs`, observed end to end:
+    // an ack-loss storm demotes the (0,1) pair, the storm ends, canary
+    // probes re-promote it. Every layer of the observability plane must
+    // carry the arc — Health-category trace instants, `host.health.*`
+    // metrics, and the health gauges as time-series level tracks.
+    let spec = des::faultplan::FaultSpec::parse(
+        "seed=13,ackloss=0.8@..800000,recovery=on,watchdog=20000000",
+    )
+    .expect("healing spec");
+    let sim = des::Sim::new();
+    let reg = des::obs::Registry::new();
+    let rc = vscc::host::RecoveryConfig {
+        probe_interval: 20_000,
+        probe_backoff_max: 160_000,
+        ..Default::default()
+    };
+    let v = vscc::VsccBuilder::new(&sim, 2)
+        .scheme(CommScheme::RemotePutHwAck)
+        .metrics_registry(&reg)
+        .trace_categories(&Category::ALL)
+        .recovery_config(rc)
+        .faults(spec)
+        .build();
+    let a = v.devices[0].global(scc::geometry::CoreId(0));
+    let b = v.devices[1].global(scc::geometry::CoreId(0));
+    let s = v.session_builder().participants(vec![a, b]).build();
+    let ts = v.spawn_sampler(&des::obs::SamplerSpec::every(des::obs::DEFAULT_CADENCE));
+    let keepalive = sim.clone();
+    sim.spawn_named("post-storm-idle", async move {
+        keepalive.delay(3_000_000).await;
+    });
+    s.run_app(|r| async move {
+        for i in 0..16u32 {
+            let fill = (i as u8).wrapping_mul(29).wrapping_add(3);
+            if r.id() == 0 {
+                r.send(&vec![fill; 512], 1).await;
+            } else {
+                let mut buf = vec![0u8; 512];
+                r.recv(&mut buf, 0).await;
+            }
+        }
+    })
+    .expect("healing run");
+    ts.finish(sim.now());
+    assert!(v.host.rstats.demotions.get() >= 1 && v.host.health.promotions.get() >= 1);
+
+    // Trace: the arc's transitions land in the Health category and
+    // survive the Chrome export with their pair operands.
+    let health: Vec<_> = v.trace().events_in(Category::Health);
+    assert!(!health.is_empty(), "health transitions must be traced");
+    let names: std::collections::BTreeSet<&str> = health.iter().map(|e| e.kind).collect();
+    for needed in ["demote", "probe_start", "promote"] {
+        assert!(names.contains(needed), "missing {needed} in {names:?}");
+    }
+    let json = des::obs::chrome_trace_json(&[("healing", v.trace())]);
+    assert!(json.contains("\"cat\":\"health\""), "Health events must survive the export");
+
+    // Metrics: the health plane reports under `host.health.*`.
+    let metrics = reg.snapshot().to_json();
+    for name in ["host.health.promotions", "host.health.probe_sent", "host.health.degraded_pairs"] {
+        assert!(metrics.contains(&format!("\"{name}\"")), "{name} missing from metrics");
+    }
+
+    // Time series: the degraded-pairs gauge rides the export as a level
+    // track (it rose to 1 during the storm and fell back to 0).
+    let ts_json = ts.to_json();
+    assert!(
+        ts_json.contains("host.health.degraded_pairs"),
+        "health gauges must become time-series tracks"
+    );
+}
