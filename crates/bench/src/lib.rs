@@ -14,13 +14,25 @@ use des::trace::Trace;
 
 /// Print a figure/table banner. If a `VSCC_FAULTS` plan is active it is
 /// echoed here, so exported tables are never mistaken for clean-run
-/// numbers.
+/// numbers; likewise an active `VSCC_SHARDS` engine selection. An
+/// *invalid* `VSCC_SHARDS` value is a diagnosed error (exit 2), never a
+/// silent fallback to the serial engine.
 pub fn banner(id: &str, caption: &str) {
     println!("\n================================================================");
     println!("{id}: {caption}");
     println!("================================================================");
     if let Some(spec) = des::faultplan::spec_from_env() {
         println!("[faults] {} plan active: {spec}", des::obs::FAULTS_ENV);
+    }
+    match des::shard::shards_from_env() {
+        Ok(Some(n)) => {
+            println!("[engine] {}={n}: sharded engine (lockstep epochs)", des::shard::SHARDS_ENV)
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("[engine] {e}");
+            std::process::exit(2);
+        }
     }
 }
 

@@ -37,6 +37,7 @@ pub struct VsccBuilder {
     monitors: bool,
     monitor_fail_fast: bool,
     poll_watchdog: Option<Cycles>,
+    shards: Option<u32>,
 }
 
 impl VsccBuilder {
@@ -55,6 +56,7 @@ impl VsccBuilder {
             monitors: true,
             monitor_fail_fast: true,
             poll_watchdog: None,
+            shards: None,
         }
     }
 
@@ -119,6 +121,19 @@ impl VsccBuilder {
         self
     }
 
+    /// Opt in to the sharded engine with `n` workers (DESIGN.md §5i).
+    /// Takes precedence over the `VSCC_SHARDS` environment knob. The
+    /// host↔device couplings of a vSCC system are zero-latency, so all of
+    /// its shards form one coupled execution group: the run is driven in
+    /// lockstep epoch windows of one tunnel lookahead
+    /// ([`pcie::PcieModel::shard_lookahead`]), which is byte-identical to
+    /// the serial engine by construction.
+    pub fn shards(mut self, n: u32) -> Self {
+        assert!(n >= 1, "shard count must be at least 1");
+        self.shards = Some(n);
+        self
+    }
+
     /// Abort any single RCCE flag wait exceeding `limit` cycles with a
     /// diagnosed timeout (threads through to sessions built from this
     /// system).
@@ -178,6 +193,15 @@ impl VsccBuilder {
                 self.host_cfg.faults = spec;
             }
         }
+        let shards = self
+            .shards
+            .or_else(|| des::shard::effective_shards().unwrap_or_else(|e| panic!("{e}")));
+        if shards.is_some() {
+            // One coupled execution group: epoch-slice the serial engine at
+            // the tunnel lookahead (DESIGN.md §5i). Byte-identity with the
+            // unsliced run is pinned by tests/golden_exports.rs.
+            self.sim.set_epoch_slice(self.host_cfg.model.shard_lookahead());
+        }
         let poll_watchdog = self.poll_watchdog.or(self.host_cfg.faults.watchdog);
         let metrics = self.metrics.unwrap_or_default();
         let devices: Vec<Rc<SccDevice>> =
@@ -218,6 +242,7 @@ impl VsccBuilder {
             trace: self.trace,
             monitors,
             poll_watchdog,
+            shards,
         }
     }
 }
@@ -237,6 +262,7 @@ pub struct Vscc {
     trace: Trace,
     monitors: Option<Rc<Monitors>>,
     poll_watchdog: Option<Cycles>,
+    shards: Option<u32>,
 }
 
 impl Vscc {
@@ -254,6 +280,12 @@ impl Vscc {
     /// The system-wide structured trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The sharded-engine worker count this system was built with
+    /// ([`None`] = serial engine; see [`VsccBuilder::shards`]).
+    pub fn shards(&self) -> Option<u32> {
+        self.shards
     }
 
     /// The installed invariant monitors ([`None`] if disabled).

@@ -1,0 +1,1132 @@
+//! Sharded lockstep execution: one deterministic worker per simulated
+//! device, synchronised by conservative-lookahead epochs.
+//!
+//! The paper's topology makes devices interact only through the PCIe
+//! tunnel, whose minimum cross-device latency (`pcie::model`) is a
+//! classic PDES lookahead: any boundary message sent at virtual time `X`
+//! delivers no earlier than `X + lookahead`. Executing every shard in
+//! lockstep windows no wider than the lookahead therefore cannot change
+//! any shard's event order — a message produced inside a window always
+//! lands beyond the window's bound, so exchanging messages at the
+//! barrier is invisible to virtual time. That is the byte-identity
+//! contract `VSCC_SHARDS` advertises (DESIGN.md §5i).
+//!
+//! Shape of a run:
+//!
+//! * A [`ShardPlan`] names the shards. Each shard's build closure runs
+//!   *on its worker thread* and constructs that shard's whole `Rc`/
+//!   `RefCell` actor graph locally — nothing inside a shard needs
+//!   `Send`; only the boundary types do ([`Tlp`] descriptors with
+//!   payloads snapshotted to `Arc<[u8]>`).
+//! * Shards connect through latency-stamped [`ConduitTx`]/[`ConduitRx`]
+//!   pairs (latency ≥ lookahead, validated at plan time). Zero-latency
+//!   couplings ([`ShardPlan::couple`]) merge shards into one *execution
+//!   group* sharing a [`Sim`] — the standard PDES answer to
+//!   tighter-than-lookahead dependencies. The fig6b system today is one
+//!   such group (the host touches device MPBs directly), which is why
+//!   its sharded runs are byte-identical by construction.
+//! * Workers advance their groups through bounded windows
+//!   ([`Sim::run_until`]), meet at a [`std::sync::Barrier`], exchange
+//!   staged messages, agree on the next bound (minimum next event
+//!   across groups plus the lookahead — idle spans cost one window, not
+//!   one per slice), and repeat until every group finishes or stalls.
+//! * Every observability stream stays shard-local: each group owns its
+//!   own [`crate::audit::Audit`], installed around that group's windows
+//!   only, and the per-group chains merge in shard order at the end
+//!   ([`merge_chains`]). Reruns at any worker count produce identical
+//!   per-group exports.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::{Arc, Barrier, Mutex, PoisonError};
+use std::task::Waker;
+
+use crate::audit::{self, Audit, DecisionKind};
+use crate::executor::{EngineStats, RunStatus, Sim, SimError};
+use crate::time::Cycles;
+
+/// Environment knob selecting the sharded engine on bench targets
+/// (mirrors `VSCC_FAULTS`): unset/empty means serial, `N >= 1` opts in.
+pub const SHARDS_ENV: &str = "VSCC_SHARDS";
+
+/// Parse [`SHARDS_ENV`]. Invalid values are a diagnosed error, never a
+/// silent fallback to serial.
+pub fn shards_from_env() -> Result<Option<u32>, String> {
+    match std::env::var(SHARDS_ENV) {
+        Err(_) => Ok(None),
+        Ok(v) if v.is_empty() => Ok(None),
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(format!(
+                "{SHARDS_ENV}={v:?} is not a valid worker count (expected an integer >= 1)"
+            )),
+        },
+    }
+}
+
+thread_local! {
+    /// Test hook: a per-thread override of [`SHARDS_ENV`], so tests can
+    /// pin a shard count without racing other tests through the
+    /// process-global environment.
+    static FORCED: Cell<Option<Option<u32>>> = const { Cell::new(None) };
+}
+
+/// Override [`effective_shards`] for this thread: `Some(n)` forces a
+/// shard count, `None` forces serial. [`clear_forced_shards`] restores
+/// the environment lookup.
+pub fn force_shards(v: Option<u32>) {
+    FORCED.with(|f| f.set(Some(v)));
+}
+
+/// Drop any [`force_shards`] override on this thread.
+pub fn clear_forced_shards() {
+    FORCED.with(|f| f.set(None));
+}
+
+/// The shard count in effect: a per-thread [`force_shards`] override if
+/// set, otherwise [`shards_from_env`].
+pub fn effective_shards() -> Result<Option<u32>, String> {
+    if let Some(v) = FORCED.with(|f| f.get()) {
+        return Ok(v);
+    }
+    shards_from_env()
+}
+
+/// A tunnel TLP descriptor — the only thing that crosses a shard
+/// boundary. The payload is snapshotted to `Arc<[u8]>` at the sender,
+/// so shard-local `Bytes` buffers never leave their thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tlp {
+    /// Protocol discriminator (application-defined).
+    pub kind: u32,
+    /// Sending shard (application-defined id, usually the shard index).
+    pub src: u32,
+    /// Destination shard.
+    pub dst: u32,
+    /// Application tag (sequence number, flow id, ...).
+    pub tag: u64,
+    /// Payload bytes, snapshotted at the boundary.
+    pub payload: Arc<[u8]>,
+}
+
+/// Index of a shard in its [`ShardPlan`].
+pub type ShardId = usize;
+/// Index of a conduit in its [`ShardPlan`].
+pub type ConduitId = usize;
+
+#[derive(Clone)]
+struct ConduitDef {
+    from: ShardId,
+    to: ShardId,
+    latency: Cycles,
+}
+
+/// A shard's harvest: runs on the worker after the run completes and
+/// produces the shard's (Send) slice of [`ShardReport::outputs`].
+type HarvestFn<R> = Box<dyn FnOnce() -> R>;
+type BuildFn<R> = Box<dyn FnOnce(&Sim, &mut ShardCtx) -> HarvestFn<R> + Send>;
+
+struct ShardDef<R> {
+    name: String,
+    build: BuildFn<R>,
+}
+
+/// Sending end of a cross-shard conduit. Stamps each message with
+/// `now + latency` and stages it for the next barrier exchange.
+#[derive(Clone)]
+pub struct ConduitTx {
+    sim: Sim,
+    id: ConduitId,
+    latency: Cycles,
+    staged: Rc<RefCell<Mail>>,
+}
+
+impl ConduitTx {
+    /// Stage `tlp` for delivery at `now + latency`. The message crosses
+    /// at the next epoch barrier; because `latency >= lookahead`, the
+    /// delivery time always lies beyond the current window's bound.
+    pub fn send(&self, tlp: Tlp) {
+        let now = self.sim.now();
+        let deliver = now.saturating_add(self.latency);
+        audit::record_at(now, DecisionKind::ChanSend, self.id as u64, deliver);
+        self.staged.borrow_mut().push((deliver, tlp));
+    }
+
+    /// The conduit's modeled one-way latency in cycles.
+    pub fn latency(&self) -> Cycles {
+        self.latency
+    }
+}
+
+/// A batch of staged boundary messages, each stamped with its delivery
+/// cycle.
+type Mail = Vec<(Cycles, Tlp)>;
+
+#[derive(Default)]
+struct RxShared {
+    queue: VecDeque<(Cycles, Tlp)>,
+    waker: Option<Waker>,
+}
+
+/// Receiving end of a cross-shard conduit. Delivery respects the
+/// stamped time: a message becomes visible only once the receiver's
+/// clock reaches it (the receive future arms a timer at the delivery
+/// timestamp), so conduit latency is part of virtual time, not an
+/// artifact of the barrier cadence.
+#[derive(Clone)]
+pub struct ConduitRx {
+    sim: Sim,
+    id: ConduitId,
+    shared: Rc<RefCell<RxShared>>,
+}
+
+impl ConduitRx {
+    /// Await the next message (in delivery order).
+    pub async fn recv(&self) -> Tlp {
+        loop {
+            let pending_until = {
+                let mut st = self.shared.borrow_mut();
+                match st.queue.front() {
+                    Some(&(deliver, _)) if deliver <= self.sim.now() => {
+                        let (_, tlp) = st.queue.pop_front().expect("front just observed");
+                        audit::record_at(
+                            self.sim.now(),
+                            DecisionKind::ChanRecv,
+                            self.id as u64,
+                            st.queue.len() as u64,
+                        );
+                        return tlp;
+                    }
+                    Some(&(deliver, _)) => Some(deliver),
+                    None => None,
+                }
+            };
+            match pending_until {
+                // A message is in flight: sleep until its delivery time.
+                Some(deliver) => self.sim.delay_until(deliver).await,
+                // Nothing staged: park until the barrier injects one.
+                None => {
+                    std::future::poll_fn(|cx| {
+                        let mut st = self.shared.borrow_mut();
+                        if st.queue.is_empty() {
+                            st.waker = Some(cx.waker().clone());
+                            std::task::Poll::Pending
+                        } else {
+                            std::task::Poll::Ready(())
+                        }
+                    })
+                    .await
+                }
+            }
+        }
+    }
+
+    /// Pop a message whose delivery time has been reached, if any.
+    pub fn try_recv(&self) -> Option<Tlp> {
+        let mut st = self.shared.borrow_mut();
+        match st.queue.front() {
+            Some(&(deliver, _)) if deliver <= self.sim.now() => {
+                let (_, tlp) = st.queue.pop_front().expect("front just observed");
+                audit::record_at(
+                    self.sim.now(),
+                    DecisionKind::ChanRecv,
+                    self.id as u64,
+                    st.queue.len() as u64,
+                );
+                Some(tlp)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Per-shard handle passed to the build closure: the shard's conduit
+/// endpoints.
+pub struct ShardCtx {
+    name: String,
+    txs: Vec<(ConduitId, ConduitTx)>,
+    rxs: Vec<(ConduitId, ConduitRx)>,
+}
+
+impl ShardCtx {
+    /// The shard's name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sending end of conduit `id` (must originate at this shard).
+    pub fn tx(&self, id: ConduitId) -> ConduitTx {
+        self.txs
+            .iter()
+            .find(|(cid, _)| *cid == id)
+            .map(|(_, tx)| tx.clone())
+            .unwrap_or_else(|| panic!("shard '{}' is not the source of conduit {id}", self.name))
+    }
+
+    /// The receiving end of conduit `id` (must terminate at this shard).
+    pub fn rx(&self, id: ConduitId) -> ConduitRx {
+        self.rxs
+            .iter()
+            .find(|(cid, _)| *cid == id)
+            .map(|(_, rx)| rx.clone())
+            .unwrap_or_else(|| panic!("shard '{}' is not the sink of conduit {id}", self.name))
+    }
+}
+
+/// Declarative description of a sharded run: shards, conduits, and
+/// zero-latency couplings. `R` is each shard's build-closure output.
+pub struct ShardPlan<R> {
+    lookahead: Cycles,
+    shards: Vec<ShardDef<R>>,
+    conduits: Vec<ConduitDef>,
+    couplings: Vec<(ShardId, ShardId)>,
+    audit_cadence: Option<u64>,
+}
+
+impl<R: Send> ShardPlan<R> {
+    /// A plan with the given lookahead (the widest legal epoch window;
+    /// derive it from the minimum cross-device latency of the platform
+    /// model, e.g. `pcie::PcieModel::shard_lookahead`).
+    pub fn new(lookahead: Cycles) -> Self {
+        assert!(lookahead >= 1, "lookahead must be at least one cycle");
+        ShardPlan {
+            lookahead,
+            shards: Vec::new(),
+            conduits: Vec::new(),
+            couplings: Vec::new(),
+            audit_cadence: None,
+        }
+    }
+
+    /// The plan's lookahead in cycles.
+    pub fn lookahead(&self) -> Cycles {
+        self.lookahead
+    }
+
+    /// Add a shard; `build` runs on the shard's worker thread and
+    /// constructs the shard's local actor graph (spawning tasks on the
+    /// provided [`Sim`]), returning a *harvest* closure. The harvest is
+    /// called on the same worker once the whole run completes, so it can
+    /// snapshot shard-local (`Rc`-held) results; only its return value —
+    /// which lands in [`ShardReport::outputs`] — crosses threads.
+    pub fn shard<H>(
+        &mut self,
+        name: &str,
+        build: impl FnOnce(&Sim, &mut ShardCtx) -> H + Send + 'static,
+    ) -> ShardId
+    where
+        H: FnOnce() -> R + 'static,
+    {
+        let build: BuildFn<R> = Box::new(move |sim, ctx| Box::new(build(sim, ctx)) as HarvestFn<R>);
+        self.shards.push(ShardDef { name: name.to_string(), build });
+        self.shards.len() - 1
+    }
+
+    /// Add a one-way conduit `from -> to` with the given latency, which
+    /// must be at least the plan's lookahead (a tighter dependency needs
+    /// [`ShardPlan::couple`] instead).
+    pub fn conduit(
+        &mut self,
+        name: &str,
+        from: ShardId,
+        to: ShardId,
+        latency: Cycles,
+    ) -> ConduitId {
+        assert!(from < self.shards.len() && to < self.shards.len(), "conduit endpoints must exist");
+        assert!(
+            latency >= self.lookahead,
+            "conduit '{name}' latency {latency} is below the lookahead {} — \
+             couple the shards instead",
+            self.lookahead
+        );
+        self.conduits.push(ConduitDef { from, to, latency });
+        self.conduits.len() - 1
+    }
+
+    /// Declare a zero-latency coupling: `a` and `b` must share a
+    /// worker and a virtual clock (they merge into one execution group).
+    pub fn couple(&mut self, a: ShardId, b: ShardId) {
+        assert!(a < self.shards.len() && b < self.shards.len(), "coupled shards must exist");
+        self.couplings.push((a, b));
+    }
+
+    /// Record per-group audit streams at the given epoch cadence; the
+    /// report then carries each group's export and the shard-order
+    /// merged chain.
+    pub fn audit(&mut self, cadence: u64) {
+        self.audit_cadence = Some(cadence);
+    }
+
+    /// Execute the plan on up to `workers` OS threads (clamped to the
+    /// number of execution groups; `1` is the serial reference — same
+    /// windows, same barriers, one thread). Deterministic at any worker
+    /// count: per-group event order depends only on the plan.
+    pub fn run(self, workers: usize) -> Result<ShardReport<R>, SimError> {
+        assert!(!self.shards.is_empty(), "a shard plan needs at least one shard");
+        let n_shards = self.shards.len();
+        let groups = self.execution_groups();
+        let n_groups = groups.len();
+        let workers = workers.clamp(1, n_groups);
+        let lookahead = self.lookahead;
+        let cadence = self.audit_cadence;
+        let conduits = self.conduits;
+
+        // Round-robin groups over workers; each worker builds its
+        // groups' state locally, so nothing inside a shard crosses a
+        // thread.
+        let mut specs: Vec<WorkerSpec<R>> =
+            (0..workers).map(|_| WorkerSpec { groups: Vec::new() }).collect();
+        let shard_names: Vec<String> = self.shards.iter().map(|s| s.name.clone()).collect();
+        let mut defs: Vec<Option<ShardDef<R>>> = self.shards.into_iter().map(Some).collect();
+        for (gi, members) in groups.iter().enumerate() {
+            let name =
+                members.iter().map(|&s| shard_names[s].as_str()).collect::<Vec<_>>().join("+");
+            let shards = members
+                .iter()
+                .map(|&s| {
+                    let def = defs[s].take().expect("each shard belongs to one group");
+                    (s, def.name, def.build)
+                })
+                .collect();
+            specs[gi % workers].groups.push(GroupSpec { gi, name, shards });
+        }
+
+        let ex = Exchange::<R>::new(workers, conduits.len(), n_groups, n_shards);
+        let mut specs = specs.into_iter();
+        let leader_spec = specs.next().expect("worker 0 exists");
+        let epochs = std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .map(|spec| {
+                    let (ex, conduits) = (&ex, conduits.as_slice());
+                    scope.spawn(move || {
+                        worker_run(spec, ex, conduits, lookahead, cadence, false);
+                    })
+                })
+                .collect();
+            let epochs = worker_run(leader_spec, &ex, &conduits, lookahead, cadence, true);
+            for h in handles {
+                h.join().expect("shard worker exited abnormally");
+            }
+            epochs
+        });
+
+        // Assemble the report (error precedence: lowest group index).
+        let finals: Vec<GroupFinal> = ex
+            .finals
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .map(|f| f.expect("every group finalizes"))
+            .collect();
+        for f in &finals {
+            if let PostStatus::Err(e) = &f.status {
+                return Err(e.clone());
+            }
+        }
+        let stuck: Vec<String> = finals
+            .iter()
+            .filter(|f| matches!(f.status, PostStatus::Stalled))
+            .flat_map(|f| f.report.stuck.clone())
+            .collect();
+        if !stuck.is_empty() {
+            return Err(SimError::Deadlock(stuck));
+        }
+        let now = finals.iter().map(|f| f.report.now).max().unwrap_or(0);
+        let mut stats = EngineStats::default();
+        for f in &finals {
+            stats += f.report.stats;
+        }
+        let chains: Option<Vec<u64>> = finals.iter().map(|f| f.report.audit_chain).collect();
+        let outputs = ex
+            .outputs
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .map(|o| o.expect("clean run produced every shard output"))
+            .collect();
+        Ok(ShardReport {
+            outputs,
+            now,
+            stats,
+            epochs,
+            workers,
+            merged_chain: chains.map(|c| merge_chains(&c)),
+            groups: finals.into_iter().map(|f| f.report).collect(),
+        })
+    }
+
+    /// Union-find over the couplings: connected components, each sorted,
+    /// ordered by smallest member — the *execution groups*.
+    fn execution_groups(&self) -> Vec<Vec<ShardId>> {
+        let n = self.shards.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for &(a, b) in &self.couplings {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra.max(rb)] = ra.min(rb);
+            }
+        }
+        let mut groups: Vec<Vec<ShardId>> = Vec::new();
+        let mut group_of_root = vec![usize::MAX; n];
+        for s in 0..n {
+            let root = find(&mut parent, s);
+            if group_of_root[root] == usize::MAX {
+                group_of_root[root] = groups.len();
+                groups.push(Vec::new());
+            }
+            groups[group_of_root[root]].push(s);
+        }
+        groups
+    }
+}
+
+/// Fold per-group audit chains (in shard-group order) into one digest —
+/// the export merge rule of DESIGN.md §5i. A sequential FNV-1a chain:
+/// order-sensitive, so swapped groups change the merged digest.
+pub fn merge_chains(chains: &[u64]) -> u64 {
+    let mut h = audit::FNV_OFFSET;
+    for &c in chains {
+        h = audit::fold(h, c);
+    }
+    audit::fold(h, chains.len() as u64)
+}
+
+/// Per-group slice of a [`ShardReport`]: shard-aware engine statistics
+/// and the group's audit stream.
+#[derive(Clone, Debug)]
+pub struct ShardGroupReport {
+    /// Group name: member shard names joined with `+`.
+    pub name: String,
+    /// Member shard names in shard order.
+    pub shards: Vec<String>,
+    /// The group's final virtual timestamp.
+    pub now: Cycles,
+    /// The group's scheduler counters.
+    pub stats: EngineStats,
+    /// Registered-but-unfired timers at the end of the run.
+    pub pending_timers: usize,
+    /// Unfinished non-daemon tasks at the end of the run.
+    pub live_tasks: usize,
+    /// Stuck task names (shard-prefixed) if the group stalled.
+    pub stuck: Vec<String>,
+    /// The group's audit export (when [`ShardPlan::audit`] was set).
+    pub audit_json: Option<String>,
+    /// The group's final audit chain.
+    pub audit_chain: Option<u64>,
+}
+
+/// Result of [`ShardPlan::run`].
+#[derive(Clone, Debug)]
+pub struct ShardReport<R> {
+    /// Build-closure outputs, in shard order.
+    pub outputs: Vec<R>,
+    /// Final virtual time: the maximum across groups.
+    pub now: Cycles,
+    /// Engine statistics aggregated across all workers.
+    pub stats: EngineStats,
+    /// Barrier rounds executed.
+    pub epochs: u64,
+    /// Worker threads actually used (after clamping to group count).
+    pub workers: usize,
+    /// Shard-order fold of the per-group audit chains.
+    pub merged_chain: Option<u64>,
+    /// Per-group details, in group order.
+    pub groups: Vec<ShardGroupReport>,
+}
+
+// ---------------------------------------------------------------------------
+// Engine internals.
+
+struct WorkerSpec<R> {
+    groups: Vec<GroupSpec<R>>,
+}
+
+struct GroupSpec<R> {
+    gi: usize,
+    name: String,
+    /// `(shard id, shard name, build)` in shard order.
+    shards: Vec<(ShardId, String, BuildFn<R>)>,
+}
+
+#[derive(Clone, Debug)]
+enum PostStatus {
+    Done,
+    Bound,
+    Stalled,
+    Err(SimError),
+}
+
+#[derive(Clone)]
+struct GroupPost {
+    status: PostStatus,
+    next_deadline: Option<Cycles>,
+}
+
+#[derive(Clone, Copy)]
+enum Decision {
+    Continue { bound: Cycles },
+    Stop,
+}
+
+struct GroupFinal {
+    status: PostStatus,
+    report: ShardGroupReport,
+}
+
+/// Everything the workers share. Mailboxes are double-buffered:
+/// senders stage into `mail_next` during a window, and the leader
+/// promotes `mail_next -> mail` between the barriers (where it has
+/// exclusive access), so a receiver's `inject` sees exactly the
+/// messages staged in *earlier* rounds — never a faster neighbour's
+/// same-round traffic. Without the promotion step, whether same-round
+/// mail was visible would depend on OS thread timing, and the wake it
+/// triggers would contaminate the receiving group's audit stream.
+/// (A same-round message delivers at `>=` the round's bound anyway —
+/// send cycle `>= min_cand`, latency `>= lookahead` — so deferring its
+/// injection one round cannot move any virtual-time event.)
+struct Exchange<R> {
+    barrier: Barrier,
+    mail: Vec<Mutex<Mail>>,
+    mail_next: Vec<Mutex<Mail>>,
+    posts: Vec<Mutex<GroupPost>>,
+    decision: Mutex<Decision>,
+    outputs: Mutex<Vec<Option<R>>>,
+    finals: Mutex<Vec<Option<GroupFinal>>>,
+}
+
+impl<R> Exchange<R> {
+    fn new(workers: usize, n_conduits: usize, n_groups: usize, n_shards: usize) -> Self {
+        Exchange {
+            barrier: Barrier::new(workers),
+            mail: (0..n_conduits).map(|_| Mutex::new(Vec::new())).collect(),
+            mail_next: (0..n_conduits).map(|_| Mutex::new(Vec::new())).collect(),
+            posts: (0..n_groups)
+                .map(|_| Mutex::new(GroupPost { status: PostStatus::Bound, next_deadline: None }))
+                .collect(),
+            decision: Mutex::new(Decision::Stop),
+            outputs: Mutex::new((0..n_shards).map(|_| None).collect()),
+            finals: Mutex::new((0..n_groups).map(|_| None).collect()),
+        }
+    }
+}
+
+/// A group's worker-local state. Built on the worker thread; never
+/// crosses it.
+struct GroupRuntime<R> {
+    gi: usize,
+    name: String,
+    sim: Sim,
+    audit: Option<Audit>,
+    status: PostStatus,
+    outputs: Vec<(ShardId, HarvestFn<R>)>,
+    /// Outgoing staging buffers, `(conduit, buffer)` in conduit order.
+    out: Vec<(ConduitId, Rc<RefCell<Mail>>)>,
+    /// Incoming queues, `(conduit, queue)` in conduit order.
+    inq: Vec<(ConduitId, Rc<RefCell<RxShared>>)>,
+    shard_names: Vec<String>,
+}
+
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn build_group<R>(
+    spec: GroupSpec<R>,
+    conduits: &[ConduitDef],
+    cadence: Option<u64>,
+) -> GroupRuntime<R> {
+    let sim = Sim::new();
+    // Honour `VSCC_AUDIT_ZOOM` exactly like the serial engine: a zoomed
+    // group keeps its raw decisions for that epoch, so `audit_diff` can
+    // name the first divergent decision of a sharded run too.
+    let audit = cadence.map(|c| match crate::obs::audit_zoom_from_env() {
+        Some(epoch) => Audit::with_zoom(c, epoch),
+        None => Audit::new(c),
+    });
+    let members: Vec<ShardId> = spec.shards.iter().map(|(s, _, _)| *s).collect();
+    let mut out = Vec::new();
+    let mut inq = Vec::new();
+    for (cid, cd) in conduits.iter().enumerate() {
+        if members.contains(&cd.from) {
+            out.push((cid, Rc::new(RefCell::new(Vec::new()))));
+        }
+        if members.contains(&cd.to) {
+            inq.push((cid, Rc::new(RefCell::new(RxShared::default()))));
+        }
+    }
+    let mut g = GroupRuntime {
+        gi: spec.gi,
+        name: spec.name,
+        sim: sim.clone(),
+        audit,
+        status: PostStatus::Bound,
+        outputs: Vec::new(),
+        out,
+        inq,
+        shard_names: spec.shards.iter().map(|(_, n, _)| n.clone()).collect(),
+    };
+    let built = catch_unwind(AssertUnwindSafe(|| {
+        let _guard = g.audit.as_ref().map(|a| a.install());
+        let mut outputs = Vec::new();
+        for (sid, sname, build) in spec.shards {
+            let txs = g
+                .out
+                .iter()
+                .filter(|(cid, _)| conduits[*cid].from == sid)
+                .map(|(cid, staged)| {
+                    (
+                        *cid,
+                        ConduitTx {
+                            sim: sim.clone(),
+                            id: *cid,
+                            latency: conduits[*cid].latency,
+                            staged: staged.clone(),
+                        },
+                    )
+                })
+                .collect();
+            let rxs = g
+                .inq
+                .iter()
+                .filter(|(cid, _)| conduits[*cid].to == sid)
+                .map(|(cid, shared)| {
+                    (*cid, ConduitRx { sim: sim.clone(), id: *cid, shared: shared.clone() })
+                })
+                .collect();
+            let mut ctx = ShardCtx { name: sname, txs, rxs };
+            outputs.push((sid, build(&sim, &mut ctx)));
+        }
+        outputs
+    }));
+    match built {
+        Ok(outputs) => g.outputs = outputs,
+        Err(p) => {
+            g.status = PostStatus::Err(SimError::Aborted(format!(
+                "shard group '{}' panicked during build: {}",
+                g.name,
+                panic_msg(&*p)
+            )));
+        }
+    }
+    g
+}
+
+fn run_window<R>(g: &mut GroupRuntime<R>, bound: Cycles) {
+    if matches!(g.status, PostStatus::Err(_)) {
+        return;
+    }
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        let _guard = g.audit.as_ref().map(|a| a.install());
+        g.sim.run_until(bound)
+    }));
+    g.status = match res {
+        Ok(Ok(RunStatus::Done(_))) => PostStatus::Done,
+        Ok(Ok(RunStatus::Bound)) => PostStatus::Bound,
+        Ok(Ok(RunStatus::Stalled)) => PostStatus::Stalled,
+        Ok(Err(e)) => PostStatus::Err(e),
+        Err(p) => PostStatus::Err(SimError::Aborted(format!(
+            "shard group '{}' panicked: {}",
+            g.name,
+            panic_msg(&*p)
+        ))),
+    };
+}
+
+/// Move this round's staged messages into the *next-round* mailboxes;
+/// the leader promotes them in [`decide`].
+fn stage_out<R>(g: &GroupRuntime<R>, ex: &Exchange<R>) {
+    for (cid, staged) in &g.out {
+        let mut staged = staged.borrow_mut();
+        if !staged.is_empty() {
+            ex.mail_next[*cid].lock().unwrap_or_else(PoisonError::into_inner).append(&mut staged);
+        }
+    }
+}
+
+/// Drain this group's mailboxes into its receive queues, waking parked
+/// receivers (in conduit order — deterministic at any worker count).
+fn inject<R>(g: &GroupRuntime<R>, ex: &Exchange<R>) {
+    for (cid, shared) in &g.inq {
+        let delivered = {
+            let mut mail = ex.mail[*cid].lock().unwrap_or_else(PoisonError::into_inner);
+            if mail.is_empty() {
+                continue;
+            }
+            std::mem::take(&mut *mail)
+        };
+        let mut st = shared.borrow_mut();
+        st.queue.extend(delivered);
+        if let Some(w) = st.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+fn write_post<R>(g: &GroupRuntime<R>, ex: &Exchange<R>) {
+    // Done groups stop scheduling (matching the serial run-to-completion
+    // semantics), so their remaining daemon timers must not become bound
+    // candidates — they would never fire and the rounds would spin.
+    let next_deadline = match g.status {
+        PostStatus::Bound => g.sim.next_timer_deadline(),
+        _ => None,
+    };
+    *ex.posts[g.gi].lock().unwrap_or_else(PoisonError::into_inner) =
+        GroupPost { status: g.status.clone(), next_deadline };
+}
+
+/// Leader-only: read every post and mailbox, pick the next bound or
+/// stop. Runs strictly between the two barriers of a round.
+fn decide<R>(ex: &Exchange<R>, lookahead: Cycles) {
+    // Promote last round's staged mail. Every worker is parked at the
+    // barrier, so this is the one place with exclusive mailbox access.
+    for (mail, next) in ex.mail.iter().zip(&ex.mail_next) {
+        let mut next = next.lock().unwrap_or_else(PoisonError::into_inner);
+        if !next.is_empty() {
+            mail.lock().unwrap_or_else(PoisonError::into_inner).append(&mut next);
+        }
+    }
+    let mut all_done = true;
+    let mut any_err = false;
+    let mut cand: Option<Cycles> = None;
+    for post in &ex.posts {
+        let post = post.lock().unwrap_or_else(PoisonError::into_inner);
+        match &post.status {
+            PostStatus::Done => {}
+            PostStatus::Err(_) => {
+                any_err = true;
+                all_done = false;
+            }
+            _ => all_done = false,
+        }
+        if let Some(d) = post.next_deadline {
+            cand = Some(cand.map_or(d, |c: Cycles| c.min(d)));
+        }
+    }
+    for mail in &ex.mail {
+        for &(deliver, _) in mail.lock().unwrap_or_else(PoisonError::into_inner).iter() {
+            cand = Some(cand.map_or(deliver, |c: Cycles| c.min(deliver)));
+        }
+    }
+    let decision = if any_err || all_done {
+        Decision::Stop
+    } else {
+        match cand {
+            // Nothing pending anywhere and at least one group not done:
+            // a cross-shard deadlock. Stop; assembly names the shards.
+            None => Decision::Stop,
+            Some(c) => Decision::Continue { bound: c.saturating_add(lookahead) },
+        }
+    };
+    *ex.decision.lock().unwrap_or_else(PoisonError::into_inner) = decision;
+}
+
+fn finalize<R>(g: GroupRuntime<R>, ex: &Exchange<R>) {
+    let mut status = g.status;
+    let stuck = match status {
+        PostStatus::Stalled => {
+            g.sim.live_task_names().into_iter().map(|t| format!("[shard {}] {t}", g.name)).collect()
+        }
+        _ => Vec::new(),
+    };
+    let harvested = catch_unwind(AssertUnwindSafe(|| {
+        g.outputs.into_iter().map(|(sid, harvest)| (sid, harvest())).collect::<Vec<_>>()
+    }));
+    match harvested {
+        Ok(results) => {
+            let mut outputs = ex.outputs.lock().unwrap_or_else(PoisonError::into_inner);
+            for (sid, r) in results {
+                outputs[sid] = Some(r);
+            }
+        }
+        Err(p) => {
+            if !matches!(status, PostStatus::Err(_)) {
+                status = PostStatus::Err(SimError::Aborted(format!(
+                    "shard group '{}' panicked during harvest: {}",
+                    g.name,
+                    panic_msg(&*p)
+                )));
+            }
+        }
+    }
+    let report = ShardGroupReport {
+        name: g.name,
+        shards: g.shard_names,
+        now: g.sim.now(),
+        stats: g.sim.engine_stats(),
+        pending_timers: g.sim.pending_timers(),
+        live_tasks: g.sim.live_tasks(),
+        stuck,
+        audit_json: g.audit.as_ref().map(|a| a.to_json()),
+        audit_chain: g.audit.as_ref().map(|a| a.chain()),
+    };
+    ex.finals.lock().unwrap_or_else(PoisonError::into_inner)[g.gi] =
+        Some(GroupFinal { status, report });
+}
+
+/// One worker's whole run: build its groups, then lockstep rounds of
+/// `inject -> window -> stage -> post` around the two-phase barrier.
+/// Returns the number of barrier rounds (meaningful on the leader).
+fn worker_run<R>(
+    spec: WorkerSpec<R>,
+    ex: &Exchange<R>,
+    conduits: &[ConduitDef],
+    lookahead: Cycles,
+    cadence: Option<u64>,
+    leader: bool,
+) -> u64 {
+    let mut groups: Vec<GroupRuntime<R>> =
+        spec.groups.into_iter().map(|gs| build_group(gs, conduits, cadence)).collect();
+    // Window 0 needs no coordination: every group starts at cycle 0.
+    for g in &mut groups {
+        run_window(g, lookahead);
+        stage_out(g, ex);
+        write_post(g, ex);
+    }
+    let mut rounds = 1u64;
+    loop {
+        ex.barrier.wait();
+        if leader {
+            decide(ex, lookahead);
+        }
+        ex.barrier.wait();
+        let decision = *ex.decision.lock().unwrap_or_else(PoisonError::into_inner);
+        match decision {
+            Decision::Stop => break,
+            Decision::Continue { bound } => {
+                rounds += 1;
+                for g in &mut groups {
+                    inject(g, ex);
+                    run_window(g, bound);
+                    stage_out(g, ex);
+                    write_post(g, ex);
+                }
+            }
+        }
+    }
+    for g in groups {
+        finalize(g, ex);
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOKAHEAD: Cycles = 1_000;
+
+    fn payload(fill: u8, len: usize) -> Arc<[u8]> {
+        vec![fill; len].into()
+    }
+
+    /// Two shards bouncing a TLP back and forth `reps` times; each
+    /// shard harvests its receive log `(virtual time, tag)`.
+    fn pingpong_plan(reps: u64) -> ShardPlan<Vec<(Cycles, u64)>> {
+        let mut plan = ShardPlan::new(LOOKAHEAD);
+        let a = plan.shard("alpha", move |sim, ctx| {
+            let (tx, rx) = (ctx.tx(0), ctx.rx(1));
+            let s = sim.clone();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let l = log.clone();
+            sim.spawn_named("alpha-driver", async move {
+                for rep in 0..reps {
+                    tx.send(Tlp {
+                        kind: 1,
+                        src: 0,
+                        dst: 1,
+                        tag: rep,
+                        payload: payload(rep as u8, 64),
+                    });
+                    let back = rx.recv().await;
+                    assert_eq!(back.tag, rep);
+                    l.borrow_mut().push((s.now(), back.tag));
+                }
+            });
+            move || log.borrow().clone()
+        });
+        let b = plan.shard("beta", move |sim, ctx| {
+            let (tx, rx) = (ctx.tx(1), ctx.rx(0));
+            let s = sim.clone();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let l = log.clone();
+            sim.spawn_named("beta-echo", async move {
+                for _ in 0..reps {
+                    let msg = rx.recv().await;
+                    l.borrow_mut().push((s.now(), msg.tag));
+                    tx.send(Tlp { kind: 2, src: 1, dst: 0, tag: msg.tag, payload: msg.payload });
+                }
+            });
+            move || log.borrow().clone()
+        });
+        plan.conduit("a2b", a, b, LOOKAHEAD);
+        plan.conduit("b2a", b, a, LOOKAHEAD);
+        plan.audit(audit::DEFAULT_EPOCH_CYCLES);
+        plan
+    }
+
+    #[test]
+    fn env_knob_parses_and_diagnoses() {
+        // Sequential set/remove inside one test: no other des test reads
+        // the variable.
+        std::env::remove_var(SHARDS_ENV);
+        assert_eq!(shards_from_env(), Ok(None));
+        std::env::set_var(SHARDS_ENV, "4");
+        assert_eq!(shards_from_env(), Ok(Some(4)));
+        std::env::set_var(SHARDS_ENV, "0");
+        assert!(shards_from_env().is_err());
+        std::env::set_var(SHARDS_ENV, "two");
+        let err = shards_from_env().unwrap_err();
+        assert!(err.contains("VSCC_SHARDS"), "diagnostic names the knob: {err}");
+        std::env::set_var(SHARDS_ENV, "");
+        assert_eq!(shards_from_env(), Ok(None));
+        std::env::set_var(SHARDS_ENV, "2");
+        force_shards(None);
+        assert_eq!(effective_shards(), Ok(None));
+        force_shards(Some(8));
+        assert_eq!(effective_shards(), Ok(Some(8)));
+        clear_forced_shards();
+        assert_eq!(effective_shards(), Ok(Some(2)));
+        std::env::remove_var(SHARDS_ENV);
+    }
+
+    #[test]
+    fn conduit_latency_is_respected() {
+        let report = pingpong_plan(3).run(1).unwrap();
+        let logs = &report.outputs;
+        // beta's k-th receive: alpha sends the k-th ping only after the
+        // (k-1)-th pong arrived, so each rep costs one round trip.
+        for (k, &(t, tag)) in logs[1].iter().enumerate() {
+            assert_eq!(tag, k as u64);
+            assert_eq!(t, (2 * k as u64 + 1) * LOOKAHEAD, "ping {k} delivery time");
+        }
+        for (k, &(t, _)) in logs[0].iter().enumerate() {
+            assert_eq!(t, (2 * k as u64 + 2) * LOOKAHEAD, "pong {k} delivery time");
+        }
+        assert_eq!(report.now, 6 * LOOKAHEAD);
+    }
+
+    #[test]
+    fn worker_counts_are_byte_identical() {
+        let base = pingpong_plan(5).run(1).unwrap();
+        for workers in [2, 8] {
+            let r = pingpong_plan(5).run(workers).unwrap();
+            assert_eq!(r.outputs, base.outputs, "{workers} workers diverged");
+            assert_eq!(r.now, base.now);
+            assert_eq!(r.stats, base.stats);
+            assert_eq!(r.merged_chain, base.merged_chain);
+            assert_eq!(r.epochs, base.epochs);
+            for (g, gb) in r.groups.iter().zip(base.groups.iter()) {
+                assert_eq!(g.audit_json, gb.audit_json, "group '{}' audit diverged", g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn coupled_shards_share_a_group() {
+        let mut plan: ShardPlan<()> = ShardPlan::new(LOOKAHEAD);
+        for name in ["a", "b", "c", "d"] {
+            plan.shard(name, |_, _| || ());
+        }
+        plan.couple(0, 2);
+        plan.couple(3, 2);
+        let groups = plan.execution_groups();
+        assert_eq!(groups, vec![vec![0, 2, 3], vec![1]]);
+        let report = plan.run(4).unwrap();
+        assert_eq!(report.workers, 2, "workers clamp to the group count");
+        assert_eq!(report.groups[0].name, "a+c+d");
+    }
+
+    #[test]
+    #[should_panic(expected = "below the lookahead")]
+    fn sub_lookahead_conduit_is_rejected() {
+        let mut plan: ShardPlan<()> = ShardPlan::new(LOOKAHEAD);
+        let a = plan.shard("a", |_, _| || ());
+        let b = plan.shard("b", |_, _| || ());
+        plan.conduit("too-tight", a, b, LOOKAHEAD - 1);
+    }
+
+    #[test]
+    fn cross_shard_deadlock_names_the_shard() {
+        let mut plan: ShardPlan<()> = ShardPlan::new(LOOKAHEAD);
+        plan.shard("quiet", |_, _| || ());
+        plan.shard("waiter", |sim, ctx| {
+            let rx = ctx.rx(0);
+            sim.spawn_named("starved-recv", async move {
+                rx.recv().await;
+            });
+            || ()
+        });
+        plan.conduit("silent", 0, 1, LOOKAHEAD);
+        match plan.run(2) {
+            Err(SimError::Deadlock(names)) => {
+                assert_eq!(names, vec!["[shard waiter] starved-recv".to_string()]);
+            }
+            other => panic!("expected a shard-named deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_panic_is_a_diagnosed_abort() {
+        let mut plan: ShardPlan<()> = ShardPlan::new(LOOKAHEAD);
+        plan.shard("fine", |_, _| || ());
+        plan.shard("broken", |_, _| {
+            if true {
+                panic!("bring-up exploded");
+            }
+            || ()
+        });
+        match plan.run(2) {
+            Err(SimError::Aborted(msg)) => {
+                assert!(msg.contains("broken"), "names the group: {msg}");
+                assert!(msg.contains("bring-up exploded"), "carries the payload: {msg}");
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_ahead_bounds_idle_spans() {
+        // Two idle shards with one late event each: the rounds must not
+        // scale with the idle span (skip-ahead picks the next event).
+        let mut plan: ShardPlan<Cycles> = ShardPlan::new(LOOKAHEAD);
+        for name in ["slow-a", "slow-b"] {
+            plan.shard(name, |sim, _| {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.delay(50_000_000).await;
+                });
+                || 0
+            });
+        }
+        let report = plan.run(2).unwrap();
+        assert_eq!(report.now, 50_000_000);
+        assert!(report.epochs < 10, "skip-ahead must not spin: {} rounds", report.epochs);
+    }
+
+    #[test]
+    fn merged_chain_is_shard_order_sensitive() {
+        assert_ne!(merge_chains(&[1, 2]), merge_chains(&[2, 1]));
+        assert_eq!(merge_chains(&[1, 2]), merge_chains(&[1, 2]));
+    }
+}

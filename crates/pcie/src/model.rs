@@ -89,6 +89,16 @@ impl PcieModel {
         2 * (self.sif_packet_cycles + self.hw_latency) + self.sw_answer_cycles
     }
 
+    /// Conservative lookahead of the sharded engine (DESIGN.md §5i): the
+    /// minimum virtual time any signal needs to cross a device boundary —
+    /// one SIF packet crossing plus the one-way PCIe hardware hop. No
+    /// cross-shard message sent at cycle `t` can become visible before
+    /// `t + shard_lookahead()`, so lockstep epoch windows of this width
+    /// cannot reorder deliveries relative to the serial engine.
+    pub fn shard_lookahead(&self) -> Cycles {
+        self.sif_packet_cycles + self.hw_latency
+    }
+
     /// Per-attempt timeout before the recovery layer retries a tunnel
     /// transfer: four routed round trips (~48 k cycles). Rationale: the
     /// slowest legitimate single-line exchange is one routed round trip;
@@ -173,6 +183,17 @@ mod tests {
         assert!(m.adaptive_timeout_floor() <= m.retry_timeout_cycles());
         assert!(m.retry_timeout_cycles() <= m.adaptive_timeout_ceiling());
         assert!(m.adaptive_timeout_floor() >= m.routed_line_round_trip());
+    }
+
+    #[test]
+    fn shard_lookahead_is_the_minimum_crossing_cost() {
+        let m = PcieModel::default();
+        // Default calibration: 400 (SIF packet) + 600 (hw hop) = 1000.
+        assert_eq!(m.shard_lookahead(), 1_000);
+        // It must lower-bound every modeled cross-device interaction.
+        assert!(m.shard_lookahead() <= m.host_answered_round_trip());
+        assert!(m.shard_lookahead() * 4 <= m.routed_line_round_trip());
+        assert!(m.shard_lookahead() >= 1, "zero lookahead would stall epochs");
     }
 
     #[test]

@@ -31,29 +31,41 @@ const SCHEMES: [(&str, CommScheme); 5] = [
 /// boundary the fig6b dip analysis cares about.
 const SIZES: [usize; 2] = [1024, 8192];
 
-fn render_exports() -> (String, String) {
-    let mut traces = String::new();
-    let mut metrics = String::new();
-    for (name, scheme) in SCHEMES {
-        for size in SIZES {
-            let (point, trace, reg) = vscc_apps::pingpong::interdevice_observed(scheme, size, 1);
-            traces.push_str(&format!("=== {name} size={size} cycles={} ===\n", point.cycles));
-            traces.push_str(&des::obs::chrome_trace_json(&[("pingpong", &trace)]));
-            traces.push('\n');
-            metrics.push_str(&format!("=== {name} size={size} cycles={} ===\n", point.cycles));
-            metrics.push_str(&reg.snapshot().to_json());
-            metrics.push('\n');
+/// Render the trace/metrics exports with the given engine selection
+/// (`None` = serial, `Some(n)` = sharded via the thread-local
+/// [`des::shard::force_shards`] hook — tests must not race the
+/// process-global environment). Rendered on a dedicated thread so the
+/// force override never leaks into other tests.
+fn render_exports(shards: Option<u32>) -> (String, String) {
+    std::thread::spawn(move || {
+        des::shard::force_shards(shards);
+        let mut traces = String::new();
+        let mut metrics = String::new();
+        for (name, scheme) in SCHEMES {
+            for size in SIZES {
+                let (point, trace, reg) =
+                    vscc_apps::pingpong::interdevice_observed(scheme, size, 1);
+                traces.push_str(&format!("=== {name} size={size} cycles={} ===\n", point.cycles));
+                traces.push_str(&des::obs::chrome_trace_json(&[("pingpong", &trace)]));
+                traces.push('\n');
+                metrics.push_str(&format!("=== {name} size={size} cycles={} ===\n", point.cycles));
+                metrics.push_str(&reg.snapshot().to_json());
+                metrics.push('\n');
+            }
         }
-    }
-    (traces, metrics)
+        (traces, metrics)
+    })
+    .join()
+    .expect("render thread")
 }
 
 /// The `VSCC_TIMESERIES` export golden: the two headline schemes,
 /// sampled at the default cadence. Rendered on a dedicated thread
 /// because the pool-occupancy series reads the thread-local chunk pool
 /// — a fresh thread pins its starting state.
-fn render_timeseries() -> String {
-    std::thread::spawn(|| {
+fn render_timeseries(shards: Option<u32>) -> String {
+    std::thread::spawn(move || {
+        des::shard::force_shards(shards);
         let mut out = String::new();
         for (name, scheme) in [
             ("local_put_remote_get", CommScheme::LocalPutRemoteGet),
@@ -78,8 +90,9 @@ fn render_timeseries() -> String {
 /// the default epoch cadence. Rendered on a dedicated thread because
 /// the audit sink is thread-local and the runs must start from a fresh
 /// chunk-pool state, exactly like the time-series golden.
-fn render_audit() -> String {
-    std::thread::spawn(|| {
+fn render_audit(shards: Option<u32>) -> String {
+    std::thread::spawn(move || {
+        des::shard::force_shards(shards);
         let mut out = String::new();
         for (name, scheme) in [
             ("local_put_remote_get", CommScheme::LocalPutRemoteGet),
@@ -108,7 +121,7 @@ fn goldens_dir() -> PathBuf {
 
 #[test]
 fn interdevice_exports_are_byte_identical_to_goldens() {
-    let (traces, metrics) = render_exports();
+    let (traces, metrics) = render_exports(None);
     let dir = goldens_dir();
     let trace_path = dir.join("fig6b_trace_exports.txt");
     let metrics_path = dir.join("fig6b_metrics_exports.txt");
@@ -140,7 +153,7 @@ fn interdevice_exports_are_byte_identical_to_goldens() {
 
 #[test]
 fn interdevice_timeseries_export_matches_golden() {
-    let timeseries = render_timeseries();
+    let timeseries = render_timeseries(None);
     let path = goldens_dir().join("fig6b_timeseries_exports.txt");
 
     if std::env::var("VSCC_GOLDEN_REGEN").map(|v| v == "1").unwrap_or(false) {
@@ -158,7 +171,7 @@ fn interdevice_timeseries_export_matches_golden() {
 
 #[test]
 fn interdevice_audit_export_matches_golden() {
-    let audit = render_audit();
+    let audit = render_audit(None);
     let path = goldens_dir().join("fig6b_audit_exports.txt");
 
     if std::env::var("VSCC_GOLDEN_REGEN").map(|v| v == "1").unwrap_or(false) {
@@ -172,6 +185,41 @@ fn interdevice_audit_export_matches_golden() {
         panic!("missing golden {} ({e}); run with VSCC_GOLDEN_REGEN=1 to create it", path.display())
     });
     assert_exports_equal("audit", &want, &audit);
+}
+
+/// The sharded engine's correctness contract (DESIGN.md §5i): with
+/// `VSCC_SHARDS=2` in effect, every fig6b export — trace, metrics,
+/// time-series, audit — must stay **byte-identical** to the committed
+/// *serial* goldens. The vSCC host and its devices are zero-latency
+/// coupled, so the whole system is one execution group driven in
+/// epoch-sliced windows; this test pins that the slicing cannot perturb
+/// virtual time, metrics, sampling, or the audited decision stream.
+#[test]
+fn sharded_exports_match_serial_goldens() {
+    if std::env::var("VSCC_GOLDEN_REGEN").map(|v| v == "1").unwrap_or(false) {
+        // Goldens are always regenerated from the serial engine.
+        return;
+    }
+    let dir = goldens_dir();
+    let want = |file: &str| {
+        let path = dir.join(file);
+        std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); run with VSCC_GOLDEN_REGEN=1 to create it",
+                path.display()
+            )
+        })
+    };
+
+    let (traces, metrics) = render_exports(Some(2));
+    assert_exports_equal("sharded trace", &want("fig6b_trace_exports.txt"), &traces);
+    assert_exports_equal("sharded metrics", &want("fig6b_metrics_exports.txt"), &metrics);
+    assert_exports_equal(
+        "sharded timeseries",
+        &want("fig6b_timeseries_exports.txt"),
+        &render_timeseries(Some(2)),
+    );
+    assert_exports_equal("sharded audit", &want("fig6b_audit_exports.txt"), &render_audit(Some(2)));
 }
 
 /// Byte-compare with a diff-friendly failure: report the first

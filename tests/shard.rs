@@ -1,0 +1,173 @@
+//! Integration tests for the sharded simulation engine (DESIGN.md §5i):
+//! a multi-device `ShardPlan` with PCIe-derived lookahead must be
+//! deterministic at every worker count, and a `VsccBuilder::shards`
+//! system (one coupled execution group, epoch-sliced at the tunnel
+//! lookahead) must land on exactly the serial engine's virtual clock
+//! and audit chain.
+
+use std::sync::Arc;
+
+use des::shard::{merge_chains, ShardPlan, Tlp};
+use des::Sim;
+use scc::geometry::CoreId;
+use vscc::{CommScheme, VsccBuilder};
+
+/// A ring of `devices` shards, each bouncing an on-chip RCCE ping-pong
+/// locally while forwarding a TLP token around the ring at the
+/// PCIe-derived lookahead. Mirrors the `engine_micro` scaling workload
+/// at test-sized proportions.
+fn ring_plan(devices: usize) -> ShardPlan<u64> {
+    const LAPS: u64 = 4;
+    let lookahead = pcie::PcieModel::default().shard_lookahead();
+    let mut plan: ShardPlan<u64> = ShardPlan::new(lookahead);
+    for d in 0..devices {
+        let n = devices;
+        plan.shard(&format!("dev{d}"), move |sim, ctx| {
+            let dev = scc::device::SccDevice::new(sim, scc::geometry::DeviceId(0));
+            let sess = rcce::SessionBuilder::new(sim, vec![dev]).max_ranks(2).build();
+            let _handles = sess.spawn_ranks(|r| async move {
+                let peer = 1 - r.id();
+                let msg = vec![0xC3u8; 512];
+                let mut buf = vec![0u8; 512];
+                for _ in 0..4 {
+                    if r.id() == 0 {
+                        r.send(&msg, peer).await;
+                        r.recv(&mut buf, peer).await;
+                    } else {
+                        r.recv(&mut buf, peer).await;
+                        r.send(&msg, peer).await;
+                    }
+                }
+                assert_eq!(buf, vec![0xC3u8; 512]);
+            });
+            let tx = ctx.tx(d);
+            let rx = ctx.rx((d + n - 1) % n);
+            let token = move |kind: u32, tag: u64| Tlp {
+                kind,
+                src: d as u32,
+                dst: ((d + 1) % n) as u32,
+                tag,
+                payload: Arc::from(&[0xEEu8; 16][..]),
+            };
+            let s = sim.clone();
+            let hops = std::rc::Rc::new(std::cell::Cell::new(0u64));
+            let hops_out = hops.clone();
+            s.spawn(async move {
+                if d == 0 {
+                    tx.send(token(0, LAPS * n as u64));
+                }
+                loop {
+                    let t = rx.recv().await;
+                    hops.set(hops.get() + 1);
+                    match (t.kind, t.tag) {
+                        (0, 0) => {
+                            tx.send(token(1, n as u64 - 1));
+                            break;
+                        }
+                        (0, ttl) => tx.send(token(0, ttl - 1)),
+                        (_, 0) => break,
+                        (_, k) => {
+                            tx.send(token(1, k - 1));
+                            break;
+                        }
+                    }
+                }
+            });
+            move || hops_out.get()
+        });
+    }
+    for d in 0..devices {
+        plan.conduit(&format!("ring{d}"), d, (d + 1) % devices, lookahead);
+    }
+    plan.audit(des::audit::DEFAULT_EPOCH_CYCLES);
+    plan
+}
+
+/// The sharded engine's determinism contract at the plan level: the
+/// same four-device ring run on 1, 2, and 4 workers produces identical
+/// outputs, clocks, engine statistics, epochs, and per-group audit
+/// exports.
+#[test]
+fn ring_plan_is_identical_at_every_worker_count() {
+    let baseline = ring_plan(4).run(1).expect("serial reference run");
+    assert_eq!(baseline.outputs.len(), 4);
+    // Every forwarder moved the token at least once.
+    assert!(baseline.outputs.iter().all(|&h| h >= 1), "hops: {:?}", baseline.outputs);
+    assert!(baseline.merged_chain.is_some(), "plan.audit() must yield a merged chain");
+    for workers in [2usize, 4] {
+        let run = ring_plan(4).run(workers).expect("sharded run");
+        assert_eq!(run.workers, workers);
+        assert_eq!(run.outputs, baseline.outputs, "workers={workers}: outputs diverged");
+        assert_eq!(run.now, baseline.now, "workers={workers}: clock diverged");
+        assert_eq!(run.epochs, baseline.epochs, "workers={workers}: epoch count diverged");
+        assert_eq!(
+            run.stats.events(),
+            baseline.stats.events(),
+            "workers={workers}: event count diverged"
+        );
+        for (a, b) in run.groups.iter().zip(baseline.groups.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.audit_json, b.audit_json, "group '{}': audit diverged", a.name);
+        }
+        assert_eq!(run.merged_chain, baseline.merged_chain, "workers={workers}: chain diverged");
+        let chains: Vec<u64> =
+            run.groups.iter().map(|g| g.audit_chain.expect("audited group")).collect();
+        assert_eq!(Some(merge_chains(&chains)), run.merged_chain);
+    }
+}
+
+/// One audited fig6b-style run; `shards` selects the engine through the
+/// builder (not the environment).
+fn audited_pingpong(shards: Option<u32>) -> (u64, u64, Option<u32>) {
+    let audit = des::audit::Audit::new(des::audit::DEFAULT_EPOCH_CYCLES);
+    let guard = audit.install();
+    let sim = Sim::new();
+    let mut b = VsccBuilder::new(&sim, 2).scheme(CommScheme::LocalPutLocalGet);
+    if let Some(n) = shards {
+        b = b.shards(n);
+    }
+    let v = b.build();
+    let a = v.devices[0].global(CoreId(0));
+    let d = v.devices[1].global(CoreId(0));
+    let s = v.session_builder().participants(vec![a, d]).build();
+    s.run_app(|r| async move {
+        if r.id() == 0 {
+            r.send(&vec![0x77u8; 4096], 1).await;
+        } else {
+            let mut buf = vec![0u8; 4096];
+            r.recv(&mut buf, 0).await;
+            assert_eq!(buf, vec![0x77u8; 4096]);
+        }
+    })
+    .expect("pingpong completes");
+    drop(guard);
+    (sim.now(), audit.chain(), v.shards())
+}
+
+/// `VsccBuilder::shards` engages the epoch-sliced engine (the system is
+/// one coupled group) without perturbing virtual time or the audited
+/// decision stream — the byte-identity contract at the builder level.
+#[test]
+fn builder_shards_is_audit_identical_to_serial() {
+    let (serial_now, serial_chain, serial_shards) = audited_pingpong(None);
+    assert_eq!(serial_shards, None);
+    for n in [1u32, 2, 4] {
+        let (now, chain, shards) = audited_pingpong(Some(n));
+        assert_eq!(shards, Some(n), "builder must record the shard count");
+        assert_eq!(now, serial_now, "shards={n}: virtual clock diverged");
+        assert_eq!(chain, serial_chain, "shards={n}: audit chain diverged");
+    }
+}
+
+/// The builder's epoch slice really engages: a sharded build slices the
+/// sim at the PCIe model's lookahead, a serial build leaves it off.
+#[test]
+fn builder_shards_sets_the_epoch_slice() {
+    let sim = Sim::new();
+    let _v = VsccBuilder::new(&sim, 2).shards(2).build();
+    assert_eq!(sim.epoch_slice(), pcie::PcieModel::default().shard_lookahead());
+
+    let sim2 = Sim::new();
+    let _v2 = VsccBuilder::new(&sim2, 2).build();
+    assert_eq!(sim2.epoch_slice(), 0, "serial build must not slice");
+}
