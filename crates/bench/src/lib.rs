@@ -26,7 +26,14 @@ pub fn banner(id: &str, caption: &str) {
     }
     match des::shard::shards_from_env() {
         Ok(Some(n)) => {
-            println!("[engine] {}={n}: sharded engine (lockstep epochs)", des::shard::SHARDS_ENV)
+            // The resolved partition (`workers=M groups=G`, with the
+            // member devices of each execution group) is echoed by the
+            // first `VsccBuilder::build` of the run, which knows the
+            // coupling graph; this line only announces the selection.
+            println!(
+                "[engine] {}={n}: multi-group sharded engine (lockstep epochs)",
+                des::shard::SHARDS_ENV
+            )
         }
         Ok(None) => {}
         Err(e) => {

@@ -28,7 +28,7 @@ use des::obs::Registry;
 use des::stats::Counter;
 use des::trace::{Category, Trace};
 use des::{Cycles, Sim};
-use pcie::{FastAck, HostFabric, PcieModel};
+use pcie::{ConduitKind, ConduitTlp, FastAck, HostFabric, PcieModel};
 use rcce::layout::{self, OFF_PAYLOAD};
 use scc::device::SccDevice;
 use scc::geometry::{DeviceId, GlobalCore, MpbAddr};
@@ -274,6 +274,23 @@ pub struct HostSide {
     devices: RefCell<Vec<Weak<SccDevice>>>,
     registered: RefCell<std::collections::HashMap<GlobalCore, (u16, usize)>>,
     workers: RefCell<Vec<Sender<HostCmd>>>,
+    /// Per-device doorbell queues: the host side of the latency-stamped
+    /// MMIO boundary (DESIGN.md §5i, "multi-group vSCC"). Cores enqueue
+    /// stamped conduit TLPs; the `mmio-d<N>` actor services each at its
+    /// stamped arrival, so no control signal crosses the host↔device
+    /// boundary in under one `PcieModel::mmio_crossing_cycles()`.
+    doorbells: RefCell<Vec<Sender<DoorbellMsg>>>,
+}
+
+/// A boundary message on a device's doorbell queue.
+enum DoorbellMsg {
+    /// Posted doorbell write: decode and dispatch the register line at
+    /// its stamped arrival.
+    Write(ConduitTlp<RegisterLine>),
+    /// Non-posted status read: answer with the packed status line,
+    /// stamped back through the ingress link. The reply carries the
+    /// answer's arrival time at the reading core.
+    Read(ConduitTlp<GlobalCore>, Sender<(Cycles, [u8; LINE_BYTES])>),
 }
 
 impl HostSide {
@@ -356,6 +373,7 @@ impl HostSide {
             devices: RefCell::new(Vec::new()),
             registered: RefCell::new(std::collections::HashMap::new()),
             workers: RefCell::new(Vec::new()),
+            doorbells: RefCell::new(Vec::new()),
         })
     }
 
@@ -369,6 +387,7 @@ impl HostSide {
     pub fn attach(self: &Rc<Self>, devices: &[Rc<SccDevice>]) {
         *self.devices.borrow_mut() = devices.iter().map(Rc::downgrade).collect();
         let mut workers = self.workers.borrow_mut();
+        let mut doorbells = self.doorbells.borrow_mut();
         for dev in devices {
             dev.set_fabric(self.clone() as Rc<dyn RemoteFabric>);
             let (tx, rx) = unbounded();
@@ -377,6 +396,14 @@ impl HostSide {
             let id = dev.id;
             self.sim.spawn_daemon(format!("commtask-d{}", id.0), async move {
                 host.worker_loop(id, rx).await;
+            });
+            // The host end of the device's MMIO conduit: services each
+            // stamped doorbell/status TLP at its arrival time.
+            let (tx, rx) = unbounded();
+            doorbells.push(tx);
+            let host = self.clone();
+            self.sim.spawn_daemon(format!("mmio-d{}", id.0), async move {
+                host.doorbell_loop(id, rx).await;
             });
         }
     }
@@ -459,6 +486,143 @@ impl HostSide {
                 HostCmd::CacheInvalidate { .. } | HostCmd::RegisterBuffer { .. } => {}
             }
             busy.add(self.sim.now() - cmd_start);
+        }
+    }
+
+    /// The host end of one device's MMIO conduit: each stamped control
+    /// TLP becomes visible here at its arrival time, never earlier.
+    /// Per-device FIFO servicing mirrors the egress link's FIFO wire, so
+    /// doorbells from one device decode in issue order.
+    async fn doorbell_loop(self: Rc<Self>, device: DeviceId, rx: Receiver<DoorbellMsg>) {
+        while let Some(msg) = rx.recv().await {
+            match msg {
+                DoorbellMsg::Write(tlp) => {
+                    if self.sim.now() < tlp.arrival {
+                        self.sim.delay_until(tlp.arrival).await;
+                    }
+                    self.service_doorbell(tlp.payload).await;
+                }
+                DoorbellMsg::Read(tlp, reply) => {
+                    if self.sim.now() < tlp.arrival {
+                        self.sim.delay_until(tlp.arrival).await;
+                    }
+                    // Software answer: the daemon packs the status line,
+                    // then stamps it back through the ingress link.
+                    self.sim.delay(self.cfg.model.sw_answer_cycles).await;
+                    let data = scc::remote::pack_vdma_line(
+                        self.stats.vdma_ops.get(),
+                        self.stats.cache_updates.get(),
+                        self.stats.flag_forwards.get(),
+                        self.stats.routed_lines.get(),
+                    );
+                    let port = self.fabric.port(device);
+                    let (ans, _) = port.stamp_to_device(
+                        &self.sim,
+                        ConduitKind::StatusAnswer,
+                        LINE_BYTES as u64,
+                        data,
+                    );
+                    let _ = reply.try_send((ans.arrival, ans.payload));
+                }
+            }
+        }
+    }
+
+    /// Decode and dispatch one doorbell line at its host-side arrival:
+    /// the fault/retry machinery, the register decode, and the commtask
+    /// dispatch — everything that used to run inline in the issuing
+    /// core's task before the boundary was latency-stamped.
+    async fn service_doorbell(&self, line: RegisterLine) {
+        let sim = self.sim.clone();
+        let mut line = line;
+        let port = self.fabric.port(line.src.device);
+        if let Some(plan) = &self.faults {
+            let pristine = line.clone();
+            let mut attempt = 0u32;
+            loop {
+                match plan.mmio_fault(sim.now()) {
+                    None => break,
+                    Some(MmioFault::Stuck) => {
+                        if !self.recovery.enabled {
+                            // The register never latched; the command is
+                            // simply gone (the posted write vanished).
+                            return;
+                        }
+                    }
+                    Some(MmioFault::Garble) => {
+                        plan.garble(&mut line.data);
+                        // A pre-recovery host executes whatever the
+                        // garbled line decodes to; the guard word only
+                        // matters once the recovery layer checks it.
+                        if !self.recovery.enabled || mmio::verify(&line) {
+                            break;
+                        }
+                    }
+                }
+                attempt += 1;
+                if attempt > self.recovery.max_retries {
+                    self.rstats.giveups.inc();
+                    return;
+                }
+                // Detected by status-register readback: charge the
+                // readback round trip plus the line re-issue.
+                self.rstats.mmio_retries.inc();
+                self.trace.instant_f(
+                    sim.now(),
+                    Category::Fault,
+                    "mmio_retry",
+                    None,
+                    || self.commtask_label(line.src.device.0),
+                    || fields![line = line.line as u64, attempt = attempt as u64],
+                );
+                sim.delay(self.cfg.model.host_answered_round_trip()).await;
+                port.egress.transfer(&sim, LINE_BYTES as u64).await;
+                line = pristine.clone();
+            }
+        }
+        let Some(cmd) = mmio::decode(&line) else {
+            // Writes to undefined register lines are absorbed like
+            // scratch MMIO space (and still cost the transaction).
+            return;
+        };
+        let kind = match &cmd {
+            HostCmd::VdmaStart { .. } => "mmio_vdma_start",
+            HostCmd::CacheUpdate { .. } => "mmio_cache_update",
+            HostCmd::CacheInvalidate { .. } => "mmio_cache_invalidate",
+            HostCmd::RegisterBuffer { .. } => "mmio_register_buffer",
+        };
+        let flow = match &cmd {
+            HostCmd::VdmaStart { flow, .. } | HostCmd::CacheUpdate { flow, .. } => *flow,
+            _ => None,
+        };
+        self.trace.instant_f(
+            sim.now(),
+            Category::Vdma,
+            kind,
+            flow,
+            || self.commtask_label(line.src.device.0),
+            || fields![core = line.src.core.0 as u64],
+        );
+        match cmd {
+            HostCmd::RegisterBuffer { owner, offset, len } => {
+                self.registered.borrow_mut().insert(owner, (offset, len));
+            }
+            HostCmd::CacheInvalidate { owner, offset, len } => {
+                self.cache.invalidate(owner, offset, len);
+            }
+            HostCmd::CacheUpdate { owner, .. } => {
+                // Mark in flight *now* so reads ordered after this
+                // doorbell's arrival wait for the prefetch.
+                self.cache.begin_update(owner);
+                self.workers.borrow()[line.src.device.0 as usize]
+                    .try_send(cmd)
+                    .expect("worker queue is unbounded");
+            }
+            HostCmd::VdmaStart { .. } => {
+                self.workers.borrow()[line.src.device.0 as usize]
+                    .try_send(cmd)
+                    .expect("worker queue is unbounded");
+            }
         }
     }
 
@@ -1184,99 +1348,19 @@ impl RemoteFabric for HostSide {
     fn mmio_write(&self, line: RegisterLine) -> LocalBoxFuture<'_, ()> {
         Box::pin(async move {
             let sim = self.sim.clone();
-            let mut line = line;
-            // One fused 32 B transaction to the host register window.
-            let port = self.fabric.port(line.src.device);
-            port.egress.transfer(&sim, LINE_BYTES as u64).await;
-            if let Some(plan) = &self.faults {
-                let pristine = line.clone();
-                let mut attempt = 0u32;
-                loop {
-                    match plan.mmio_fault(sim.now()) {
-                        None => break,
-                        Some(MmioFault::Stuck) => {
-                            if !self.recovery.enabled {
-                                // The register never latched; the command
-                                // is simply gone (and the issuing core's
-                                // transfer never completes).
-                                return;
-                            }
-                        }
-                        Some(MmioFault::Garble) => {
-                            plan.garble(&mut line.data);
-                            // A pre-recovery host executes whatever the
-                            // garbled line decodes to; the guard word only
-                            // matters once the recovery layer checks it.
-                            if !self.recovery.enabled || mmio::verify(&line) {
-                                break;
-                            }
-                        }
-                    }
-                    attempt += 1;
-                    if attempt > self.recovery.max_retries {
-                        self.rstats.giveups.inc();
-                        return;
-                    }
-                    // Detected by status-register readback: charge the
-                    // readback round trip plus the line re-issue.
-                    self.rstats.mmio_retries.inc();
-                    self.trace.instant_f(
-                        sim.now(),
-                        Category::Fault,
-                        "mmio_retry",
-                        None,
-                        || self.commtask_label(line.src.device.0),
-                        || fields![line = line.line as u64, attempt = attempt as u64],
-                    );
-                    sim.delay(self.cfg.model.host_answered_round_trip()).await;
-                    port.egress.transfer(&sim, LINE_BYTES as u64).await;
-                    line = pristine.clone();
-                }
-            }
-            let Some(cmd) = mmio::decode(&line) else {
-                // Writes to undefined register lines are absorbed like
-                // scratch MMIO space (and still cost the transaction).
-                return;
-            };
-            let kind = match &cmd {
-                HostCmd::VdmaStart { .. } => "mmio_vdma_start",
-                HostCmd::CacheUpdate { .. } => "mmio_cache_update",
-                HostCmd::CacheInvalidate { .. } => "mmio_cache_invalidate",
-                HostCmd::RegisterBuffer { .. } => "mmio_register_buffer",
-            };
-            let flow = match &cmd {
-                HostCmd::VdmaStart { flow, .. } | HostCmd::CacheUpdate { flow, .. } => *flow,
-                _ => None,
-            };
-            self.trace.instant_f(
-                sim.now(),
-                Category::Vdma,
-                kind,
-                flow,
-                || self.commtask_label(line.src.device.0),
-                || fields![core = line.src.core.0 as u64],
-            );
-            match cmd {
-                HostCmd::RegisterBuffer { owner, offset, len } => {
-                    self.registered.borrow_mut().insert(owner, (offset, len));
-                }
-                HostCmd::CacheInvalidate { owner, offset, len } => {
-                    self.cache.invalidate(owner, offset, len);
-                }
-                HostCmd::CacheUpdate { owner, .. } => {
-                    // Mark in flight *now* so reads ordered after this
-                    // MMIO write wait for the prefetch.
-                    self.cache.begin_update(owner);
-                    self.workers.borrow()[line.src.device.0 as usize]
-                        .try_send(cmd)
-                        .expect("worker queue is unbounded");
-                }
-                HostCmd::VdmaStart { .. } => {
-                    self.workers.borrow()[line.src.device.0 as usize]
-                        .try_send(cmd)
-                        .expect("worker queue is unbounded");
-                }
-            }
+            let dev = line.src.device;
+            // One fused 32 B posted TLP into the host register window,
+            // stamped with the full SIF crossing (DESIGN.md §5i): the
+            // doorbell becomes visible host-side only at its arrival,
+            // and the issuing core continues at wire-free time —
+            // posted-write semantics, exactly like a PCIe memory write.
+            let port = self.fabric.port(dev);
+            let (tlp, wire_free) =
+                port.stamp_to_host(&sim, ConduitKind::Doorbell, LINE_BYTES as u64, line);
+            self.doorbells.borrow()[dev.0 as usize]
+                .try_send(DoorbellMsg::Write(tlp))
+                .unwrap_or_else(|_| panic!("doorbell queue is unbounded"));
+            sim.delay_until(wire_free).await;
         })
     }
 
@@ -1284,16 +1368,23 @@ impl RemoteFabric for HostSide {
         Box::pin(async move {
             let sim = self.sim.clone();
             let port = self.fabric.port(src.device);
-            port.egress.transfer(&sim, LINE_BYTES as u64).await;
-            sim.delay(self.cfg.model.sw_answer_cycles).await;
-            port.ingress.transfer(&sim, LINE_BYTES as u64).await;
-            // Status register: operation counters for diagnostics.
-            scc::remote::pack_vdma_line(
-                self.stats.vdma_ops.get(),
-                self.stats.cache_updates.get(),
-                self.stats.flag_forwards.get(),
-                self.stats.routed_lines.get(),
-            )
+            // Non-posted status read: the request TLP crosses at its
+            // stamped arrival, the host daemon answers after its
+            // software answer time, and the completion crosses back
+            // with its own stamp. The reader blocks for the full round
+            // trip — both crossings plus the answer cost, every cycle
+            // of it on modeled links.
+            let (tlp, _) =
+                port.stamp_to_host(&sim, ConduitKind::StatusRead, LINE_BYTES as u64, src);
+            let (reply_tx, reply_rx) = unbounded();
+            self.doorbells.borrow()[src.device.0 as usize]
+                .try_send(DoorbellMsg::Read(tlp, reply_tx))
+                .unwrap_or_else(|_| panic!("doorbell queue is unbounded"));
+            let (arrival, data) = reply_rx.recv().await.expect("host answers status reads");
+            if sim.now() < arrival {
+                sim.delay_until(arrival).await;
+            }
+            data
         })
     }
 }

@@ -22,9 +22,13 @@
 //!   pairs (latency ≥ lookahead, validated at plan time). Zero-latency
 //!   couplings ([`ShardPlan::couple`]) merge shards into one *execution
 //!   group* sharing a [`Sim`] — the standard PDES answer to
-//!   tighter-than-lookahead dependencies. The fig6b system today is one
-//!   such group (the host touches device MPBs directly), which is why
-//!   its sharded runs are byte-identical by construction.
+//!   tighter-than-lookahead dependencies. Latency-stamped couplings
+//!   ([`ShardPlan::couple_stamped`]) declare the boundary cost instead
+//!   and let [`partition_groups`] decide: at or above the lookahead the
+//!   edge is a safe cut and the endpoints stay separate groups. The
+//!   vSCC system stamps its host↔device MMIO plane at exactly the
+//!   tunnel lookahead, so each `SccDevice` partitions into its own
+//!   group (DESIGN.md §5i, "multi-group vSCC").
 //! * Workers advance their groups through bounded windows
 //!   ([`Sim::run_until`]), meet at a [`std::sync::Barrier`], exchange
 //!   staged messages, agree on the next bound (minimum next event
@@ -115,6 +119,64 @@ pub struct Tlp {
 pub type ShardId = usize;
 /// Index of a conduit in its [`ShardPlan`].
 pub type ConduitId = usize;
+
+/// One edge of a coupling graph, as consumed by [`partition_groups`]:
+/// `(a, b, latency)`. `None` is a zero-latency coupling
+/// ([`ShardPlan::couple`]) that always merges its endpoints; `Some(l)`
+/// is a latency-stamped coupling ([`ShardPlan::couple_stamped`]) that
+/// merges them only when `l` is below the lookahead — at or above it,
+/// the boundary is safe to cut (a message stamped `now + l` always
+/// lands beyond the current epoch window) and the endpoints stay in
+/// separate execution groups.
+pub type CouplingEdge = (ShardId, ShardId, Option<Cycles>);
+
+/// Partition `n` shards into execution groups given the coupling graph:
+/// connected components of the sub-lookahead subgraph (zero-latency
+/// edges plus stamped edges with `latency < lookahead`), each component
+/// sorted, components ordered by smallest member. Deterministic (pure
+/// union-find, no iteration-order dependence) and minimal: two shards
+/// share a group *iff* a sub-lookahead path connects them, so a
+/// latency-stamped boundary never glues shards together needlessly.
+pub fn partition_groups(n: usize, lookahead: Cycles, edges: &[CouplingEdge]) -> Vec<Vec<ShardId>> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for &(a, b, latency) in edges {
+        assert!(a < n && b < n, "coupling edge ({a}, {b}) names a shard out of range 0..{n}");
+        let merges = match latency {
+            None => true,
+            Some(l) => l < lookahead,
+        };
+        if merges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra.max(rb)] = ra.min(rb);
+            }
+        }
+    }
+    let mut groups: Vec<Vec<ShardId>> = Vec::new();
+    let mut group_of_root = vec![usize::MAX; n];
+    for s in 0..n {
+        let root = find(&mut parent, s);
+        if group_of_root[root] == usize::MAX {
+            group_of_root[root] = groups.len();
+            groups.push(Vec::new());
+        }
+        groups[group_of_root[root]].push(s);
+    }
+    groups
+}
 
 #[derive(Clone)]
 struct ConduitDef {
@@ -281,7 +343,7 @@ pub struct ShardPlan<R> {
     lookahead: Cycles,
     shards: Vec<ShardDef<R>>,
     conduits: Vec<ConduitDef>,
-    couplings: Vec<(ShardId, ShardId)>,
+    couplings: Vec<CouplingEdge>,
     audit_cadence: Option<u64>,
 }
 
@@ -349,7 +411,22 @@ impl<R: Send> ShardPlan<R> {
     /// worker and a virtual clock (they merge into one execution group).
     pub fn couple(&mut self, a: ShardId, b: ShardId) {
         assert!(a < self.shards.len() && b < self.shards.len(), "coupled shards must exist");
-        self.couplings.push((a, b));
+        self.couplings.push((a, b, None));
+    }
+
+    /// Declare a latency-stamped coupling: every signal between `a` and
+    /// `b` is stamped with at least `latency` cycles of modeled delay.
+    /// When `latency >= lookahead` the boundary is a legal PDES cut and
+    /// the shards stay in separate execution groups; below the
+    /// lookahead it degenerates to [`ShardPlan::couple`]. This is how a
+    /// system declares its boundary cost once and lets the partitioner
+    /// decide — the vSCC host↔device MMIO plane stamps every doorbell
+    /// and status read with `pcie::PcieModel::mmio_crossing_cycles()`
+    /// (== the tunnel lookahead), so each device partitions into its
+    /// own group.
+    pub fn couple_stamped(&mut self, a: ShardId, b: ShardId, latency: Cycles) {
+        assert!(a < self.shards.len() && b < self.shards.len(), "coupled shards must exist");
+        self.couplings.push((a, b, Some(latency)));
     }
 
     /// Record per-group audit streams at the given epoch cadence; the
@@ -457,41 +534,11 @@ impl<R: Send> ShardPlan<R> {
         })
     }
 
-    /// Union-find over the couplings: connected components, each sorted,
-    /// ordered by smallest member — the *execution groups*.
-    fn execution_groups(&self) -> Vec<Vec<ShardId>> {
-        let n = self.shards.len();
-        let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut [usize], x: usize) -> usize {
-            let mut root = x;
-            while parent[root] != root {
-                root = parent[root];
-            }
-            let mut cur = x;
-            while parent[cur] != root {
-                let next = parent[cur];
-                parent[cur] = root;
-                cur = next;
-            }
-            root
-        }
-        for &(a, b) in &self.couplings {
-            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
-            if ra != rb {
-                parent[ra.max(rb)] = ra.min(rb);
-            }
-        }
-        let mut groups: Vec<Vec<ShardId>> = Vec::new();
-        let mut group_of_root = vec![usize::MAX; n];
-        for s in 0..n {
-            let root = find(&mut parent, s);
-            if group_of_root[root] == usize::MAX {
-                group_of_root[root] = groups.len();
-                groups.push(Vec::new());
-            }
-            groups[group_of_root[root]].push(s);
-        }
-        groups
+    /// The plan's execution groups ([`partition_groups`] over its
+    /// coupling graph): connected components of the sub-lookahead
+    /// couplings, each sorted, ordered by smallest member.
+    pub fn execution_groups(&self) -> Vec<Vec<ShardId>> {
+        partition_groups(self.shards.len(), self.lookahead, &self.couplings)
     }
 }
 
@@ -639,6 +686,9 @@ struct GroupRuntime<R> {
     /// Incoming queues, `(conduit, queue)` in conduit order.
     inq: Vec<(ConduitId, Rc<RefCell<RxShared>>)>,
     shard_names: Vec<String>,
+    /// The last epoch bound this group ran up to (diagnostics: a
+    /// deadlocked group reports the boundary it last crossed).
+    last_bound: Cycles,
 }
 
 fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
@@ -685,6 +735,7 @@ fn build_group<R>(
         out,
         inq,
         shard_names: spec.shards.iter().map(|(_, n, _)| n.clone()).collect(),
+        last_bound: 0,
     };
     let built = catch_unwind(AssertUnwindSafe(|| {
         let _guard = g.audit.as_ref().map(|a| a.install());
@@ -736,6 +787,7 @@ fn run_window<R>(g: &mut GroupRuntime<R>, bound: Cycles) {
     if matches!(g.status, PostStatus::Err(_)) {
         return;
     }
+    g.last_bound = bound;
     let res = catch_unwind(AssertUnwindSafe(|| {
         let _guard = g.audit.as_ref().map(|a| a.install());
         g.sim.run_until(bound)
@@ -843,9 +895,23 @@ fn decide<R>(ex: &Exchange<R>, lookahead: Cycles) {
 
 fn finalize<R>(g: GroupRuntime<R>, ex: &Exchange<R>) {
     let mut status = g.status;
+    // A stuck group names itself, its member shards, and the last epoch
+    // boundary it crossed — with multi-shard groups no longer 1:1 with
+    // the whole system, "which group, containing which devices, stalled
+    // where" is the actionable diagnosis.
     let stuck = match status {
         PostStatus::Stalled => {
-            g.sim.live_task_names().into_iter().map(|t| format!("[shard {}] {t}", g.name)).collect()
+            let members = g.shard_names.join(", ");
+            g.sim
+                .live_task_names()
+                .into_iter()
+                .map(|t| {
+                    format!(
+                        "[group {} (members: {}) last epoch bound {}] {t}",
+                        g.name, members, g.last_bound
+                    )
+                })
+                .collect()
         }
         _ => Vec::new(),
     };
@@ -1067,7 +1133,7 @@ mod tests {
     }
 
     #[test]
-    fn cross_shard_deadlock_names_the_shard() {
+    fn cross_shard_deadlock_names_the_group() {
         let mut plan: ShardPlan<()> = ShardPlan::new(LOOKAHEAD);
         plan.shard("quiet", |_, _| || ());
         plan.shard("waiter", |sim, ctx| {
@@ -1077,13 +1143,60 @@ mod tests {
             });
             || ()
         });
+        plan.shard("buddy", |_, _| || ());
         plan.conduit("silent", 0, 1, LOOKAHEAD);
+        plan.couple(1, 2);
         match plan.run(2) {
             Err(SimError::Deadlock(names)) => {
-                assert_eq!(names, vec!["[shard waiter] starved-recv".to_string()]);
+                // The report names the stuck *group*, its member shards,
+                // and the last epoch boundary it crossed (window 0 runs
+                // up to the lookahead before the engine stops).
+                assert_eq!(
+                    names,
+                    vec![format!(
+                        "[group waiter+buddy (members: waiter, buddy) \
+                         last epoch bound {LOOKAHEAD}] starved-recv"
+                    )]
+                );
             }
-            other => panic!("expected a shard-named deadlock, got {other:?}"),
+            other => panic!("expected a group-named deadlock, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stamped_couplings_partition_at_the_lookahead() {
+        let mut plan: ShardPlan<()> = ShardPlan::new(LOOKAHEAD);
+        for name in ["host", "dev0", "dev1", "dev2"] {
+            plan.shard(name, |_, _| || ());
+        }
+        // Boundary cost == lookahead: every device is its own group.
+        for d in 1..4 {
+            plan.couple_stamped(0, d, LOOKAHEAD);
+        }
+        assert_eq!(plan.execution_groups(), vec![vec![0], vec![1], vec![2], vec![3]]);
+        // One sub-lookahead edge pulls that device into the host group.
+        plan.couple_stamped(0, 2, LOOKAHEAD - 1);
+        assert_eq!(plan.execution_groups(), vec![vec![0, 2], vec![1], vec![3]]);
+        let report = plan.run(8).unwrap();
+        assert_eq!(report.workers, 3, "workers clamp to the group count");
+        assert_eq!(report.groups[0].name, "host+dev1");
+    }
+
+    #[test]
+    fn partition_groups_is_deterministic_and_minimal() {
+        // Mixed zero-latency and stamped edges, deliberately unordered.
+        let edges: Vec<CouplingEdge> = vec![
+            (4, 2, Some(LOOKAHEAD)),     // safe cut: no merge
+            (3, 1, None),                // zero-latency: merge
+            (0, 4, Some(LOOKAHEAD - 1)), // sub-lookahead: merge
+            (2, 2, Some(1)),             // self edge: no-op
+        ];
+        let groups = partition_groups(6, LOOKAHEAD, &edges);
+        assert_eq!(groups, vec![vec![0, 4], vec![1, 3], vec![2], vec![5]]);
+        // Deterministic: recomputing (and reversing edge order) agrees.
+        let mut rev = edges.clone();
+        rev.reverse();
+        assert_eq!(partition_groups(6, LOOKAHEAD, &rev), groups);
     }
 
     #[test]

@@ -99,6 +99,20 @@ impl PcieModel {
         self.sif_packet_cycles + self.hw_latency
     }
 
+    /// One-way cost of an MMIO doorbell or status TLP crossing the SIF
+    /// boundary: one 32 B packet through the SIF pipeline plus the PCIe
+    /// hardware hop — the same two terms as [`Self::shard_lookahead`],
+    /// and deliberately *equal* to it. The vSCC MMIO plane stamps every
+    /// host↔device control signal with this cost (a doorbell write is
+    /// a posted TLP; a status read is a non-posted TLP plus an answer
+    /// stamped with the same cost on the way back), which makes the
+    /// host↔device coupling a legal PDES cut: no control signal can
+    /// become visible across the boundary in under one lookahead, so
+    /// each device may run as its own execution group (DESIGN.md §5i).
+    pub fn mmio_crossing_cycles(&self) -> Cycles {
+        self.sif_packet_cycles + self.hw_latency
+    }
+
     /// Per-attempt timeout before the recovery layer retries a tunnel
     /// transfer: four routed round trips (~48 k cycles). Rationale: the
     /// slowest legitimate single-line exchange is one routed round trip;
@@ -194,6 +208,19 @@ mod tests {
         assert!(m.shard_lookahead() <= m.host_answered_round_trip());
         assert!(m.shard_lookahead() * 4 <= m.routed_line_round_trip());
         assert!(m.shard_lookahead() >= 1, "zero lookahead would stall epochs");
+    }
+
+    #[test]
+    fn mmio_crossing_equals_the_lookahead() {
+        // The multi-group partition (DESIGN.md §5i) rests on this
+        // identity: every MMIO control signal costs exactly one
+        // lookahead to cross the boundary, so the host↔device coupling
+        // is a legal PDES cut at any parameterisation of the model.
+        let m = PcieModel::default();
+        assert_eq!(m.mmio_crossing_cycles(), m.shard_lookahead());
+        let skewed = PcieModel { sif_packet_cycles: 123, hw_latency: 456, ..PcieModel::default() };
+        assert_eq!(skewed.mmio_crossing_cycles(), skewed.shard_lookahead());
+        assert_eq!(skewed.mmio_crossing_cycles(), 579);
     }
 
     #[test]

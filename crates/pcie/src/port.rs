@@ -11,10 +11,45 @@ use std::rc::Rc;
 use des::faultplan::FaultPlan;
 use des::link::{Bandwidth, Link};
 use des::obs::Registry;
+use des::stats::Counter;
 use des::{Cycles, Sim};
 use scc::geometry::DeviceId;
 
 use crate::model::PcieModel;
+
+/// Kind discriminator of a host↔device control TLP on the MMIO conduit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConduitKind {
+    /// Posted doorbell write into a host register window (core → host).
+    /// The sender continues at wire-free time; the write lands at the
+    /// stamped arrival.
+    Doorbell,
+    /// Non-posted status read request (core → host); the reader blocks
+    /// until the matching [`ConduitKind::StatusAnswer`] returns.
+    StatusRead,
+    /// Completion carrying the status payload back (host → core).
+    StatusAnswer,
+}
+
+/// A latency-stamped control TLP crossing the host↔device boundary:
+/// the payload plus the virtual time at which it becomes visible on
+/// the far side. Stamped only by [`DevicePort::stamp_to_host`] /
+/// [`DevicePort::stamp_to_device`], so every instance carries at least
+/// [`PcieModel::mmio_crossing_cycles`] of modeled delay — the property
+/// that makes the host↔device coupling a legal PDES cut (the conduit
+/// TLP is the `des::shard` boundary-message discipline applied to the
+/// MMIO plane).
+#[derive(Debug, Clone)]
+pub struct ConduitTlp<T> {
+    /// What kind of control signal this is.
+    pub kind: ConduitKind,
+    /// The device whose port stamped it.
+    pub device: DeviceId,
+    /// Virtual time at which the TLP is visible at the far end.
+    pub arrival: Cycles,
+    /// The control payload (register line, packed status, ...).
+    pub payload: T,
+}
 
 /// One device's PCIe attachment (SIF + FPGA + cable).
 pub struct DevicePort {
@@ -27,6 +62,11 @@ pub struct DevicePort {
     /// Installed fault plan, if any; gates transfers during link-down
     /// windows. `None` (the default) is the zero-perturbation path.
     faults: RefCell<Option<Rc<FaultPlan>>>,
+    /// The model's minimum boundary-crossing cost; the stamp helpers
+    /// assert every stamped arrival respects it.
+    min_crossing: Cycles,
+    /// Control TLPs stamped through this port (both directions).
+    conduit_tlps: Counter,
 }
 
 impl DevicePort {
@@ -38,7 +78,52 @@ impl DevicePort {
             ingress: Link::new(bw, model.hw_latency, model.per_transfer_cycles),
             device,
             faults: RefCell::new(None),
+            min_crossing: model.mmio_crossing_cycles(),
+            conduit_tlps: Counter::new(),
         }
+    }
+
+    /// Stamp a control TLP device → host: reserve `bytes` of egress
+    /// wire time and return the stamped TLP plus the posted-completion
+    /// point (`wire_free`) at which the sender may continue. The
+    /// arrival stamp is checked against the model's minimum crossing
+    /// cost — the boundary discipline the multi-group partition relies
+    /// on (DESIGN.md §5i).
+    pub fn stamp_to_host<T>(
+        &self,
+        sim: &Sim,
+        kind: ConduitKind,
+        bytes: u64,
+        payload: T,
+    ) -> (ConduitTlp<T>, Cycles) {
+        let res = self.egress.reserve_timed(sim, bytes);
+        self.check_stamp(sim, res.arrival);
+        (ConduitTlp { kind, device: self.device, arrival: res.arrival, payload }, res.wire_free)
+    }
+
+    /// Stamp a control TLP host → device (status answers): reserve
+    /// `bytes` of ingress wire time and return the stamped TLP plus the
+    /// wire-free point.
+    pub fn stamp_to_device<T>(
+        &self,
+        sim: &Sim,
+        kind: ConduitKind,
+        bytes: u64,
+        payload: T,
+    ) -> (ConduitTlp<T>, Cycles) {
+        let res = self.ingress.reserve_timed(sim, bytes);
+        self.check_stamp(sim, res.arrival);
+        (ConduitTlp { kind, device: self.device, arrival: res.arrival, payload }, res.wire_free)
+    }
+
+    fn check_stamp(&self, sim: &Sim, arrival: Cycles) {
+        self.conduit_tlps.add(1);
+        debug_assert!(
+            arrival.saturating_sub(sim.now()) >= self.min_crossing,
+            "conduit TLP stamped {} cycles ahead, below the {}-cycle boundary minimum",
+            arrival.saturating_sub(sim.now()),
+            self.min_crossing
+        );
     }
 
     /// Install a fault plan on this port.
@@ -89,6 +174,7 @@ impl DevicePort {
         let link = registry.scoped("pcie").scoped(&format!("link{}", self.device.0));
         self.egress.register_metrics(&link.scoped("egress"));
         self.ingress.register_metrics(&link.scoped("ingress"));
+        link.scoped("conduit").adopt_counter("tlps", &self.conduit_tlps);
     }
 }
 
@@ -258,6 +344,35 @@ mod tests {
             })
             .unwrap();
         assert!(t0 < 5_000);
+    }
+
+    #[test]
+    fn conduit_stamps_respect_the_boundary_minimum() {
+        let sim = Sim::new();
+        let model = PcieModel::default();
+        let fabric = HostFabric::new(model.clone(), 1);
+        let reg = Registry::new();
+        fabric.register_metrics(&reg);
+        let port = fabric.port(DeviceId(0));
+        // A posted doorbell: the sender's continuation point precedes
+        // the arrival, and the arrival carries at least one full
+        // MMIO crossing of modeled delay.
+        let (tlp, wire_free) = port.stamp_to_host(&sim, ConduitKind::Doorbell, 32, 0xD00Du32);
+        assert_eq!(tlp.kind, ConduitKind::Doorbell);
+        assert_eq!(tlp.payload, 0xD00D);
+        assert!(wire_free < tlp.arrival, "posted writer continues before the TLP lands");
+        assert!(
+            tlp.arrival - sim.now() >= model.mmio_crossing_cycles(),
+            "doorbell stamped {} cycles ahead, below the crossing cost",
+            tlp.arrival - sim.now()
+        );
+        // The answer direction observes the same discipline.
+        let (ans, _) = port.stamp_to_device(&sim, ConduitKind::StatusAnswer, 32, [0u8; 4]);
+        assert!(ans.arrival - sim.now() >= model.mmio_crossing_cycles());
+        assert_eq!(reg.counter("pcie.link0.conduit.tlps").get(), 2);
+        // Back-to-back stamps queue on the wire FIFO like any transfer.
+        let (second, _) = port.stamp_to_host(&sim, ConduitKind::StatusRead, 32, 0u32);
+        assert!(second.arrival > tlp.arrival);
     }
 
     #[test]

@@ -45,8 +45,8 @@ fn golden_fig6b_shaped_run_is_byte_identical_and_pinned() {
     assert_eq!(trace_a, trace_b, "trace export must not vary between identical runs");
     assert_eq!(metrics_a, metrics_b, "metrics export must not vary between identical runs");
 
-    const GOLDEN_TRACE_FNV: u64 = 0xbdaa_7789_9200_0888;
-    const GOLDEN_METRICS_FNV: u64 = 0xf773_1122_ab3d_7593;
+    const GOLDEN_TRACE_FNV: u64 = 0xfef8_4418_e1a5_4fe4;
+    const GOLDEN_METRICS_FNV: u64 = 0x72d8_584d_a44c_fb1b;
     assert_eq!(
         fnv1a(trace_a.as_bytes()),
         GOLDEN_TRACE_FNV,

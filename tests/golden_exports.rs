@@ -188,12 +188,15 @@ fn interdevice_audit_export_matches_golden() {
 }
 
 /// The sharded engine's correctness contract (DESIGN.md §5i): with
-/// `VSCC_SHARDS=2` in effect, every fig6b export — trace, metrics,
+/// `VSCC_SHARDS` in effect, every fig6b export — trace, metrics,
 /// time-series, audit — must stay **byte-identical** to the committed
-/// *serial* goldens. The vSCC host and its devices are zero-latency
-/// coupled, so the whole system is one execution group driven in
-/// epoch-sliced windows; this test pins that the slicing cannot perturb
-/// virtual time, metrics, sampling, or the audited decision stream.
+/// *serial* goldens at any worker count. The host↔device MMIO boundary
+/// is latency-stamped at the tunnel lookahead, so the fig6b system
+/// partitions into one execution group per device plus the host; this
+/// test pins that neither the epoch-sliced windows nor the partition
+/// can perturb virtual time, metrics, sampling, or the audited
+/// decision stream — at one worker, at two, and at the full
+/// one-worker-per-group count.
 #[test]
 fn sharded_exports_match_serial_goldens() {
     if std::env::var("VSCC_GOLDEN_REGEN").map(|v| v == "1").unwrap_or(false) {
@@ -211,15 +214,29 @@ fn sharded_exports_match_serial_goldens() {
         })
     };
 
-    let (traces, metrics) = render_exports(Some(2));
-    assert_exports_equal("sharded trace", &want("fig6b_trace_exports.txt"), &traces);
-    assert_exports_equal("sharded metrics", &want("fig6b_metrics_exports.txt"), &metrics);
-    assert_exports_equal(
-        "sharded timeseries",
-        &want("fig6b_timeseries_exports.txt"),
-        &render_timeseries(Some(2)),
-    );
-    assert_exports_equal("sharded audit", &want("fig6b_audit_exports.txt"), &render_audit(Some(2)));
+    for shards in [1u32, 2, 5] {
+        let (traces, metrics) = render_exports(Some(shards));
+        assert_exports_equal(
+            &format!("sharded({shards}) trace"),
+            &want("fig6b_trace_exports.txt"),
+            &traces,
+        );
+        assert_exports_equal(
+            &format!("sharded({shards}) metrics"),
+            &want("fig6b_metrics_exports.txt"),
+            &metrics,
+        );
+        assert_exports_equal(
+            &format!("sharded({shards}) timeseries"),
+            &want("fig6b_timeseries_exports.txt"),
+            &render_timeseries(Some(shards)),
+        );
+        assert_exports_equal(
+            &format!("sharded({shards}) audit"),
+            &want("fig6b_audit_exports.txt"),
+            &render_audit(Some(shards)),
+        );
+    }
 }
 
 /// Byte-compare with a diff-friendly failure: report the first

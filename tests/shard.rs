@@ -1,14 +1,17 @@
 //! Integration tests for the sharded simulation engine (DESIGN.md §5i):
 //! a multi-device `ShardPlan` with PCIe-derived lookahead must be
-//! deterministic at every worker count, and a `VsccBuilder::shards`
-//! system (one coupled execution group, epoch-sliced at the tunnel
+//! deterministic at every worker count, the coupling-graph partitioner
+//! must be deterministic and minimal over arbitrary mixed graphs, and a
+//! `VsccBuilder::shards` system (latency-stamped MMIO boundary, one
+//! execution group per device plus the host, epoch-sliced at the tunnel
 //! lookahead) must land on exactly the serial engine's virtual clock
 //! and audit chain.
 
 use std::sync::Arc;
 
-use des::shard::{merge_chains, ShardPlan, Tlp};
+use des::shard::{merge_chains, partition_groups, CouplingEdge, ShardPlan, Tlp};
 use des::Sim;
+use proptest::prelude::*;
 use scc::geometry::CoreId;
 use vscc::{CommScheme, VsccBuilder};
 
@@ -170,4 +173,123 @@ fn builder_shards_sets_the_epoch_slice() {
     let sim2 = Sim::new();
     let _v2 = VsccBuilder::new(&sim2, 2).build();
     assert_eq!(sim2.epoch_slice(), 0, "serial build must not slice");
+}
+
+/// The latency-stamped MMIO boundary makes the calibrated system
+/// genuinely multi-group: a five-device build partitions into six
+/// execution groups — the host alone plus one per device — because
+/// every host↔device coupling is stamped at the MMIO crossing cost,
+/// which equals the tunnel lookahead. The partition is computed for
+/// serial builds too (it describes the coupling graph, not the engine
+/// selection).
+#[test]
+fn five_device_system_partitions_into_six_groups() {
+    for shards in [None, Some(5u32)] {
+        let sim = Sim::new();
+        let mut b = VsccBuilder::new(&sim, 5);
+        if let Some(n) = shards {
+            b = b.shards(n);
+        }
+        let v = b.build();
+        let groups = v.shard_groups();
+        assert_eq!(groups.len(), 6, "shards={shards:?}: groups {groups:?}");
+        assert_eq!(groups[0], vec!["host".to_string()]);
+        for (d, g) in groups[1..].iter().enumerate() {
+            assert_eq!(g, &vec![format!("dev{d}")], "device {d} must be its own group");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192 })]
+
+    /// The partitioner over arbitrary coupling graphs mixing
+    /// zero-latency couplings, sub-lookahead stamps, and at/above-
+    /// lookahead stamps: deterministic (edge order is irrelevant),
+    /// a true partition (every shard in exactly one sorted group,
+    /// groups ordered by smallest member), and minimal (two shards
+    /// share a group *iff* a path of merging edges connects them,
+    /// checked against an independent BFS reference).
+    #[test]
+    fn partition_groups_is_deterministic_and_minimal_over_arbitrary_graphs(
+        n in 1usize..9,
+        raw in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u16>()), 0..40),
+    ) {
+        const LOOKAHEAD: u64 = 1000;
+        let edges: Vec<CouplingEdge> = raw
+            .iter()
+            .map(|&(a, b, l)| {
+                let lat = match l % 3 {
+                    0 => None,                           // zero-latency: always merges
+                    1 => Some(u64::from(l) % LOOKAHEAD), // sub-lookahead: merges
+                    _ => Some(LOOKAHEAD + u64::from(l)), // at/above: boundary cut
+                };
+                (usize::from(a) % n, usize::from(b) % n, lat)
+            })
+            .collect();
+
+        let groups = partition_groups(n, LOOKAHEAD, &edges);
+
+        // Deterministic, and independent of edge order.
+        prop_assert_eq!(&groups, &partition_groups(n, LOOKAHEAD, &edges));
+        let mut rev = edges.clone();
+        rev.reverse();
+        prop_assert_eq!(&groups, &partition_groups(n, LOOKAHEAD, &rev));
+
+        // A partition with the documented canonical shape.
+        let mut seen = vec![false; n];
+        let mut prev_head = None;
+        for g in &groups {
+            prop_assert!(!g.is_empty(), "empty group in {:?}", groups);
+            prop_assert!(g.windows(2).all(|w| w[0] < w[1]), "unsorted group {:?}", g);
+            if let Some(p) = prev_head {
+                prop_assert!(g[0] > p, "groups out of order: {:?}", groups);
+            }
+            prev_head = Some(g[0]);
+            for &s in g {
+                prop_assert!(!seen[s], "shard {} appears in two groups", s);
+                seen[s] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x), "shard missing from {:?}", groups);
+
+        // Minimal: group membership must match BFS connectivity over
+        // exactly the merging edges.
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b, lat) in &edges {
+            if lat.is_none_or(|l| l < LOOKAHEAD) {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        let mut group_of = vec![0usize; n];
+        for (gi, g) in groups.iter().enumerate() {
+            for &s in g {
+                group_of[s] = gi;
+            }
+        }
+        for start in 0..n {
+            let mut reach = vec![false; n];
+            reach[start] = true;
+            let mut stack = vec![start];
+            while let Some(x) = stack.pop() {
+                for &y in &adj[x] {
+                    if !reach[y] {
+                        reach[y] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+            for other in 0..n {
+                prop_assert!(
+                    (group_of[start] == group_of[other]) == reach[other],
+                    "shards {} and {}: grouped={} reachable={}",
+                    start,
+                    other,
+                    group_of[start] == group_of[other],
+                    reach[other]
+                );
+            }
+        }
+    }
 }
